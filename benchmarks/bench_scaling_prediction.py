@@ -1,0 +1,58 @@
+"""Extension bench: predicted scaling on a hypothetical 8-core CMP.
+
+The paper closes arguing that multicore will make "programming for
+performance" an expert skill and that generators must adapt automatically.
+This experiment extrapolates: the same Eq. (14)-style derivation targets a
+projected 8-core chip and the cost model predicts the speedup over core
+counts — including where the (p*mu)^2 | n existence bound and memory
+bandwidth cap the scaling.
+"""
+
+from repro.frontend import SpiralSMP, feasible_threads
+from repro.machine import SyncProfile, cmp8
+from series import report
+
+
+def test_scaling_over_cores(benchmark):
+    spec = cmp8()
+    spiral = SpiralSMP(spec)
+    rows = [
+        "Extension: predicted speedup of the multicore CT FFT on a "
+        "hypothetical 8-core CMP",
+        f"{'log2 n':>6} | " + " ".join(f"{f'p={p}':>7}" for p in (1, 2, 4, 8)),
+    ]
+    speedups = {}
+    for k in (8, 10, 12, 14, 16):
+        n = 1 << k
+        seq = spiral.cost(n, 1).total_cycles
+        cells = []
+        for p in (1, 2, 4, 8):
+            t = feasible_threads(n, p, spec.mu) if p > 1 else 1
+            if t < p:
+                cells.append("  n/a")
+                continue
+            cyc = spiral.cost(n, p, SyncProfile.POOLED).total_cycles
+            s = seq / cyc
+            speedups[(k, p)] = s
+            cells.append(f"{s:>6.2f}x")
+        rows.append(f"{k:>6} | " + " ".join(f"{c:>7}" for c in cells))
+    report("\n".join(rows), filename="scaling_prediction.txt")
+
+    # 8-way only exists from n >= (8*4)^2 = 2^10
+    assert (8, 8) not in speedups
+    assert (10, 8) in speedups
+    # speedup grows with p in the compute-bound region
+    assert speedups[(12, 8)] > speedups[(12, 4)] > speedups[(12, 2)] > 1.0
+    # 8-way achieves substantial (but sublinear) speedup
+    assert 3.0 < speedups[(12, 8)] <= 8.0
+    benchmark(spiral.cost, 1 << 12, 8, SyncProfile.POOLED)
+
+
+def test_existence_bound_governs_small_sizes(benchmark):
+    """The (p*mu)^2 | n bound is the structural limit the paper states for
+    Eq. (14): more cores need larger minimum sizes."""
+    spec = cmp8()
+    assert feasible_threads(1 << 8, 8, spec.mu) == 4  # (8*4)^2 > 2^8
+    assert feasible_threads(1 << 9, 8, spec.mu) == 4
+    assert feasible_threads(1 << 10, 8, spec.mu) == 8  # (8*4)^2 = 2^10
+    benchmark(feasible_threads, 1 << 10, 8, spec.mu)

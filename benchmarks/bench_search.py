@@ -1,0 +1,54 @@
+"""Search quality: Spiral's DP search vs fixed radices and random search.
+
+The paper relies on Spiral's search (Section 2.3, "Search/learning") to
+adapt to the memory hierarchy.  This bench compares DP-selected
+factorization trees against fixed strategies under the machine cost model
+and measures the search's own cost.
+"""
+
+from repro.machine import SyncProfile, core_duo, estimate_cost
+from repro.rewrite import derive_sequential_ct, expand_dft
+from repro.search import dp_search, model_objective, random_search
+from repro.sigma import lower
+from series import report
+
+
+def _fixed_cost(n, strategy, spec):
+    f = expand_dft(derive_sequential_ct(n), strategy, min_leaf=32)
+    return estimate_cost(lower(f), spec, 1, SyncProfile.NONE).total_cycles
+
+
+def test_dp_vs_fixed_strategies(benchmark):
+    spec = core_duo()
+    obj = model_objective(spec)
+    rows = [
+        "Search quality (modeled cycles, sequential, Core Duo; lower is "
+        "better)",
+        f"{'n':>6} | {'DP search':>11} {'balanced':>11} {'radix2':>11} "
+        f"{'random(8)':>11} | {'DP evals':>8}",
+    ]
+    for n in (256, 1024, 4096):
+        dp = dp_search(n, obj, leaf_max=32)
+        rnd = random_search(n, obj, samples=8, leaf_max=32)
+        bal = _fixed_cost(n, "balanced", spec)
+        r2 = _fixed_cost(n, "radix2", spec)
+        rows.append(
+            f"{n:>6} | {dp.value:>11.0f} {bal:>11.0f} {r2:>11.0f} "
+            f"{rnd.value:>11.0f} | {dp.evaluations:>8}"
+        )
+        # DP never loses to the strategies inside its search space
+        assert dp.value <= rnd.value * 1.0001
+        assert dp.value <= bal * 1.01
+    report("\n".join(rows), filename="search_quality.txt")
+    benchmark(dp_search, 256, obj, 32)
+
+
+def test_search_result_is_valid_program(benchmark):
+    import numpy as np
+
+    spec = core_duo()
+    res = dp_search(1024, model_objective(spec), leaf_max=32)
+    prog = lower(res.formula)
+    x = np.random.default_rng(0).standard_normal(1024) + 0j
+    np.testing.assert_allclose(prog.apply(x), np.fft.fft(x), atol=1e-6)
+    benchmark(lambda: lower(res.formula))

@@ -1,0 +1,82 @@
+"""Extension bench: generality of the Table 1 rules beyond the 1-D DFT.
+
+The paper positions Spiral as a generator for *linear transforms* and notes
+multi-dimensional transforms are tensor products (Section 2.2).  This bench
+pushes the WHT and the 2-D DFT through the identical smp(p, mu) rewriting
+and reports the same properties as for the DFT: Definition 1, zero false
+sharing, modeled parallel speedup.
+"""
+
+import numpy as np
+
+from repro.machine import SyncProfile, core_duo, count_false_sharing, estimate_cost
+from repro.sigma import lower
+from repro.spl import is_fully_optimized
+from repro.transforms import WHT, parallel_dft2d, parallel_wht
+from series import report
+
+
+def test_wht_through_table1(benchmark):
+    spec = core_duo()
+    rows = [
+        "Generality: parallel WHT via the identical Table 1 rules "
+        "(Core Duo, p=2, mu=4)",
+        f"{'n':>6} | {'Def.1':>5} {'false-shared':>12} {'seq cycles':>11} "
+        f"{'par cycles':>11} {'speedup':>7}",
+    ]
+    for n in (256, 1024, 4096):
+        f = parallel_wht(n, 2, 4)
+        prog = lower(f)
+        fs = count_false_sharing(prog, 4)
+        par = estimate_cost(prog, spec, 2, SyncProfile.POOLED).total_cycles
+        from repro.transforms import expand_wht
+
+        seq = estimate_cost(
+            lower(expand_wht(n, min_leaf=32)), spec, 1, SyncProfile.NONE
+        ).total_cycles
+        rows.append(
+            f"{n:>6} | {str(is_fully_optimized(f, 2, 4)):>5} {fs:>12} "
+            f"{seq:>11.0f} {par:>11.0f} {seq / par:>6.2f}x"
+        )
+        assert is_fully_optimized(f, 2, 4)
+        assert fs == 0
+        x = np.random.default_rng(0).standard_normal(n) + 0j
+        np.testing.assert_allclose(prog.apply(x), WHT(n).apply(x), atol=1e-7)
+    report("\n".join(rows), filename="transforms_wht.txt")
+    benchmark(parallel_wht, 1024, 2, 4)
+
+
+def test_dft2d_through_table1(benchmark):
+    spec = core_duo()
+    rows = [
+        "Generality: parallel 2-D DFT via the identical Table 1 rules",
+        f"{'shape':>9} | {'Def.1':>5} {'false-shared':>12} {'speedup':>8}",
+    ]
+    for m, n in ((16, 16), (32, 32)):
+        f = parallel_dft2d(m, n, 2, 4)
+        prog = lower(f)
+        fs = count_false_sharing(prog, 4)
+        par = estimate_cost(prog, spec, 2, SyncProfile.POOLED).total_cycles
+        seq_f = parallel_dft2d(m, n, 1, 1) if False else None
+        from repro.transforms import dft2d_formula
+        from repro.rewrite import expand_dft
+        from repro.sigma import normalize_for_lowering
+
+        seq_formula = expand_dft(
+            normalize_for_lowering(dft2d_formula(m, n)), "balanced", min_leaf=32
+        )
+        seq = estimate_cost(
+            lower(seq_formula), spec, 1, SyncProfile.NONE
+        ).total_cycles
+        rows.append(
+            f"{f'{m}x{n}':>9} | {str(is_fully_optimized(f, 2, 4)):>5} "
+            f"{fs:>12} {seq / par:>7.2f}x"
+        )
+        assert is_fully_optimized(f, 2, 4)
+        assert fs == 0
+        X = np.random.default_rng(1).standard_normal((m, n)) + 0j
+        np.testing.assert_allclose(
+            prog.apply(X.reshape(-1)).reshape(m, n), np.fft.fft2(X), atol=1e-6
+        )
+    report("\n".join(rows), filename="transforms_dft2d.txt")
+    benchmark(parallel_dft2d, 16, 16, 2, 4)

@@ -1,0 +1,27 @@
+"""Benchmark-session plumbing: print every result table in the summary.
+
+pytest captures stdout at the file-descriptor level, so tables printed
+during passing tests never reach the terminal.  The canonical artifacts are
+the files under ``benchmarks/results/``; this hook replays them into the
+terminal summary so a ``pytest benchmarks/ --benchmark-only | tee`` run
+contains every regenerated table and figure.
+"""
+
+from pathlib import Path
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not RESULTS.exists():
+        return
+    files = sorted(RESULTS.glob("*.txt"))
+    if not files:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep("=", "regenerated tables & figures")
+    for path in files:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", path.name)
+        for line in path.read_text().splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,181 @@
+"""Shared series builder for the Figure 3 / claims benchmarks.
+
+Produces, for each simulated machine and problem size 2^6..2^KMAX, the five
+series of the paper's Figure 3 (pseudo Mflop/s):
+
+* Spiral pthreads (pooled barriers, Eq. 14 schedules)
+* Spiral OpenMP  (fork-join per stage)
+* Spiral sequential
+* FFTW pthreads  (the model planner's best multithreaded configuration)
+* FFTW sequential
+
+Results are cached on disk (``benchmarks/results/series_cache.json``) because
+a full sweep to 2^20 lowers multi-megapoint programs.  Set
+``REPRO_BENCH_MAX_K`` (default 18, paper: 20) to change the sweep range, and
+delete the cache file after changing model constants.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.baselines import FFTWModel
+from repro.frontend import SpiralSMP, feasible_threads
+from repro.machine import (
+    PAPER_MACHINES,
+    SyncProfile,
+    estimate_cost,
+    machine,
+    sync_cycles,
+)
+
+KMIN = 6
+KMAX = int(os.environ.get("REPRO_BENCH_MAX_K", "18"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+CACHE_FILE = RESULTS_DIR / "series_cache.json"
+
+SERIES_NAMES = [
+    "spiral_pthreads",
+    "spiral_openmp",
+    "spiral_seq",
+    "fftw_pthreads",
+    "fftw_seq",
+]
+
+
+def _load_cache() -> dict:
+    if CACHE_FILE.exists():
+        try:
+            return json.loads(CACHE_FILE.read_text())
+        except (json.JSONDecodeError, OSError):
+            return {}
+    return {}
+
+
+def _store_cache(cache: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    CACHE_FILE.write_text(json.dumps(cache, indent=1, sort_keys=True))
+
+
+def compute_point(machine_name: str, k: int) -> dict:
+    """All series values at one (machine, size) point."""
+    spec = machine(machine_name)
+    spiral = SpiralSMP(spec)
+    fftw = FFTWModel(spec)
+    n = 1 << k
+    plan = fftw.plan(n)
+    seq_cost = spiral.cost(n, 1)
+    t = feasible_threads(n, spec.p, spec.mu)
+    if t > 1:
+        prog = spiral.program(n, t)
+        pth_cost = estimate_cost(prog, spec, t, SyncProfile.POOLED)
+        omp_cost = pth_cost.with_sync(
+            sync_cycles(prog, spec, t, SyncProfile.FORK_JOIN)
+        )
+    else:
+        pth_cost = omp_cost = seq_cost
+    return {
+        "spiral_pthreads": pth_cost.pseudo_mflops(spec),
+        "spiral_openmp": omp_cost.pseudo_mflops(spec),
+        "spiral_seq": seq_cost.pseudo_mflops(spec),
+        "fftw_pthreads": plan.pseudo_mflops(spec),
+        "fftw_seq": fftw.cost_sequential(n).pseudo_mflops(spec),
+        "fftw_threads_used": plan.threads,
+        "fftw_schedule": plan.schedule or "none",
+        "spiral_threads_used": t,
+        "spiral_cycles_pthreads": pth_cost.total_cycles,
+        "spiral_cycles_seq": seq_cost.total_cycles,
+    }
+
+
+def get_point(machine_name: str, k: int, cache: dict | None = None) -> dict:
+    """Cached point lookup."""
+    own_cache = cache is None
+    cache = cache if cache is not None else _load_cache()
+    key = f"{machine_name}:{k}"
+    if key not in cache:
+        cache[key] = compute_point(machine_name, k)
+        if own_cache:
+            _store_cache(cache)
+    return cache[key]
+
+
+def machine_series(machine_name: str, kmax: int = KMAX) -> dict:
+    """Full sweep for one machine; returns {series_name: {k: value}}."""
+    cache = _load_cache()
+    out: dict = {name: {} for name in SERIES_NAMES}
+    out["fftw_threads_used"] = {}
+    out["spiral_threads_used"] = {}
+    dirty = False
+    for k in range(KMIN, kmax + 1):
+        key = f"{machine_name}:{k}"
+        if key not in cache:
+            cache[key] = compute_point(machine_name, k)
+            dirty = True
+        point = cache[key]
+        for name in SERIES_NAMES + ["fftw_threads_used", "spiral_threads_used"]:
+            out[name][k] = point[name]
+    if dirty:
+        _store_cache(cache)
+    return out
+
+
+def format_series_table(machine_name: str, series: dict, kmax: int = KMAX) -> str:
+    """Render a Figure 3 panel as the paper's rows (pseudo Mflop/s)."""
+    lines = [
+        f"Figure 3 panel: {machine(machine_name).name}",
+        f"{'log2 n':>6} | {'Spiral pthr':>11} {'Spiral OMP':>11} "
+        f"{'Spiral seq':>11} | {'FFTW pthr':>11} {'FFTW seq':>9} | "
+        f"{'FFTW thr':>8}",
+    ]
+    lines.append("-" * len(lines[1]))
+    for k in range(KMIN, kmax + 1):
+        lines.append(
+            f"{k:>6} | {series['spiral_pthreads'][k]:>11.0f} "
+            f"{series['spiral_openmp'][k]:>11.0f} "
+            f"{series['spiral_seq'][k]:>11.0f} | "
+            f"{series['fftw_pthreads'][k]:>11.0f} "
+            f"{series['fftw_seq'][k]:>9.0f} | "
+            f"{series['fftw_threads_used'][k]:>8}"
+        )
+    return "\n".join(lines)
+
+
+def write_csv(machine_name: str, series: dict, kmax: int = KMAX) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"figure3_{machine_name}.csv"
+    cols = SERIES_NAMES + ["fftw_threads_used", "spiral_threads_used"]
+    with path.open("w") as fh:
+        fh.write("log2n," + ",".join(cols) + "\n")
+        for k in range(KMIN, kmax + 1):
+            fh.write(
+                f"{k},"
+                + ",".join(str(series[c][k]) for c in cols)
+                + "\n"
+            )
+    return path
+
+
+def crossover(series_a: dict, series_b: dict, kmax: int = KMAX):
+    """First k where series_a beats series_b (None if never)."""
+    for k in range(KMIN, kmax + 1):
+        if series_a[k] > series_b[k]:
+            return k
+    return None
+
+
+def all_machines(kmax: int = KMAX) -> dict:
+    return {name: machine_series(name, kmax) for name in PAPER_MACHINES}
+
+
+def report(text: str, filename: str | None = None) -> None:
+    """Emit a result table to the real stdout (past pytest capture) and,
+    optionally, to ``benchmarks/results/<filename>``."""
+    print("\n" + text, file=sys.__stdout__, flush=True)
+    if filename:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / filename).write_text(text + "\n")

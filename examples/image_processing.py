@@ -1,0 +1,76 @@
+"""2-D application: frequency-domain image blur/sharpen with generated code.
+
+Multi-dimensional transforms are tensor products of 1-D ones (paper
+Section 2.2), so the same shared-memory rules parallelize the 2-D DFT.
+This example blurs a synthetic image by multiplying its spectrum with a
+Gaussian transfer function, entirely on generated, Definition-1-optimized
+transforms.
+
+Run:  python examples/image_processing.py
+"""
+
+import numpy as np
+
+from repro.codegen import generate
+from repro.sigma import lower
+from repro.smp import PThreadsRuntime
+from repro.spl import is_fully_optimized
+from repro.transforms import parallel_dft2d
+
+
+def make_image(m: int, n: int) -> np.ndarray:
+    """A test pattern: bright rectangle + diagonal stripes + noise."""
+    rng = np.random.default_rng(3)
+    img = np.zeros((m, n))
+    img[m // 4 : 3 * m // 4, n // 4 : 3 * n // 4] = 1.0
+    yy, xx = np.mgrid[0:m, 0:n]
+    img += 0.3 * np.sin(2 * np.pi * (xx + yy) / 8)
+    img += 0.1 * rng.standard_normal((m, n))
+    return img
+
+
+def gaussian_transfer(m: int, n: int, sigma: float) -> np.ndarray:
+    """Low-pass transfer function on the (wrapped) frequency grid."""
+    fy = np.minimum(np.arange(m), m - np.arange(m))[:, None]
+    fx = np.minimum(np.arange(n), n - np.arange(n))[None, :]
+    return np.exp(-(fy**2 + fx**2) / (2 * sigma**2))
+
+
+def main() -> None:
+    m = n = 32
+    p, mu = 2, 4
+
+    formula = parallel_dft2d(m, n, p, mu, min_leaf=16)
+    print(f"2-D DFT_{m}x{n} parallel formula "
+          f"(Definition 1: {is_fully_optimized(formula, p, mu)})")
+    gen = generate(lower(formula))
+    print(f"generated program: {len(gen.stages)} stages")
+
+    img = make_image(m, n)
+    H = gaussian_transfer(m, n, sigma=4.0)
+
+    with PThreadsRuntime(p) as pool:
+        spectrum = gen.run(img.reshape(-1).astype(complex), pool).reshape(m, n)
+        filtered_spec = spectrum * H
+        # inverse 2-D DFT via conjugation on the forward program
+        back = gen.run(np.conj(filtered_spec).reshape(-1), pool)
+    blurred = np.conj(back).real.reshape(m, n) / (m * n)
+
+    ref = np.fft.ifft2(np.fft.fft2(img) * H).real
+    assert np.allclose(blurred, ref, atol=1e-8)
+    print("matches numpy fft2/ifft2 reference ✓")
+
+    # blurring must reduce total variation (the image gets smoother)
+    def total_variation(a: np.ndarray) -> float:
+        return float(
+            np.abs(np.diff(a, axis=0)).sum() + np.abs(np.diff(a, axis=1)).sum()
+        )
+
+    tv_before, tv_after = total_variation(img), total_variation(blurred)
+    print(f"total variation: {tv_before:.1f} -> {tv_after:.1f} "
+          f"({tv_after / tv_before:.0%})")
+    assert tv_after < tv_before
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Application: FFT-based spectral filtering with the generated transform.
+
+The workload that motivates fast DFT libraries: denoise a signal by
+transforming it, zeroing out-of-band bins, and transforming back.  The
+inverse DFT is computed with the *same generated forward program* via the
+conjugation identity  IDFT(X) = conj(DFT(conj(X))) / n  — so the whole
+filter runs on Spiral-generated multithreaded code.
+
+Run:  python examples/spectral_filtering.py
+"""
+
+import numpy as np
+
+from repro import generate_fft
+from repro.smp import PThreadsRuntime
+
+
+def lowpass_filter(x: np.ndarray, keep_bins: int, fft, runtime=None) -> np.ndarray:
+    """Zero every frequency bin above ``keep_bins`` (two-sided)."""
+    n = x.size
+    X = fft.run(x.astype(complex), runtime) if runtime else fft(x.astype(complex))
+    mask = np.zeros(n)
+    mask[: keep_bins + 1] = 1.0
+    mask[n - keep_bins :] = 1.0
+    X *= mask
+    # inverse via conjugation: idft(X) = conj(dft(conj(X))) / n
+    inv = np.conj(fft(np.conj(X))) / n
+    return inv
+
+
+def main() -> None:
+    n, threads = 4096, 2
+    rng = np.random.default_rng(7)
+
+    # a slow waveform buried in wideband noise
+    t = np.arange(n) / n
+    clean = (
+        np.sin(2 * np.pi * 5 * t)
+        + 0.5 * np.sin(2 * np.pi * 12 * t)
+        + 0.25 * np.cos(2 * np.pi * 19 * t)
+    )
+    noisy = clean + 0.8 * rng.standard_normal(n)
+
+    fft = generate_fft(n, threads=threads, mu=4)
+
+    with PThreadsRuntime(threads) as pool:
+        filtered = lowpass_filter(noisy, keep_bins=25, fft=fft, runtime=pool)
+
+    err_before = np.sqrt(np.mean((noisy - clean) ** 2))
+    err_after = np.sqrt(np.mean((filtered.real - clean) ** 2))
+    print(f"signal length {n}, filter run on {threads} worker threads")
+    print(f"RMS error before filtering: {err_before:.3f}")
+    print(f"RMS error after filtering:  {err_after:.3f}")
+    assert err_after < err_before / 3, "filter must clean up the noise"
+
+    # cross-check the full round trip against numpy
+    ref = np.fft.ifft(np.fft.fft(noisy) * _mask(n, 25)).real
+    assert np.allclose(filtered.real, ref, atol=1e-8)
+    print("round trip matches numpy.fft/ifft reference ✓")
+
+    # round-trip identity: filter with all bins kept is the identity
+    identity = lowpass_filter(noisy, keep_bins=n // 2, fft=fft)
+    assert np.allclose(identity.real, noisy, atol=1e-8)
+    print("identity filter reproduces the input ✓")
+
+
+def _mask(n: int, keep: int) -> np.ndarray:
+    mask = np.zeros(n)
+    mask[: keep + 1] = 1.0
+    mask[n - keep :] = 1.0
+    return mask
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Baseline algorithms and library models the paper compares against."""
+
+from .fftw_model import (
+    FFTW_BROKEN_POOLING_FACTOR,
+    FFTW_COMPUTE_EFFICIENCY,
+    FFTW_MEMORY_EFFICIENCY,
+    FFTW_MEMORY_EFFICIENCY_PAR,
+    FFTW_MEMORY_EFFICIENCY_SEQ,
+    FFTWModel,
+    FFTWPlan,
+)
+from .iterative import (
+    bit_reverse_indices,
+    dft_naive,
+    fft_iterative,
+    fft_recursive,
+)
+from .sixstep import six_step_apply, six_step_formula, six_step_program
+
+__all__ = [
+    "FFTW_BROKEN_POOLING_FACTOR",
+    "FFTW_COMPUTE_EFFICIENCY",
+    "FFTW_MEMORY_EFFICIENCY_PAR",
+    "FFTW_MEMORY_EFFICIENCY_SEQ",
+    "FFTW_MEMORY_EFFICIENCY",
+    "FFTWModel",
+    "FFTWPlan",
+    "bit_reverse_indices",
+    "dft_naive",
+    "fft_iterative",
+    "fft_recursive",
+    "six_step_apply",
+    "six_step_formula",
+    "six_step_program",
+]

@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``derive``    print the multicore Cooley-Tukey formula for (n, p, mu)
+``generate``  generate a program and verify it; ``--emit-c`` writes C source
+``bench``     sweep one simulated machine and print the Figure 3 panel rows
+``search``    autotune a factorization on a simulated machine
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_derive(args: argparse.Namespace) -> int:
+    from .rewrite import RewriteTrace, derive_multicore_ct
+    from .spl import format_expr, is_fully_optimized
+
+    trace = RewriteTrace()
+    f = derive_multicore_ct(args.n, args.threads, args.mu, trace=trace)
+    print(format_expr(f, unicode=not args.ascii))
+    print(f"# rewrite steps: {len(trace)}", file=sys.stderr)
+    print(
+        f"# Definition 1 (p={args.threads}, mu={args.mu}): "
+        f"{is_fully_optimized(f, args.threads, args.mu)}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .frontend import generate_fft, verify_program
+
+    gen = generate_fft(args.n, threads=args.threads, mu=args.mu)
+    ok = verify_program(gen)
+    print(
+        f"# DFT_{args.n}, p={args.threads}, mu={args.mu}: "
+        f"{len(gen.stages)} stages, verified={ok}",
+        file=sys.stderr,
+    )
+    if args.emit_c:
+        from .rewrite import derive_multicore_ct, derive_sequential_ct, expand_dft
+        from .codegen import generate_c
+        from .sigma import lower
+
+        base = (
+            derive_multicore_ct(args.n, args.threads, args.mu)
+            if args.threads > 1
+            else derive_sequential_ct(args.n)
+        )
+        f = expand_dft(base, "balanced", min_leaf=32)
+        src = generate_c(lower(f), mode=args.mode)
+        print(src.source)
+    else:
+        print(gen.source)
+    return 0 if ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .baselines import FFTWModel
+    from .frontend import SpiralSMP
+    from .machine import SyncProfile, machine
+
+    spec = machine(args.machine)
+    spiral = SpiralSMP(spec)
+    fftw = FFTWModel(spec)
+    print(f"# {spec.name} — pseudo Mflop/s (5 n log2 n / us)")
+    print("log2n,spiral_seq,spiral_pthreads,spiral_openmp,fftw_seq,fftw_best,fftw_threads")
+    for k in range(args.kmin, args.kmax + 1):
+        n = 1 << k
+        plan = fftw.plan(n)
+        print(
+            f"{k},{spiral.pseudo_mflops(n, 1):.0f},"
+            f"{spiral.pseudo_mflops(n, spec.p, SyncProfile.POOLED):.0f},"
+            f"{spiral.pseudo_mflops(n, spec.p, SyncProfile.FORK_JOIN):.0f},"
+            f"{fftw.cost_sequential(n).pseudo_mflops(spec):.0f},"
+            f"{plan.pseudo_mflops(spec):.0f},{plan.threads}"
+        )
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from .machine import machine, SyncProfile
+    from .search import dp_search, model_objective
+
+    spec = machine(args.machine)
+    res = dp_search(
+        args.n, model_objective(spec, 1, SyncProfile.NONE), leaf_max=args.leaf_max
+    )
+    print(f"# best factorization tree for DFT_{args.n} on {spec.name}")
+    print(f"tree: {res.tree}")
+    print(f"modeled cycles: {res.value:.0f}")
+    print(f"objective evaluations: {res.evaluations}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Spiral-SMP reproduction: FFT program generation for "
+        "shared memory (SC'06)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    d = sub.add_parser("derive", help="derive the multicore CT formula")
+    d.add_argument("n", type=int)
+    d.add_argument("--threads", "-p", type=int, default=2)
+    d.add_argument("--mu", type=int, default=4)
+    d.add_argument("--ascii", action="store_true")
+    d.set_defaults(fn=_cmd_derive)
+
+    g = sub.add_parser("generate", help="generate and verify a program")
+    g.add_argument("n", type=int)
+    g.add_argument("--threads", "-p", type=int, default=1)
+    g.add_argument("--mu", type=int, default=4)
+    g.add_argument("--emit-c", action="store_true")
+    g.add_argument(
+        "--mode",
+        choices=["pthreads", "openmp", "sequential"],
+        default="pthreads",
+    )
+    g.set_defaults(fn=_cmd_generate)
+
+    b = sub.add_parser("bench", help="sweep a simulated machine")
+    b.add_argument(
+        "machine",
+        choices=["core_duo", "pentium_d", "opteron", "xeon_mp", "cmp8"],
+    )
+    b.add_argument("--kmin", type=int, default=6)
+    b.add_argument("--kmax", type=int, default=14)
+    b.set_defaults(fn=_cmd_bench)
+
+    s = sub.add_parser("search", help="autotune a factorization")
+    s.add_argument("n", type=int)
+    s.add_argument("--machine", default="core_duo")
+    s.add_argument("--leaf-max", type=int, default=32)
+    s.set_defaults(fn=_cmd_search)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

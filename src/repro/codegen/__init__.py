@@ -1,0 +1,24 @@
+"""Code generation backends (Python/NumPy and multithreaded C99)."""
+
+from .c_backend import (
+    GeneratedCSource,
+    compile_and_run,
+    compile_and_time,
+    compiler_available,
+    generate_c,
+)
+from .python_backend import GeneratedProgram, generate
+from .unroll import Codelet, dft_codelet, symbolic_apply
+
+__all__ = [
+    "Codelet",
+    "GeneratedCSource",
+    "GeneratedProgram",
+    "compile_and_run",
+    "compile_and_time",
+    "compiler_available",
+    "generate",
+    "dft_codelet",
+    "generate_c",
+    "symbolic_apply",
+]

@@ -1,0 +1,337 @@
+"""Unrolled codelet generation: formulas -> straight-line code.
+
+Spiral's implementation level does not interpret small transforms — it
+unrolls them into straight-line code and optimizes it (Figure 1's "code
+optimization": constant folding, strength reduction, common-subexpression
+elimination; paper Section 2.3 and ref [31]).  This module reproduces that
+stage:
+
+* :func:`symbolic_apply` evaluates an SPL formula over *symbolic* scalars,
+  producing an expression DAG with algebraic simplification built into the
+  constructors (x+0, 1*x, (-1)*x, constant folding) and hash-consing CSE;
+* :class:`Codelet` schedules the DAG into SSA statements and emits them as
+  a Python function or a C function;
+* op counts come out of the DAG, so tests can verify e.g. that the
+  generated radix-2 DFT_8 costs 78 real flops — far below both the 5n log n
+  pseudo count (120) and the O(n^2) dense definition (~500).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..spl.expr import COMPLEX, Compose, DirectSum, Expr, Tensor
+from ..spl.matrices import DFT, Diag, DiagFunc, F2, I, L, Perm, Twiddle
+from ..spl.parallel import LinePerm, ParDirectSum, ParTensor, SMP
+
+_EPS = 1e-12
+
+
+class Node:
+    """A node of the scalar expression DAG (hash-consed)."""
+
+    __slots__ = ("op", "args", "value", "serial")
+
+    _pool: dict = {}
+    _counter: int = 0
+
+    def __init__(self, op: str, args: tuple, value: Optional[complex]):
+        self.op = op
+        self.args = args
+        self.value = value
+        Node._counter += 1
+        self.serial = Node._counter
+
+    @classmethod
+    def _intern(cls, op, args, value=None) -> "Node":
+        key = (op, args, None if value is None else complex(value))
+        node = cls._pool.get(key)
+        if node is None:
+            node = cls(op, args, value)
+            cls._pool[key] = node
+        return node
+
+    # -- constructors with algebraic simplification -------------------------
+
+    @classmethod
+    def const(cls, value: complex) -> "Node":
+        value = complex(value)
+        if abs(value.real) < _EPS:
+            value = complex(0.0, value.imag)
+        if abs(value.imag) < _EPS:
+            value = complex(value.real, 0.0)
+        return cls._intern("const", (), value)
+
+    @classmethod
+    def var(cls, index: int) -> "Node":
+        return cls._intern("var", (index,))
+
+    @classmethod
+    def add(cls, a: "Node", b: "Node") -> "Node":
+        if a.op == "const" and b.op == "const":
+            return cls.const(a.value + b.value)
+        if a.op == "const" and abs(a.value) < _EPS:
+            return b
+        if b.op == "const" and abs(b.value) < _EPS:
+            return a
+        if a.serial > b.serial:  # canonical order for CSE of a+b vs b+a
+            a, b = b, a
+        return cls._intern("add", (a, b))
+
+    @classmethod
+    def sub(cls, a: "Node", b: "Node") -> "Node":
+        if a.op == "const" and b.op == "const":
+            return cls.const(a.value - b.value)
+        if b.op == "const" and abs(b.value) < _EPS:
+            return a
+        if a is b:
+            return cls.const(0.0)
+        return cls._intern("sub", (a, b))
+
+    @classmethod
+    def mul(cls, a: "Node", b: "Node") -> "Node":
+        if a.op == "const" and b.op == "const":
+            return cls.const(a.value * b.value)
+        # normalize constants to the left
+        if b.op == "const":
+            a, b = b, a
+        if a.op == "const":
+            if abs(a.value) < _EPS:
+                return cls.const(0.0)
+            if abs(a.value - 1.0) < _EPS:
+                return b
+            if abs(a.value + 1.0) < _EPS:
+                return cls.neg(b)
+        return cls._intern("mul", (a, b))
+
+    @classmethod
+    def neg(cls, a: "Node") -> "Node":
+        if a.op == "const":
+            return cls.const(-a.value)
+        if a.op == "neg":
+            return a.args[0]
+        return cls._intern("neg", (a,))
+
+    # -- analysis -------------------------------------------------------------
+
+    def is_const(self) -> bool:
+        return self.op == "const"
+
+
+def clear_node_pool() -> None:
+    """Reset the hash-consing pool (per-codelet isolation)."""
+    Node._pool = {}
+    Node._counter = 0
+
+
+def symbolic_apply(expr: Expr, xs: list[Node]) -> list[Node]:
+    """Evaluate ``y = expr @ xs`` over symbolic scalars."""
+    if len(xs) != expr.cols:
+        raise ValueError(f"expected {expr.cols} inputs, got {len(xs)}")
+    if isinstance(expr, (I,)):
+        return list(xs)
+    if isinstance(expr, F2):
+        return [Node.add(xs[0], xs[1]), Node.sub(xs[0], xs[1])]
+    if isinstance(expr, SMP):
+        return symbolic_apply(expr.child, xs)
+    if isinstance(expr, (Diag, DiagFunc, Twiddle)):
+        vals = np.asarray(expr.values, dtype=COMPLEX)
+        return [Node.mul(Node.const(v), x) for v, x in zip(vals, xs)]
+    if isinstance(expr, (L, Perm, LinePerm)):
+        from ..sigma.index_map import source_table
+
+        table = source_table(expr)
+        return [xs[j] for j in table]
+    if isinstance(expr, Compose):
+        out = list(xs)
+        for f in reversed(expr.factors):
+            out = symbolic_apply(f, out)
+        return out
+    if isinstance(expr, Tensor):
+        return _symbolic_tensor(expr.factors, xs)
+    if isinstance(expr, (DirectSum, ParDirectSum)):
+        out: list[Node] = []
+        off = 0
+        for b in expr.children:
+            out.extend(symbolic_apply(b, xs[off : off + b.cols]))
+            off += b.cols
+        return out
+    if isinstance(expr, ParTensor):
+        return _symbolic_tensor((I(expr.p), expr.child), xs)
+    if isinstance(expr, DFT):
+        # dense definition; callers should pre-expand larger sizes
+        mat = expr.to_matrix()
+        return _symbolic_dense(mat, xs)
+    # generic fallback for any other square construct: dense matrix
+    return _symbolic_dense(expr.to_matrix(), xs)
+
+
+def _symbolic_tensor(factors, xs: list[Node]) -> list[Node]:
+    if len(factors) == 1:
+        return symbolic_apply(factors[0], xs)
+    head, rest = factors[0], factors[1:]
+    rest_cols = 1
+    for f in rest:
+        rest_cols *= f.cols
+    # apply the tail over contiguous blocks
+    mid: list[Node] = []
+    for i in range(head.cols):
+        mid.extend(
+            _symbolic_tensor(rest, xs[i * rest_cols : (i + 1) * rest_cols])
+        )
+    # apply head over strided slices
+    rest_rows = len(mid) // head.cols
+    out: list[Optional[Node]] = [None] * (head.rows * rest_rows)
+    for j in range(rest_rows):
+        col = [mid[i * rest_rows + j] for i in range(head.cols)]
+        res = symbolic_apply(head, col)
+        for i, node in enumerate(res):
+            out[i * rest_rows + j] = node
+    return out  # type: ignore[return-value]
+
+
+def _symbolic_dense(mat: np.ndarray, xs: list[Node]) -> list[Node]:
+    out = []
+    for row in mat:
+        acc = Node.const(0.0)
+        for coeff, x in zip(row, xs):
+            if abs(coeff) < _EPS:
+                continue
+            acc = Node.add(acc, Node.mul(Node.const(coeff), x))
+        out.append(acc)
+    return out
+
+
+@dataclass
+class Codelet:
+    """Straight-line code for a fixed-size transform."""
+
+    name: str
+    size: int
+    outputs: list[Node]
+    #: SSA schedule: list of (temp_id, node); inputs/consts are not listed
+    schedule: list = field(default_factory=list)
+    _names: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_formula(cls, expr: Expr, name: str = "codelet") -> "Codelet":
+        clear_node_pool()
+        xs = [Node.var(i) for i in range(expr.cols)]
+        outputs = symbolic_apply(expr, xs)
+        codelet = cls(name=name, size=expr.rows, outputs=outputs)
+        codelet._schedule()
+        return codelet
+
+    def _schedule(self) -> None:
+        """Topological order over the DAG; each op node becomes one temp."""
+        seen: dict = {}
+        order: list[Node] = []
+
+        def visit(node: Node) -> None:
+            if id(node) in seen or node.op in ("var", "const"):
+                if node.op in ("var", "const"):
+                    seen[id(node)] = True
+                return
+            seen[id(node)] = True
+            for a in node.args:
+                if isinstance(a, Node):
+                    visit(a)
+            order.append(node)
+
+        for out in self.outputs:
+            visit(out)
+        self.schedule = [(f"t{i}", node) for i, node in enumerate(order)]
+        self._names = {id(node): nm for nm, node in self.schedule}
+
+    # -- accounting -----------------------------------------------------------
+
+    def op_counts(self) -> dict:
+        counts = {"add": 0, "sub": 0, "mul": 0, "neg": 0}
+        for _, node in self.schedule:
+            if node.op in counts:
+                counts[node.op] += 1
+        return counts
+
+    def complex_ops(self) -> int:
+        c = self.op_counts()
+        return c["add"] + c["sub"] + c["mul"]
+
+    def real_flops(self) -> int:
+        """Real-flop estimate (cadd=2, cmul=6, neg free)."""
+        c = self.op_counts()
+        return 2 * (c["add"] + c["sub"]) + 6 * c["mul"]
+
+    # -- emission ---------------------------------------------------------------
+
+    def _ref(self, node: Node, lang: str) -> str:
+        if node.op == "var":
+            return f"x[{node.args[0]}]"
+        if node.op == "const":
+            v = node.value
+            if lang == "py":
+                return f"({v.real!r}{v.imag:+}j)" if v.imag else f"{v.real!r}"
+            if v.imag == 0:
+                return repr(v.real)
+            return f"({v.real!r} + {v.imag!r}*_Complex_I)"
+        return self._names[id(node)]
+
+    def _stmt(self, name: str, node: Node, lang: str) -> str:
+        a = [self._ref(arg, lang) for arg in node.args]
+        rhs = {
+            "add": lambda: f"{a[0]} + {a[1]}",
+            "sub": lambda: f"{a[0]} - {a[1]}",
+            "mul": lambda: f"{a[0]} * {a[1]}",
+            "neg": lambda: f"-{a[0]}",
+        }[node.op]()
+        if lang == "py":
+            return f"    {name} = {rhs}"
+        return f"  cplx {name} = {rhs};"
+
+    def to_python(self) -> str:
+        lines = [
+            f"def {self.name}(x, y):",
+            f"    # unrolled size-{self.size} codelet: "
+            f"{self.complex_ops()} complex ops ({self.real_flops()} flops)",
+        ]
+        lines += [self._stmt(nm, node, "py") for nm, node in self.schedule]
+        for i, out in enumerate(self.outputs):
+            lines.append(f"    y[{i}] = {self._ref(out, 'py')}")
+        return "\n".join(lines) + "\n"
+
+    def to_c(self) -> str:
+        lines = [
+            f"static void {self.name}(const cplx *x, cplx *y) {{",
+            f"  /* unrolled size-{self.size} codelet: "
+            f"{self.complex_ops()} complex ops */",
+        ]
+        lines += [self._stmt(nm, node, "c") for nm, node in self.schedule]
+        for i, out in enumerate(self.outputs):
+            lines.append(f"  y[{i}] = {self._ref(out, 'c')};")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def compile_python(self):
+        """Exec the Python emission; returns a callable f(x) -> y."""
+        ns: dict = {}
+        exec(self.to_python(), ns)
+        fn = ns[self.name]
+
+        def apply(x: np.ndarray) -> np.ndarray:
+            y = np.empty(self.size, dtype=COMPLEX)
+            fn(np.asarray(x, dtype=COMPLEX), y)
+            return y
+
+        return apply
+
+
+def dft_codelet(n: int, name: Optional[str] = None) -> Codelet:
+    """Unrolled codelet for ``DFT_n`` from a fully expanded formula."""
+    from ..rewrite.breakdown import expand_dft
+    from ..rewrite.breakdown import factor_pairs
+
+    strategy = "radix2" if n & (n - 1) == 0 else "balanced"
+    expr = expand_dft(DFT(n), strategy) if factor_pairs(n) else DFT(n)
+    return Codelet.from_formula(expr, name or f"dft_{n}")

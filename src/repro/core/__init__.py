@@ -1,0 +1,44 @@
+"""The paper's primary contribution, in one place.
+
+The shared-memory extension of Spiral consists of (1) the tagged parallel
+constructs and the Definition 1 optimality predicate, (2) the Table 1
+rewriting rules, (3) the derivation driver that turns the Cooley-Tukey FFT
+into the multicore Cooley-Tukey FFT (Eq. 14), and (4) the multithreaded
+backends.  This module re-exports that core surface; the implementation
+lives in :mod:`repro.spl`, :mod:`repro.rewrite`, :mod:`repro.sigma`,
+:mod:`repro.codegen` and :mod:`repro.smp`.
+"""
+
+from ..codegen import generate, generate_c
+from ..frontend import SpiralSMP, generate_fft, spiral_formula
+from ..rewrite.derive import (
+    ParallelizationError,
+    build_eq14,
+    derive_multicore_ct,
+    parallelization_rules,
+    parallelize,
+)
+from ..rewrite.smp_rules import smp_rules
+from ..spl.parallel import LinePerm, ParDirectSum, ParTensor, SMP, smp
+from ..spl.properties import check_fully_optimized, is_fully_optimized
+
+__all__ = [
+    "LinePerm",
+    "ParDirectSum",
+    "ParTensor",
+    "ParallelizationError",
+    "SMP",
+    "SpiralSMP",
+    "build_eq14",
+    "check_fully_optimized",
+    "derive_multicore_ct",
+    "generate",
+    "generate_c",
+    "generate_fft",
+    "is_fully_optimized",
+    "parallelization_rules",
+    "parallelize",
+    "smp",
+    "smp_rules",
+    "spiral_formula",
+]

@@ -1,0 +1,154 @@
+"""Top-level Spiral-SMP pipeline: transform spec -> optimized program.
+
+Mirrors the architecture of Figure 1 in the paper:
+
+1. *Formula generation* — Cooley-Tukey breakdown with an admissible top
+   split, tagged ``smp(p, mu)`` and rewritten by Table 1 into the multicore
+   Cooley-Tukey FFT (Eq. 14);
+2. *Formula optimization* — Sigma-SPL loop merging (permutations and
+   twiddles folded into loop index functions);
+3. *Implementation* — Python/NumPy or multithreaded C code generation;
+4. *Evaluation* — the machine cost model or measured runtime;
+5. *Search* — thread-count/radix selection by feedback (see
+   :mod:`repro.search` for factorization-tree search).
+
+``generate_fft`` is the one-call convenience API; :class:`SpiralSMP` is the
+stateful planner used by benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .codegen.python_backend import GeneratedProgram, generate
+from .machine.cost_model import CostBreakdown, SyncProfile, estimate_cost
+from .machine.topology import MachineSpec
+from .rewrite.breakdown import expand_dft
+from .rewrite.derive import derive_multicore_ct, derive_sequential_ct
+from .sigma.loops import SigmaProgram
+from .sigma.lower import lower
+from .spl.expr import Expr
+
+
+def feasible_threads(n: int, p: int, mu: int) -> int:
+    """Largest thread count t <= p with an admissible Eq. (14): (t*mu)^2 | n."""
+    t = p
+    while t > 1:
+        if n % ((t * mu) * (t * mu)) == 0:
+            return t
+        t //= 2
+    return 1
+
+
+def spiral_formula(n: int, threads: int, mu: int, strategy: str = "balanced",
+                   min_leaf: int = 32) -> Expr:
+    """Fully expanded formula for ``DFT_n`` on ``threads`` processors."""
+    if threads > 1:
+        f = derive_multicore_ct(n, threads, mu)
+    else:
+        f = derive_sequential_ct(n)
+    return expand_dft(f, strategy, min_leaf=min_leaf)
+
+
+def generate_fft(
+    n: int,
+    threads: int = 1,
+    mu: int = 4,
+    strategy: str = "balanced",
+    min_leaf: int = 32,
+) -> GeneratedProgram:
+    """Generate an executable FFT program (the quickstart entry point).
+
+    Returns a :class:`GeneratedProgram`; call it on a length-``n`` complex
+    vector, or pass a :class:`repro.smp.PThreadsRuntime` to ``run`` for
+    multithreaded execution.
+    """
+    f = spiral_formula(n, threads, mu, strategy, min_leaf)
+    return generate(lower(f))
+
+
+@dataclass
+class TransformPlan:
+    """A planned transform: formula, loops, and modeled cost."""
+
+    n: int
+    threads: int
+    program: SigmaProgram
+    cost: CostBreakdown
+    profile: SyncProfile
+
+    def pseudo_mflops(self, spec: MachineSpec) -> float:
+        return self.cost.pseudo_mflops(spec)
+
+
+class SpiralSMP:
+    """Spiral-with-shared-memory-extension planner on a simulated machine."""
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        min_leaf: int = 32,
+        strategy: str = "balanced",
+    ):
+        self.spec = spec
+        self.min_leaf = min_leaf
+        self.strategy = strategy
+        self._programs: dict[tuple[int, int], SigmaProgram] = {}
+
+    def program(self, n: int, threads: int) -> SigmaProgram:
+        """Lowered (merged, mu-aware) program for ``n`` on ``threads`` cores."""
+        key = (n, threads)
+        if key not in self._programs:
+            f = spiral_formula(
+                n, threads, self.spec.mu, self.strategy, self.min_leaf
+            )
+            self._programs[key] = lower(f)
+        return self._programs[key]
+
+    def cost(
+        self,
+        n: int,
+        threads: int,
+        profile: SyncProfile = SyncProfile.POOLED,
+    ) -> CostBreakdown:
+        t = feasible_threads(n, threads, self.spec.mu) if threads > 1 else 1
+        prog = self.program(n, t)
+        return estimate_cost(
+            prog,
+            self.spec,
+            threads=t,
+            profile=profile if t > 1 else SyncProfile.NONE,
+        )
+
+    def plan(
+        self,
+        n: int,
+        threads: int,
+        profile: SyncProfile = SyncProfile.POOLED,
+    ) -> TransformPlan:
+        t = feasible_threads(n, threads, self.spec.mu) if threads > 1 else 1
+        prog = self.program(n, t)
+        cost = estimate_cost(
+            prog,
+            self.spec,
+            threads=t,
+            profile=profile if t > 1 else SyncProfile.NONE,
+        )
+        return TransformPlan(n, t, prog, cost, profile)
+
+    def pseudo_mflops(
+        self, n: int, threads: int, profile: SyncProfile = SyncProfile.POOLED
+    ) -> float:
+        return self.cost(n, threads, profile).pseudo_mflops(self.spec)
+
+    def clear_cache(self) -> None:
+        self._programs.clear()
+
+
+def verify_program(gen: GeneratedProgram, rng=None, atol: float = 1e-6) -> bool:
+    """Quick numerical check of a generated program against numpy.fft."""
+    rng = rng or np.random.default_rng(0)
+    x = rng.standard_normal(gen.size) + 1j * rng.standard_normal(gen.size)
+    return bool(np.allclose(gen.run(x), np.fft.fft(x), atol=atol))

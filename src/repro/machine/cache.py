@@ -1,0 +1,105 @@
+"""Trace-driven set-associative LRU cache simulator.
+
+Used to validate the analytic cost model's miss estimates and to study
+access patterns of generated schedules at small sizes.  Addresses are in
+*elements* (complex numbers); the cache translates to lines internally.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .topology import COMPLEX_BYTES, CacheLevel
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A single-level set-associative LRU cache."""
+
+    def __init__(self, level: CacheLevel):
+        if level.size_bytes % (level.line_bytes * level.assoc):
+            raise ValueError("cache size must divide into assoc * line sets")
+        self.level = level
+        self.elements_per_line = level.line_bytes // COMPLEX_BYTES
+        self.n_sets = level.size_bytes // (level.line_bytes * level.assoc)
+        self._sets: list[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def reset(self) -> None:
+        self._sets = [OrderedDict() for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def access_line(self, line: int) -> bool:
+        """Touch one line; returns True on hit."""
+        s = self._sets[line % self.n_sets]
+        if line in s:
+            s.move_to_end(line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        s[line] = True
+        if len(s) > self.level.assoc:
+            s.popitem(last=False)  # evict LRU
+        return False
+
+    def access_elements(self, addresses: np.ndarray) -> int:
+        """Touch element addresses in order; returns number of misses."""
+        lines = np.asarray(addresses, dtype=np.intp) // self.elements_per_line
+        before = self.stats.misses
+        for line in lines:
+            self.access_line(int(line))
+        return self.stats.misses - before
+
+    def contains_line(self, line: int) -> bool:
+        return line in self._sets[line % self.n_sets]
+
+
+@dataclass
+class HierarchyStats:
+    l1: CacheStats = field(default_factory=CacheStats)
+    l2: CacheStats = field(default_factory=CacheStats)
+    memory_accesses: int = 0
+
+
+class CacheHierarchy:
+    """A two-level private hierarchy for one processor."""
+
+    def __init__(self, l1: CacheLevel, l2: CacheLevel):
+        self.l1_cache = Cache(l1)
+        self.l2_cache = Cache(l2)
+
+    def access_elements(self, addresses: np.ndarray) -> HierarchyStats:
+        """Run a trace; misses in L1 go to L2, L2 misses go to memory."""
+        lines = (
+            np.asarray(addresses, dtype=np.intp)
+            // self.l1_cache.elements_per_line
+        )
+        out = HierarchyStats()
+        for line in lines:
+            line = int(line)
+            if self.l1_cache.access_line(line):
+                out.l1.hits += 1
+            else:
+                out.l1.misses += 1
+                if self.l2_cache.access_line(line):
+                    out.l2.hits += 1
+                else:
+                    out.l2.misses += 1
+                    out.memory_accesses += 1
+        return out

@@ -1,0 +1,230 @@
+"""Analytic performance model: Sigma-SPL program x machine -> cycles.
+
+The model charges four mechanisms, the ones the paper's analysis singles
+out (Sections 2.1, 3.1, 4):
+
+1. **Computation** — real flops / sustained flops-per-cycle.
+2. **Memory hierarchy** — every stage streams its working set once; the cost
+   per cache line depends on where the (per-processor share of the) working
+   set resides: L1 (free — latency hidden by the pipeline), L2, or memory.
+   Parallelization shrinks the per-processor share, reproducing the
+   in-cache speedup region the paper highlights.
+3. **Coherence traffic** — true-sharing line transfers (the transpose
+   stages' communication) and false-sharing ping-pong, both counted exactly
+   from the program's index tables by :mod:`repro.machine.coherence` and
+   priced at the machine's line-transfer cost (cheap on-chip for CMPs,
+   expensive over the bus for SMPs).
+4. **Synchronization** — per-call dispatch plus per-stage barriers for a
+   pooled runtime, or full thread creation per call for non-pooled runtimes
+   (the FFTW behaviour the paper documents).
+
+Stage time is the *maximum* over processors (load imbalance shows up
+directly).  Constants below are model parameters, not measurements; see
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from ..sigma.loops import SigmaProgram, Stage
+from .coherence import analyze_sharing
+from .topology import COMPLEX_BYTES, MachineSpec
+
+#: fraction of an L2 hit latency actually exposed per line (overlap/prefetch)
+L2_EXPOSURE = 0.5
+#: fraction of a memory latency exposed per line (hardware prefetch hides most)
+MEM_EXPOSURE = 0.35
+
+
+class SyncProfile(str, Enum):
+    """How a runtime pays for parallelism."""
+
+    #: persistent pool + low-latency barriers, elision honored (Spiral pthreads)
+    POOLED = "pooled"
+    #: persistent pool, but a full barrier at every stage (Spiral OpenMP)
+    FORK_JOIN = "fork-join"
+    #: threads created and joined at every transform call (FFTW-style)
+    SPAWN_PER_CALL = "spawn-per-call"
+    #: single-threaded
+    NONE = "none"
+
+
+@dataclass
+class CostBreakdown:
+    """Cycle counts by mechanism for one transform execution."""
+
+    size: int
+    machine: str
+    threads: int
+    compute: float = 0.0
+    memory: float = 0.0
+    coherence: float = 0.0
+    false_sharing: float = 0.0
+    sync: float = 0.0
+    per_stage: list = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        return (
+            self.compute
+            + self.memory
+            + self.coherence
+            + self.false_sharing
+            + self.sync
+        )
+
+    def time_us(self, spec: MachineSpec) -> float:
+        return spec.cycles_to_us(self.total_cycles)
+
+    def pseudo_mflops(self, spec: MachineSpec) -> float:
+        """The paper's metric: 5 n log2(n) / runtime[us]."""
+        n = self.size
+        t = self.time_us(spec)
+        if t <= 0:
+            return float("inf")
+        return 5 * n * np.log2(n) / t
+
+    def with_sync(self, sync: float) -> "CostBreakdown":
+        """Copy of this breakdown under a different synchronization cost.
+
+        Compute/memory/coherence terms do not depend on the sync profile, so
+        profile variations of one schedule can share the expensive part of
+        the estimate.
+        """
+        return CostBreakdown(
+            size=self.size,
+            machine=self.machine,
+            threads=self.threads,
+            compute=self.compute,
+            memory=self.memory,
+            coherence=self.coherence,
+            false_sharing=self.false_sharing,
+            sync=sync,
+            per_stage=list(self.per_stage),
+        )
+
+
+def _residency_cost_per_line(
+    spec: MachineSpec, footprint_bytes: int, nprocs: int
+) -> float:
+    """Exposed cycles per line streamed by one processor in one stage."""
+    share = footprint_bytes / max(1, nprocs)
+    if share <= spec.l1.size_bytes:
+        return 0.0
+    l2_cap = spec.l2_capacity_for(nprocs) / max(1, nprocs)
+    if share <= l2_cap:
+        return spec.l2.latency_cycles * L2_EXPOSURE
+    return spec.mem_latency_cycles * MEM_EXPOSURE
+
+
+def _proc_line_counts(stage: Stage, mu: int) -> dict[int, int]:
+    """Distinct lines touched per processor in a stage."""
+    procs = stage.procs or [0]
+    out = {}
+    for proc in procs:
+        idx = np.concatenate([stage.reads(proc), stage.writes(proc)])
+        out[proc] = int(np.unique(idx // mu).size) if idx.size else 0
+    return out
+
+
+def estimate_cost(
+    program: SigmaProgram,
+    spec: MachineSpec,
+    threads: int,
+    profile: SyncProfile = SyncProfile.POOLED,
+    memory_efficiency: float = 1.0,
+    compute_efficiency: float = 1.0,
+    numa_aware: bool = True,
+) -> CostBreakdown:
+    """Estimate one transform execution of ``program`` on ``spec``.
+
+    ``threads`` is how many processors actually execute (must match the
+    program's schedule).  ``memory_efficiency`` scales memory-hierarchy
+    cycles and ``compute_efficiency`` scales compute cycles (< 1 models a
+    library with stronger large-size optimizations / codelet quality).
+    ``numa_aware=False`` models schedules that ignore socket-local memory
+    placement and recover only part of the machine's NUMA scaling.
+    """
+    n = program.size
+    mu = spec.mu
+    footprint = 2 * n * COMPLEX_BYTES  # double-buffered working set
+    cost = CostBreakdown(size=n, machine=spec.name, threads=threads)
+    sharing = analyze_sharing(program, mu) if threads > 1 else None
+
+    for si, stage in enumerate(program.stages):
+        per_proc: dict[int, float] = {}
+        procs = stage.procs or [0]
+        nstream = threads if stage.parallel else 1
+        line_cost = _residency_cost_per_line(spec, footprint, nstream)
+        if line_cost and nstream > 1:
+            # concurrent streams contend for the memory path: per-processor
+            # cost rises unless the machine's throughput scales with cores
+            line_cost *= nstream / spec.mem_speedup(nstream, numa_aware)
+        line_counts = _proc_line_counts(stage, mu)
+        stage_compute = {}
+        for proc in procs:
+            flops = sum(
+                lp.flops() for lp in stage.loops if (lp.proc or 0) == proc
+            )
+            compute = flops / spec.flops_per_cycle * compute_efficiency
+            memory = line_counts.get(proc, 0) * line_cost * memory_efficiency
+            coher = fs = 0.0
+            if sharing is not None:
+                st = sharing.stages[si]
+                coher = (
+                    st.coherence_misses.get(proc, 0)
+                    * spec.coherence_miss_cycles
+                )
+                if st.false_shared_lines:
+                    # ping-pong bounces shared across the contending procs
+                    fs = (
+                        st.false_sharing_bounces
+                        / max(1, len(procs))
+                        * spec.false_sharing_cycles
+                    )
+            per_proc[proc] = compute + memory + coher + fs
+            stage_compute[proc] = (compute, memory, coher, fs)
+
+        # stage wall time = slowest processor (load imbalance surfaces here)
+        slowest = max(per_proc, key=per_proc.get)
+        c, m, ch, f = stage_compute[slowest]
+        cost.compute += c
+        cost.memory += m
+        cost.coherence += ch
+        cost.false_sharing += f
+        cost.per_stage.append(
+            {
+                "name": stage.name,
+                "cycles": per_proc[slowest],
+                "parallel": stage.parallel,
+                "barrier": stage.needs_barrier,
+            }
+        )
+
+    cost.sync = sync_cycles(program, spec, threads, profile)
+    return cost
+
+
+def sync_cycles(
+    program: SigmaProgram,
+    spec: MachineSpec,
+    threads: int,
+    profile: SyncProfile,
+) -> float:
+    """Per-call synchronization cost of executing ``program``."""
+    if threads <= 1 or profile is SyncProfile.NONE:
+        return 0.0
+    nbarriers = sum(1 for s in program.stages if s.needs_barrier) + 1
+    nstages = len(program.stages) + 1
+    if profile is SyncProfile.POOLED:
+        return spec.pool_dispatch_cycles + nbarriers * spec.barrier_cycles
+    if profile is SyncProfile.FORK_JOIN:
+        return spec.pool_dispatch_cycles + nstages * spec.barrier_cycles * 1.5
+    return (
+        (threads - 1) * spec.thread_spawn_cycles
+        + nstages * spec.barrier_cycles
+    )

@@ -1,0 +1,91 @@
+"""Terminal (ASCII) charts for benchmark series — no plotting deps needed.
+
+Renders the Figure 3 panels as monospaced line charts so the benchmark
+output contains actual *figures*, not only tables.  One marker per series;
+collisions show the later-listed series' marker.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+DEFAULT_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Mapping[int, float]],
+    title: str = "",
+    width: int = 64,
+    height: int = 18,
+    ylabel: str = "",
+    xlabel: str = "",
+) -> str:
+    """Render ``{name: {x: y}}`` as an ASCII chart with a legend.
+
+    X positions are laid out by rank of the sorted union of x keys (the
+    Figure 3 x-axis is log2 n, already equally spaced).
+    """
+    if not series:
+        return "(empty chart)"
+    xs = sorted({x for s in series.values() for x in s})
+    ymax = max((v for s in series.values() for v in s.values()), default=1.0)
+    ymin = 0.0
+    if ymax <= ymin:
+        ymax = ymin + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x) -> int:
+        if len(xs) == 1:
+            return 0
+        return round(xs.index(x) * (width - 1) / (len(xs) - 1))
+
+    def row(y) -> int:
+        frac = (y - ymin) / (ymax - ymin)
+        return (height - 1) - round(frac * (height - 1))
+
+    for (name, data), marker in zip(series.items(), DEFAULT_MARKERS):
+        pts = sorted(data.items())
+        # line segments between consecutive points (linear interpolation)
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            c0, c1 = col(x0), col(x1)
+            for c in range(c0, c1 + 1):
+                t = 0 if c1 == c0 else (c - c0) / (c1 - c0)
+                y = y0 + t * (y1 - y0)
+                r = row(y)
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for x, y in pts:
+            grid[row(y)][col(x)] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{ymax:,.0f}"
+    bottom_label = f"{ymin:,.0f}"
+    label_w = max(len(top_label), len(bottom_label), len(ylabel))
+    for r, grow in enumerate(grid):
+        if r == 0:
+            label = top_label
+        elif r == height - 1:
+            label = bottom_label
+        elif r == height // 2 and ylabel:
+            label = ylabel
+        else:
+            label = ""
+        lines.append(f"{label:>{label_w}} |" + "".join(grow))
+    axis = " " * label_w + " +" + "-" * width
+    lines.append(axis)
+    tick_line = [" "] * width
+    for x in (xs[0], xs[len(xs) // 2], xs[-1]):
+        c = col(x)
+        s = str(x)
+        start = min(c, width - len(s))  # right-edge ticks stay visible
+        for i, ch in enumerate(s):
+            if 0 <= start + i < width:
+                tick_line[start + i] = ch
+    lines.append(" " * label_w + "  " + "".join(tick_line) + f"  {xlabel}")
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), DEFAULT_MARKERS)
+    )
+    lines.append(" " * label_w + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,257 @@
+"""Breakdown rules: recursive factorizations of the DFT symbol.
+
+These are Spiral's *algorithm-level* rules.  The central one is the
+Cooley-Tukey FFT (paper Eq. (1))::
+
+    DFT_mn -> (DFT_m (x) I_n) D_{m,n} (I_m (x) DFT_n) L^{mn}_m
+
+together with the base cases ``DFT_2 -> F_2`` and ``DFT_1 -> I_1``, and the
+classical six-step FFT (paper Eq. (3)) used by traditional shared-memory
+libraries as a baseline::
+
+    DFT_mn -> L^{mn}_m (I_n (x) DFT_m) L^{mn}_n D_{m,n} (I_m (x) DFT_n) L^{mn}_m
+
+The Cooley-Tukey rule is nondeterministic: every factorization ``n = m * k``
+is an alternative.  Expansion drivers pick a *radix strategy*; the search
+module explores the whole space.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..spl.expr import Compose, Expr, Tensor
+from ..spl.matrices import DFT, F2, I, L, Twiddle
+from .pattern import PDFT, iv
+from .rule import Rule, RuleSet
+from .simplify import simplify
+
+
+def factor_pairs(n: int) -> list[tuple[int, int]]:
+    """All nontrivial ordered factorizations ``n = m * k`` (m ascending)."""
+    out = []
+    m = 2
+    while m * m <= n:
+        if n % m == 0:
+            out.append((m, n // m))
+            if m != n // m:
+                out.append((n // m, m))
+        m += 1
+    out.sort()
+    return out
+
+
+def cooley_tukey_step(m: int, k: int) -> Expr:
+    """The right-hand side of Eq. (1) for ``DFT_{m*k}``."""
+    return Compose(
+        Tensor(DFT(m), I(k)),
+        Twiddle(m, k),
+        Tensor(I(m), DFT(k)),
+        L(m * k, m),
+    )
+
+
+def cooley_tukey_dif_step(m: int, k: int) -> Expr:
+    """Decimation-in-frequency Cooley-Tukey: the transpose of Eq. (1).
+
+    ``DFT_mk = L^{mk}_k (I_m (x) DFT_k) D_{m,k} (DFT_m (x) I_k)`` — exact
+    because ``DFT`` is symmetric; a distinct program with the permutation on
+    the *output* side (scatter-merged instead of gather-merged).
+    """
+    from ..spl.algebra import transpose
+
+    return transpose(cooley_tukey_step(m, k))
+
+
+def six_step(m: int, k: int) -> Expr:
+    """The right-hand side of Eq. (3) for ``DFT_{m*k}``."""
+    return Compose(
+        L(m * k, m),
+        Tensor(I(k), DFT(m)),
+        L(m * k, k),
+        Twiddle(m, k),
+        Tensor(I(m), DFT(k)),
+        L(m * k, m),
+    )
+
+
+def _ct_build(b) -> list[Expr] | None:
+    n = b["n"]
+    pairs = factor_pairs(n)
+    if not pairs:
+        return None
+    return [cooley_tukey_step(m, k) for m, k in pairs]
+
+
+def _six_step_build(b) -> list[Expr] | None:
+    n = b["n"]
+    pairs = factor_pairs(n)
+    if not pairs:
+        return None
+    return [six_step(m, k) for m, k in pairs]
+
+
+def _base_f2(b) -> Expr | None:
+    return F2() if b["n"] == 2 else None
+
+
+def _base_one(b) -> Expr | None:
+    return I(1) if b["n"] == 1 else None
+
+
+RULE_COOLEY_TUKEY = Rule(
+    "cooley-tukey(1)",
+    PDFT(iv("n")),
+    _ct_build,
+    doc="DFT_mn -> (DFT_m (x) I_n) D (I_m (x) DFT_n) L   [paper Eq. (1)]",
+)
+
+RULE_SIX_STEP = Rule(
+    "six-step(3)",
+    PDFT(iv("n")),
+    _six_step_build,
+    doc="DFT_mn -> L (I_n (x) DFT_m) L D (I_m (x) DFT_n) L   [paper Eq. (3)]",
+)
+
+RULE_DFT_BASE = Rule(
+    "dft-base", PDFT(iv("n")), _base_f2, doc="DFT_2 -> F_2"
+)
+
+RULE_DFT_ONE = Rule(
+    "dft-one", PDFT(iv("n")), _base_one, doc="DFT_1 -> I_1"
+)
+
+
+def breakdown_rules() -> RuleSet:
+    """Base cases first so small DFTs terminate before expansion fires."""
+    return RuleSet(
+        "breakdown", [RULE_DFT_ONE, RULE_DFT_BASE, RULE_COOLEY_TUKEY]
+    )
+
+
+# --------------------------------------------------------------------------
+# Expansion drivers
+
+
+RadixStrategy = Callable[[int], tuple[int, int]]
+
+
+def radix_2(n: int) -> tuple[int, int]:
+    """Decimation-in-time radix-2: split as ``2 * (n/2)``."""
+    if n % 2:
+        raise ValueError(f"radix-2 expansion needs even size, got {n}")
+    return 2, n // 2
+
+
+def radix_right(n: int) -> tuple[int, int]:
+    """Split as ``(n/2) * 2`` (decimation in frequency flavor)."""
+    if n % 2:
+        raise ValueError(f"radix-right expansion needs even size, got {n}")
+    return n // 2, 2
+
+
+def balanced(n: int) -> tuple[int, int]:
+    """Split as close to ``sqrt(n) * sqrt(n)`` as possible."""
+    best = None
+    for m, k in factor_pairs(n):
+        score = abs(m - k)
+        if best is None or score < best[0]:
+            best = (score, m, k)
+    if best is None:
+        raise ValueError(f"{n} has no nontrivial factorization")
+    return best[1], best[2]
+
+
+RADIX_STRATEGIES: dict[str, RadixStrategy] = {
+    "radix2": radix_2,
+    "radix-right": radix_right,
+    "balanced": balanced,
+}
+
+
+def expand_dft(
+    expr: Expr,
+    strategy: RadixStrategy | str = "radix2",
+    min_leaf: int = 2,
+) -> Expr:
+    """Recursively expand every ``DFT`` symbol in ``expr`` with Eq. (1).
+
+    ``min_leaf`` controls when expansion stops: symbols of size <= min_leaf
+    become base cases (``F_2``) or stay as unexpanded leaf DFT kernels, the
+    codelet analogue.
+    """
+    if isinstance(strategy, str):
+        strategy = RADIX_STRATEGIES[strategy]
+
+    def expand(e: Expr) -> Expr:
+        if isinstance(e, DFT):
+            if e.n == 1:
+                return I(1)
+            if e.n == 2:
+                return F2()
+            if e.n <= min_leaf or not factor_pairs(e.n):
+                return e  # leaf kernel (prime size or small codelet)
+            m, k = strategy(e.n)
+            step = cooley_tukey_step(m, k)
+            return expand_children(step)
+        return expand_children(e)
+
+    def expand_children(e: Expr) -> Expr:
+        children = e.children
+        if not children:
+            return e
+        return e.rebuild(*(expand(c) for c in children))
+
+    return simplify(expand(expr))
+
+
+def expand_from_tree(n: int, tree) -> Expr:
+    """Expand ``DFT_n`` following an explicit factorization tree.
+
+    ``tree`` is either an int (leaf of that size) or a pair
+    ``(left_tree, right_tree)`` whose sizes multiply to the node size.
+    Example: ``expand_from_tree(8, ((2, 2), 2))`` performs
+    ``8 -> (2*2) * 2`` with the left factor further split.
+    """
+
+    def size_of(t) -> int:
+        if isinstance(t, int):
+            return t
+        l, r = t
+        return size_of(l) * size_of(r)
+
+    if size_of(tree) != n:
+        raise ValueError(f"tree sizes multiply to {size_of(tree)}, expected {n}")
+
+    def build(t) -> Expr:
+        if isinstance(t, int):
+            if t == 1:
+                return I(1)
+            if t == 2:
+                return F2()
+            return DFT(t)
+        lt, rt = t
+        m, k = size_of(lt), size_of(rt)
+        return Compose(
+            Tensor(build(lt), I(k)),
+            Twiddle(m, k),
+            Tensor(I(m), build(rt)),
+            L(m * k, m),
+        )
+
+    return simplify(build(tree))
+
+
+def all_factor_trees(n: int, leaf_limit: int = 2) -> Iterable:
+    """Enumerate all binary factorization trees of ``n`` (search space).
+
+    Sizes <= ``leaf_limit`` or prime sizes are leaves.
+    """
+    if n <= leaf_limit or not factor_pairs(n):
+        yield n
+        return
+    yield n  # n itself as an unexpanded leaf kernel
+    for m, k in factor_pairs(n):
+        for lt in all_factor_trees(m, leaf_limit):
+            for rt in all_factor_trees(k, leaf_limit):
+                yield (lt, rt)

@@ -1,0 +1,179 @@
+"""Derivation drivers: from transform specification to optimized formula.
+
+``parallelize`` is the paper's Section 3.1 pipeline: tag a formula with
+``smp(p, mu)`` and exhaustively apply Table 1 until the tags are discharged
+into parallel constructs, verifying Definition 1 at the end.
+
+``derive_multicore_ct`` applies it to the Cooley-Tukey FFT and — as the
+paper proves — yields the *multicore Cooley-Tukey FFT* of Eq. (14)/Figure 2,
+which ``build_eq14`` also constructs literally so tests can confirm the
+automatic derivation reproduces the paper's formula verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..spl.expr import Compose, Expr, SPLError, Tensor
+from ..spl.matrices import DFT, Diag, I, L, Twiddle
+from ..spl.parallel import LinePerm, ParDirectSum, ParTensor, SMP
+from ..spl.pprint import format_expr
+from ..spl.properties import check_fully_optimized, has_smp_tags
+from .breakdown import cooley_tukey_step, factor_pairs
+from .engine import RewriteTrace, rewrite_exhaustive
+from .rule import RuleSet
+from .simplify import simplify, simplify_rules
+from .smp_rules import smp_rules
+
+
+class ParallelizationError(SPLError):
+    """The rewriting system could not discharge every smp() tag."""
+
+
+def parallelization_rules(rule8_variant: str = "a") -> RuleSet:
+    """Simplifications + Table 1, the working set of ``parallelize``."""
+    return simplify_rules() + smp_rules(rule8_variant)
+
+
+def parallelize(
+    expr: Expr,
+    p: int,
+    mu: int,
+    trace: Optional[RewriteTrace] = None,
+    rules: Optional[RuleSet] = None,
+    check: bool = True,
+) -> Expr:
+    """Rewrite ``expr`` into a fully optimized formula for ``smp(p, mu)``.
+
+    Raises :class:`ParallelizationError` when tags remain (the formula does
+    not satisfy the divisibility preconditions of Table 1) or — with
+    ``check=True`` — when the result fails the Definition 1 checker.
+    """
+    tagged = SMP(p, mu, expr)
+    out = rewrite_exhaustive(tagged, rules or parallelization_rules(), trace=trace)
+    out = simplify(out)
+    if has_smp_tags(out):
+        stuck = [
+            format_expr(e) for e in out.preorder() if isinstance(e, SMP)
+        ]
+        raise ParallelizationError(
+            f"undischarged smp({p},{mu}) tags remain at: " + "; ".join(stuck[:5])
+        )
+    if check and p > 1:
+        result = check_fully_optimized(out, p, mu)
+        if not result:
+            raise ParallelizationError(
+                f"rewriting produced a non-optimized formula: {result.reason}"
+            )
+    return out
+
+
+def choose_ct_split(n: int, p: int, mu: int) -> tuple[int, int]:
+    """Pick a Cooley-Tukey split ``n = m * k`` with ``p*mu | m``, ``p*mu | k``.
+
+    Prefers the most balanced admissible split (working sets of the two
+    stages as equal as possible), matching how Spiral's search behaves for
+    the top level.  Requires ``(p*mu)^2 | n`` (the paper's existence
+    condition for Eq. (14)).
+    """
+    pmu = p * mu
+    if n % (pmu * pmu):
+        raise SPLError(
+            f"multicore CT FFT needs (p*mu)^2 = {pmu * pmu} to divide n = {n}"
+        )
+    candidates = [
+        (abs(m - k), m, k)
+        for m, k in factor_pairs(n)
+        if m % pmu == 0 and k % pmu == 0
+    ]
+    if not candidates:
+        raise SPLError(f"no admissible split of {n} for p={p}, mu={mu}")
+    _, m, k = min(candidates)
+    return m, k
+
+
+def derive_multicore_ct(
+    n: int,
+    p: int,
+    mu: int,
+    split: Optional[tuple[int, int]] = None,
+    trace: Optional[RewriteTrace] = None,
+    rule8_variant: str = "a",
+) -> Expr:
+    """Automatically derive the multicore Cooley-Tukey FFT for ``DFT_n``.
+
+    Returns Eq. (14): the fully optimized shared-memory factorization for a
+    ``p``-processor machine with cache lines of ``mu`` complex elements.
+    """
+    if p == 1:
+        m, k = split or max(factor_pairs(n), key=lambda mk: -abs(mk[0] - mk[1]))
+        return cooley_tukey_step(m, k)
+    m, k = split or choose_ct_split(n, p, mu)
+    if (m * k) != n:
+        raise SPLError(f"split {m}x{k} does not multiply to {n}")
+    return parallelize(
+        cooley_tukey_step(m, k),
+        p,
+        mu,
+        trace=trace,
+        rules=parallelization_rules(rule8_variant),
+    )
+
+
+def _line_perm(size: int, stride: int, rep: int, mu: int) -> Expr:
+    """Helper building ``(L^{size}_{stride} (x) I_rep) (x)~ I_mu``."""
+    inner: Expr = L(size, stride) if rep == 1 else Tensor(L(size, stride), I(rep))
+    return LinePerm(inner, mu)
+
+
+def build_eq14(m: int, n: int, p: int, mu: int) -> Expr:
+    """Construct Figure 2 / Eq. (14) literally, as printed in the paper::
+
+        DFT_mn -> ((L^{mp}_m (x) I_{n/p mu}) (x)~ I_mu)
+                  (I_p (x)|| (DFT_m (x) I_{n/p}))
+                  ((L^{mp}_p (x) I_{n/p mu}) (x)~ I_mu)
+                  ((+)||_{i<p} D^i_{m,n})
+                  (I_p (x)|| (I_{m/p} (x) DFT_n))
+                  (I_p (x)|| L^{mn/p}_{m/p})
+                  ((L^{pn}_p (x) I_{m/p mu}) (x)~ I_mu)
+
+    Preconditions (paper): ``p*mu | m`` and ``p*mu | n``.
+    """
+    if m % (p * mu) or n % (p * mu):
+        raise SPLError(
+            f"Eq. (14) requires p*mu | m and p*mu | n; got m={m}, n={n}, "
+            f"p={p}, mu={mu}"
+        )
+    twiddle = Twiddle(m, n).values
+    chunk = (m * n) // p
+    d_blocks = [
+        Diag(np.asarray(twiddle[i * chunk : (i + 1) * chunk])) for i in range(p)
+    ]
+    stage_compute_m = ParTensor(
+        p,
+        Tensor(DFT(m), I(n // p)) if n // p > 1 else DFT(m),
+    )
+    stage_compute_n = ParTensor(
+        p,
+        Tensor(I(m // p), DFT(n)) if m // p > 1 else DFT(n),
+    )
+    return Compose(
+        _line_perm(m * p, m, n // (p * mu), mu),
+        stage_compute_m,
+        _line_perm(m * p, p, n // (p * mu), mu),
+        ParDirectSum(d_blocks),
+        stage_compute_n,
+        ParTensor(p, L(m * n // p, m // p)),
+        _line_perm(p * n, p, m // (p * mu), mu),
+    )
+
+
+def derive_sequential_ct(n: int) -> Expr:
+    """Balanced one-level Cooley-Tukey split (the sequential reference)."""
+    pairs = factor_pairs(n)
+    if not pairs:
+        return DFT(n)
+    _, m, k = min((abs(m - k), m, k) for m, k in pairs)
+    return cooley_tukey_step(m, k)

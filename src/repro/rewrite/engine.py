@@ -1,0 +1,179 @@
+"""Rewriting strategies: apply rule sets over whole formula trees.
+
+The default strategy is leftmost-outermost (top-down) exhaustive rewriting,
+which is what Spiral's formula-level rewriting uses: tags are introduced at
+the root and pushed towards the leaves, so outermost-first terminates and
+discharges tags in one pass.  Every step is recorded in a
+:class:`RewriteTrace` so derivations (like the paper's Eq. (1) -> Eq. (14))
+can be displayed and audited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..spl.expr import Expr
+from ..spl.pprint import format_expr
+from .rule import Rule, RuleSet
+
+
+@dataclass(frozen=True)
+class RewriteStep:
+    """One applied rewrite: rule ``rule_name`` fired at tree path ``path``."""
+
+    rule_name: str
+    path: tuple[int, ...]
+    before: Expr
+    after: Expr
+
+    def __str__(self) -> str:
+        loc = "/".join(map(str, self.path)) or "root"
+        return (
+            f"[{self.rule_name} @ {loc}] "
+            f"{format_expr(self.before)}  ->  {format_expr(self.after)}"
+        )
+
+
+@dataclass
+class RewriteTrace:
+    """Ordered record of all steps of a derivation."""
+
+    steps: list[RewriteStep] = field(default_factory=list)
+
+    def append(self, step: RewriteStep) -> None:
+        self.steps.append(step)
+
+    def rule_names(self) -> list[str]:
+        return [s.rule_name for s in self.steps]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def render(self) -> str:
+        return "\n".join(str(s) for s in self.steps)
+
+
+class RewriteLimitExceeded(Exception):
+    """The exhaustive strategy did not reach a normal form in time."""
+
+
+def _try_rules(expr: Expr, rules: RuleSet) -> Optional[tuple[Expr, Rule]]:
+    for rule in rules:
+        out = rule.first_rewrite(expr)
+        if out is not None and out != expr:
+            return out, rule
+    return None
+
+
+def rewrite_step(
+    expr: Expr, rules: RuleSet, path: tuple[int, ...] = ()
+) -> Optional[tuple[Expr, RewriteStep]]:
+    """Apply the first applicable rule at the outermost-leftmost position.
+
+    Returns the rewritten whole tree and the step record, or ``None`` when
+    the tree is in normal form with respect to ``rules``.
+    """
+    hit = _try_rules(expr, rules)
+    if hit is not None:
+        out, rule = hit
+        return out, RewriteStep(rule.name, path, expr, out)
+    children = expr.children
+    for i, child in enumerate(children):
+        sub = rewrite_step(child, rules, path + (i,))
+        if sub is not None:
+            new_child, step = sub
+            new_children = list(children)
+            new_children[i] = new_child
+            return expr.rebuild(*new_children), step
+    return None
+
+
+def rewrite_exhaustive(
+    expr: Expr,
+    rules: RuleSet,
+    max_steps: int = 100_000,
+    trace: Optional[RewriteTrace] = None,
+) -> Expr:
+    """Rewrite to a normal form (no rule applies anywhere)."""
+    for _ in range(max_steps):
+        nxt = rewrite_step(expr, rules)
+        if nxt is None:
+            return expr
+        expr, step = nxt
+        if trace is not None:
+            trace.append(step)
+    raise RewriteLimitExceeded(
+        f"no normal form after {max_steps} steps with rule set {rules.name!r}"
+    )
+
+
+def rewrite_bottom_up_once(expr: Expr, rules: RuleSet) -> Expr:
+    """One innermost-first pass: children first, then the node itself.
+
+    Useful for simplification rule sets where a single structural pass
+    suffices and outermost order would loop over freshly created children.
+    """
+    children = [rewrite_bottom_up_once(c, rules) for c in expr.children]
+    if children:
+        expr = expr.rebuild(*children)
+    hit = _try_rules(expr, rules)
+    while hit is not None:
+        expr, _ = hit
+        hit = _try_rules(expr, rules)
+    return expr
+
+
+def rewrite_alternatives(
+    expr: Expr, rules: RuleSet, path: tuple[int, ...] = ()
+) -> Iterator[tuple[Expr, RewriteStep]]:
+    """Enumerate *every* one-step rewrite of the tree (all rules, all
+    positions, all nondeterministic alternatives).
+
+    This is the enumeration primitive the search/autotuning layer explores.
+    """
+    for rule in rules:
+        for out in rule.rewrites(expr):
+            if out != expr:
+                yield out, RewriteStep(rule.name, path, expr, out)
+    children = expr.children
+    for i, child in enumerate(children):
+        for new_child, step in rewrite_alternatives(child, rules, path + (i,)):
+            new_children = list(children)
+            new_children[i] = new_child
+            yield expr.rebuild(*new_children), step
+
+
+def normal_forms(
+    expr: Expr, rules: RuleSet, limit: int = 10_000
+) -> Iterator[Expr]:
+    """Enumerate distinct normal forms reachable from ``expr`` (DFS).
+
+    ``limit`` bounds the number of *visited* trees; the formula space grows
+    exponentially, so callers should bound it or use the search module's
+    dynamic programming instead.
+    """
+    seen: set = set()
+    emitted: set = set()
+    stack = [expr]
+    visited = 0
+    while stack:
+        cur = stack.pop()
+        key = cur._key()
+        if key in seen:
+            continue
+        seen.add(key)
+        visited += 1
+        if visited > limit:
+            raise RewriteLimitExceeded(f"normal_forms visited > {limit} trees")
+        alternatives = list(rewrite_alternatives(cur, rules))
+        if not alternatives:
+            if key not in emitted:
+                emitted.add(key)
+                yield cur
+        else:
+            for alt, _ in alternatives:
+                stack.append(alt)

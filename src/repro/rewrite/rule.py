@@ -1,0 +1,108 @@
+"""Rule and rule-set abstractions of the rewriting system.
+
+A :class:`Rule` pairs a pattern with one or more builders.  Builders may
+return ``None`` (not applicable for these bindings — e.g. a divisibility
+precondition fails), a single expression, or a list of alternative
+expressions.  Nondeterministic rules — like the paper's rule (8) with its two
+decompositions of the stride permutation — simply return several
+alternatives; the default engine picks the first, the search layer explores
+all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
+
+from ..spl.expr import Expr
+from .pattern import Bindings, Pattern
+
+BuildResult = Union[None, Expr, Sequence[Expr]]
+
+
+class Inapplicable(Exception):
+    """A builder may raise this instead of returning ``None``."""
+
+
+@dataclass
+class Rule:
+    """A named rewrite rule ``pattern -> build(bindings)``."""
+
+    name: str
+    pattern: Pattern
+    build: Callable[[Bindings], BuildResult]
+    doc: str = ""
+
+    def rewrites(self, expr: Expr) -> Iterator[Expr]:
+        """Yield every right-hand side this rule can produce at ``expr``."""
+        seen: set = set()
+        for b in self.pattern.match_all(expr, {}):
+            try:
+                result = self.build(b)
+            except Inapplicable:
+                continue
+            if result is None:
+                continue
+            outs = [result] if isinstance(result, Expr) else list(result)
+            for out in outs:
+                if out is None:
+                    continue
+                key = out._key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                if out.rows != expr.rows or out.cols != expr.cols:
+                    raise AssertionError(
+                        f"rule {self.name} changed dimensions: "
+                        f"{expr.rows}x{expr.cols} -> {out.rows}x{out.cols}"
+                    )
+                yield out
+
+    def first_rewrite(self, expr: Expr) -> Optional[Expr]:
+        for out in self.rewrites(expr):
+            return out
+        return None
+
+    def applies(self, expr: Expr) -> bool:
+        return self.first_rewrite(expr) is not None
+
+
+@dataclass
+class RuleSet:
+    """An ordered collection of rules (earlier rules take priority)."""
+
+    name: str
+    rules: list[Rule] = field(default_factory=list)
+
+    def add(self, rule: Rule) -> "RuleSet":
+        self.rules.append(rule)
+        return self
+
+    def extend(self, rules: Iterable[Rule]) -> "RuleSet":
+        self.rules.extend(rules)
+        return self
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __add__(self, other: "RuleSet") -> "RuleSet":
+        return RuleSet(
+            f"{self.name}+{other.name}", list(self.rules) + list(other.rules)
+        )
+
+    def by_name(self, name: str) -> Rule:
+        for r in self.rules:
+            if r.name == name:
+                return r
+        raise KeyError(f"no rule named {name!r} in rule set {self.name!r}")
+
+    def without(self, *names: str) -> "RuleSet":
+        """A copy of this rule set with the named rules removed (ablations)."""
+        drop = set(names)
+        return RuleSet(
+            f"{self.name}-{'-'.join(sorted(drop))}",
+            [r for r in self.rules if r.name not in drop],
+        )

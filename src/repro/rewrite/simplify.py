@@ -1,0 +1,139 @@
+"""Structural simplification rules for SPL formulas.
+
+These are the size-preserving cleanups Spiral applies between rewriting
+stages: dropping trivial identities, merging adjacent identity factors in
+tensor products, and eliminating degenerate permutations/diagonals.  They
+never change the matrix an expression denotes.
+"""
+
+from __future__ import annotations
+
+from ..spl.expr import Compose, Expr, Tensor
+from ..spl.matrices import I, L, Twiddle
+from ..spl.parallel import LinePerm, ParTensor
+from .pattern import W
+from .rule import Rule, RuleSet
+
+
+def _is(cls):
+    return lambda e: isinstance(e, cls)
+
+
+def _merge_identity_tensor(b) -> Expr | None:
+    """``... (x) I_a (x) I_b (x) ...`` -> merge; drop ``I_1`` factors."""
+    e: Tensor = b["x"]
+    out: list[Expr] = []
+    changed = False
+    for f in e.factors:
+        if isinstance(f, I) and f.n == 1:
+            changed = True
+            continue
+        if isinstance(f, I) and out and isinstance(out[-1], I):
+            out[-1] = I(out[-1].n * f.n)
+            changed = True
+            continue
+        out.append(f)
+    if not changed:
+        return None
+    if not out:
+        return I(e.rows)
+    if len(out) == 1:
+        return out[0]
+    return Tensor(*out)
+
+
+def _drop_identity_compose(b) -> Expr | None:
+    e: Compose = b["x"]
+    out = [f for f in e.factors if not isinstance(f, I)]
+    if len(out) == len(e.factors):
+        return None
+    if not out:
+        return I(e.rows)
+    if len(out) == 1:
+        return out[0]
+    return Compose(*out)
+
+
+def _trivial_L(b) -> Expr | None:
+    e: L = b["x"]
+    if e.m == 1 or e.m == e.mn:
+        return I(e.mn)
+    return None
+
+
+def _trivial_twiddle(b) -> Expr | None:
+    e: Twiddle = b["x"]
+    if e.m == 1 or e.n == 1:
+        return I(e.m * e.n)
+    return None
+
+
+def _trivial_par_tensor(b) -> Expr | None:
+    e: ParTensor = b["x"]
+    if e.p == 1:
+        return e.child
+    return None
+
+
+def _trivial_line_perm(b) -> Expr | None:
+    e: LinePerm = b["x"]
+    if isinstance(e.perm_expr, I):
+        return I(e.rows)
+    return None
+
+
+def simplify_rules() -> RuleSet:
+    """The standard simplification rule set."""
+    return RuleSet(
+        "simplify",
+        [
+            Rule(
+                "tensor-merge-identities",
+                W("x", guard=_is(Tensor)),
+                _merge_identity_tensor,
+                doc="merge adjacent identity factors; drop I_1 factors",
+            ),
+            Rule(
+                "compose-drop-identity",
+                W("x", guard=_is(Compose)),
+                _drop_identity_compose,
+                doc="drop identity factors from products",
+            ),
+            Rule(
+                "L-trivial",
+                W("x", guard=_is(L)),
+                _trivial_L,
+                doc="L^n_1 = L^n_n = I_n",
+            ),
+            Rule(
+                "twiddle-trivial",
+                W("x", guard=_is(Twiddle)),
+                _trivial_twiddle,
+                doc="D_{1,n} = D_{m,1} = I",
+            ),
+            Rule(
+                "par-tensor-trivial",
+                W("x", guard=_is(ParTensor)),
+                _trivial_par_tensor,
+                doc="I_1 (x)|| A = A",
+            ),
+            Rule(
+                "line-perm-trivial",
+                W("x", guard=_is(LinePerm)),
+                _trivial_line_perm,
+                doc="I_k (x)~ I_mu = I",
+            ),
+        ],
+    )
+
+
+def simplify(expr: Expr) -> Expr:
+    """Bottom-up simplification to a (local) normal form."""
+    from .engine import rewrite_bottom_up_once
+
+    rules = simplify_rules()
+    prev = None
+    while prev is None or expr != prev:
+        prev = expr
+        expr = rewrite_bottom_up_once(expr, rules)
+    return expr

@@ -1,0 +1,321 @@
+"""Table 1 of the paper: the shared-memory parallelization rules.
+
+Each rule transforms a tagged formula ``A |_{smp(p, mu)}`` either by pushing
+the tag towards the leaves or by replacing the subtree with the tagged
+parallel constructs ``I_p (x)|| A``, ``(+)||_i A_i`` and ``P (x)~ I_mu``.
+Rule numbering follows the paper:
+
+  (6)  AB        -> A|smp B|smp
+  (7)  A_m (x) I_n -> (L^{mp}_m (x) I_{n/p})|smp (I_p (x) (A_m (x) I_{n/p}))|smp
+                      (L^{mp}_p (x) I_{n/p})|smp                     [p | n]
+  (8a) L^{mn}_m  -> (I_p (x) L^{mn/p}_{m/p})|smp (L^{pn}_p (x) I_{m/p})|smp [p | m]
+  (8b) L^{mn}_m  -> (L^{pm}_m (x) I_{n/p})|smp (I_p (x) L^{mn/p}_m)|smp     [p | n]
+  (9)  I_m (x) A_n -> I_p (x)|| (I_{m/p} (x) A_n)                     [p | m]
+  (10) P (x) I_n -> (P (x) I_{n/mu}) (x)~ I_mu                        [mu | n]
+  (11) D         -> (+)||_{i<p} D_i                                   [p | size]
+
+All seven rules were verified to be exact matrix identities (see
+``tests/rewrite/test_smp_rules.py``); divisibility preconditions make a
+builder return ``None`` so the engine treats the rule as not applicable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spl.expr import Compose, Expr, Tensor
+from ..spl.matrices import Diag, I, L, Perm
+from ..spl.parallel import LinePerm, ParDirectSum, ParTensor, SMP
+from .pattern import (
+    PDiag,
+    PI,
+    PL,
+    PPerm,
+    PSMP,
+    PTensor,
+    W,
+    is_permutation_expr,
+    iv,
+)
+from .rule import Rule, RuleSet
+
+
+def _tag(p: int, mu: int, e: Expr) -> SMP:
+    return SMP(p, mu, e)
+
+
+# -- rule (6): products ------------------------------------------------------
+
+
+def _rule6_build(b) -> Expr | None:
+    e: Compose = b["AB"]
+    p, mu = b["p"], b["mu"]
+    return Compose(*(_tag(p, mu, f) for f in e.factors))
+
+
+RULE_6_PRODUCT = Rule(
+    "smp-product(6)",
+    PSMP(iv("p"), iv("mu"), W("AB", guard=lambda e: isinstance(e, Compose))),
+    _rule6_build,
+    doc="(AB)|smp -> A|smp B|smp",
+)
+
+
+# -- rule (7): A_m (x) I_n ----------------------------------------------------
+
+
+def _not_identity_or_perm(e: Expr) -> bool:
+    return not is_permutation_expr(e)
+
+
+def _rule7_build(b) -> Expr | None:
+    A: Expr = b["A"]
+    n, p, mu = b["n"], b["p"], b["mu"]
+    if n % p:
+        return None
+    m = A.rows
+    if A.rows != A.cols:
+        return None
+    npp = n // p
+    mid = Tensor(I(p), A) if npp == 1 else Tensor(I(p), A, I(npp))
+    left = L(m * p, m) if npp == 1 else Tensor(L(m * p, m), I(npp))
+    right = L(m * p, p) if npp == 1 else Tensor(L(m * p, p), I(npp))
+    return Compose(_tag(p, mu, left), _tag(p, mu, mid), _tag(p, mu, right))
+
+
+RULE_7_TENSOR_AI = Rule(
+    "smp-tensor-AI(7)",
+    PSMP(
+        iv("p"),
+        iv("mu"),
+        PTensor(W("A", guard=_not_identity_or_perm), PI(iv("n"))),
+    ),
+    _rule7_build,
+    doc="(A_m (x) I_n)|smp -> tiled/scheduled triple product  [p | n]",
+)
+
+
+# -- rule (8): stride permutations -------------------------------------------
+
+
+def _rule8_build(b, prefer: str = "a") -> list[Expr] | None:
+    mn, m = b["mn"], b["m"]
+    p, mu = b["p"], b["mu"]
+    n = mn // m
+    alts: list[Expr] = []
+    if m % p == 0 and m > p:
+        # (8a): needs p | m; m == p would reproduce the input verbatim
+        alts.append(
+            Compose(
+                _tag(p, mu, Tensor(I(p), L(mn // p, m // p))),
+                _tag(
+                    p,
+                    mu,
+                    Tensor(L(p * n, p), I(m // p))
+                    if m // p > 1
+                    else L(p * n, p),
+                ),
+            )
+        )
+    if n % p == 0 and n > p:
+        # (8b): needs p | n; n == p would reproduce the input verbatim
+        alts.append(
+            Compose(
+                _tag(
+                    p,
+                    mu,
+                    Tensor(L(p * m, m), I(n // p)) if n // p > 1 else L(p * m, m),
+                ),
+                _tag(p, mu, Tensor(I(p), L(mn // p, m))),
+            )
+        )
+    if prefer == "b":
+        alts.reverse()
+    return alts or None
+
+
+RULE_8_STRIDE_PERM = Rule(
+    "smp-L(8)",
+    PSMP(iv("p"), iv("mu"), PL(iv("mn"), iv("m"))),
+    _rule8_build,
+    doc="L^{mn}_m|smp -> two-stage local/global permutation (two variants)",
+)
+
+#: variant of rule (8) that prefers decomposition (8b) when both apply
+RULE_8_STRIDE_PERM_B = Rule(
+    "smp-L(8b-first)",
+    PSMP(iv("p"), iv("mu"), PL(iv("mn"), iv("m"))),
+    lambda b: _rule8_build(b, prefer="b"),
+    doc="rule (8) with the (8b) decomposition preferred (ablation A3)",
+)
+
+
+# -- rule (9): I_m (x) A -------------------------------------------------------
+
+
+def _rule9_build(b) -> Expr | None:
+    A: Expr = b["A"]
+    m, p = b["m"], b["p"]
+    if m % p:
+        return None
+    inner = A if m == p else Tensor(I(m // p), A)
+    return ParTensor(p, inner)
+
+
+RULE_9_TENSOR_IA = Rule(
+    "smp-tensor-IA(9)",
+    PSMP(iv("p"), iv("mu"), PTensor(PI(iv("m")), W("A"))),
+    _rule9_build,
+    doc="(I_m (x) A)|smp -> I_p (x)|| (I_{m/p} (x) A)  [p | m]",
+)
+
+
+# -- rule (10): P (x) I_n ------------------------------------------------------
+
+
+def _perm_not_identity(e: Expr) -> bool:
+    return is_permutation_expr(e) and not isinstance(e, I)
+
+
+def _rule10_build(b) -> Expr | None:
+    P: Expr = b["P"]
+    n, mu = b["n"], b["mu"]
+    if n % mu:
+        return None
+    inner = P if n == mu else Tensor(P, I(n // mu))
+    return LinePerm(inner, mu)
+
+
+RULE_10_PERM_LINE = Rule(
+    "smp-perm-line(10)",
+    PSMP(
+        iv("p"),
+        iv("mu"),
+        PTensor(W("P", guard=_perm_not_identity), PI(iv("n"))),
+    ),
+    _rule10_build,
+    doc="(P (x) I_n)|smp -> (P (x) I_{n/mu}) (x)~ I_mu  [mu | n]",
+)
+
+
+def _rule10_bare_build(b) -> Expr | None:
+    """Degenerate instance of (10) with ``n = mu = 1``: a bare permutation
+    is a line permutation at granularity 1 (only legal when mu == 1)."""
+    if b["mu"] != 1:
+        return None
+    return LinePerm(b["P"], 1)
+
+
+RULE_10_BARE_PERM = Rule(
+    "smp-perm-bare(10')",
+    PSMP(
+        iv("p"),
+        iv("mu"),
+        W("P", guard=lambda e: isinstance(e, (L, Perm))),
+    ),
+    _rule10_bare_build,
+    doc="P|smp -> P (x)~ I_1 when mu == 1",
+)
+
+
+# -- rule (11): diagonals ------------------------------------------------------
+
+
+def _rule11_build(b) -> Expr | None:
+    D: Expr = b["D"]
+    p = b["p"]
+    size = D.rows
+    if size % p:
+        return None
+    values = D.values  # Diag / DiagFunc / Twiddle all expose .values
+    chunk = size // p
+    blocks = [
+        Diag(np.asarray(values[i * chunk : (i + 1) * chunk]))
+        for i in range(p)
+    ]
+    return ParDirectSum(blocks)
+
+
+RULE_11_DIAG_SPLIT = Rule(
+    "smp-diag-split(11)",
+    PSMP(iv("p"), iv("mu"), PDiag("D")),
+    _rule11_build,
+    doc="D|smp -> (+)||_{i<p} D_i  [p | size]",
+)
+
+
+# -- cleanup rules -------------------------------------------------------------
+
+
+def _untag_identity(b) -> Expr | None:
+    e: SMP = b["x"]
+    if isinstance(e.child, I):
+        return e.child
+    return None
+
+
+def _untag_parallel(b) -> Expr | None:
+    e: SMP = b["x"]
+    if isinstance(e.child, (ParTensor, ParDirectSum, LinePerm)):
+        return e.child
+    return None
+
+
+def _untag_nested(b) -> Expr | None:
+    e: SMP = b["x"]
+    if isinstance(e.child, SMP):
+        if (e.child.p, e.child.mu) == (e.p, e.mu):
+            return e.child
+    return None
+
+
+RULE_UNTAG_IDENTITY = Rule(
+    "smp-untag-identity",
+    W("x", guard=lambda e: isinstance(e, SMP)),
+    _untag_identity,
+    doc="I_n|smp -> I_n (no work to distribute)",
+)
+
+RULE_UNTAG_PARALLEL = Rule(
+    "smp-untag-parallel",
+    W("x", guard=lambda e: isinstance(e, SMP)),
+    _untag_parallel,
+    doc="already-parallel constructs need no further rewriting",
+)
+
+RULE_UNTAG_NESTED = Rule(
+    "smp-untag-nested",
+    W("x", guard=lambda e: isinstance(e, SMP)),
+    _untag_nested,
+    doc="collapse duplicated smp tags",
+)
+
+
+def smp_rules(rule8_variant: str = "a") -> RuleSet:
+    """Table 1 rule set, ordered so tags discharge deterministically.
+
+    Order matters in three places: cleanup rules come first (cheapest),
+    rule (9) must see ``I_m (x) A`` before rule (10) could misread the
+    identity head as a permutation, and rule (10) must claim ``P (x) I_n``
+    before rule (7) would re-tile a permutation.
+
+    ``rule8_variant`` selects which decomposition of the stride permutation
+    the deterministic strategy prefers when both apply ("a" reproduces
+    Eq. (14); "b" is the alternative, used by ablation A3).
+    """
+    rule8 = RULE_8_STRIDE_PERM if rule8_variant == "a" else RULE_8_STRIDE_PERM_B
+    return RuleSet(
+        "smp(Table 1)",
+        [
+            RULE_UNTAG_IDENTITY,
+            RULE_UNTAG_PARALLEL,
+            RULE_UNTAG_NESTED,
+            RULE_6_PRODUCT,
+            RULE_9_TENSOR_IA,
+            RULE_10_PERM_LINE,
+            RULE_7_TENSOR_AI,
+            rule8,
+            RULE_11_DIAG_SPLIT,
+            RULE_10_BARE_PERM,
+        ],
+    )

@@ -1,0 +1,28 @@
+"""Search/autotuning over the factorization space (Spiral's feedback loop)."""
+
+from .dp import (
+    SearchResult,
+    dp_search,
+    exhaustive_search,
+    flop_objective,
+    measured_objective,
+    model_objective,
+    random_search,
+)
+from .stochastic import StochasticConfig, mutate, stochastic_search
+from .timer import pseudo_mflops_from_seconds, time_callable
+
+__all__ = [
+    "SearchResult",
+    "StochasticConfig",
+    "dp_search",
+    "exhaustive_search",
+    "flop_objective",
+    "measured_objective",
+    "model_objective",
+    "pseudo_mflops_from_seconds",
+    "mutate",
+    "random_search",
+    "stochastic_search",
+    "time_callable",
+]

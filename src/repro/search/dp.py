@@ -1,0 +1,197 @@
+"""Search over the Cooley-Tukey factorization space (Spiral's search level).
+
+Spiral closes the feedback loop of Figure 1 by searching the space of
+formula derivations.  For the DFT the space is the set of binary
+factorization trees; this module provides the three strategies the Spiral
+literature describes:
+
+* :func:`dp_search` — dynamic programming with the standard locality
+  assumption: the best tree for ``DFT_n`` combines the best trees of its
+  factors.  Cost of evaluating: O(divisor pairs) objective calls.
+* :func:`exhaustive_search` — the ground truth on small sizes.
+* :func:`random_search` — baseline for the search-quality comparison.
+
+Objectives map a fully expanded formula to a number (lower is better):
+modeled cycles on a simulated machine (:func:`model_objective`) or measured
+runtime of the generated NumPy program (:func:`measured_objective`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..codegen.python_backend import generate
+from ..machine.cost_model import SyncProfile, estimate_cost
+from ..machine.topology import MachineSpec
+from ..rewrite.breakdown import all_factor_trees, expand_from_tree, factor_pairs
+from ..sigma.lower import lower
+from ..spl.expr import Expr
+from .timer import time_callable
+
+Objective = Callable[[Expr], float]
+
+
+def flop_objective(expr: Expr) -> float:
+    """Arithmetic-only objective (classic operation-count minimization)."""
+    return float(expr.flops())
+
+
+def model_objective(
+    spec: MachineSpec,
+    threads: int = 1,
+    profile: SyncProfile = SyncProfile.NONE,
+) -> Objective:
+    """Objective: modeled cycles on a simulated machine."""
+
+    def objective(expr: Expr) -> float:
+        prog = lower(expr)
+        return estimate_cost(prog, spec, threads=threads, profile=profile).total_cycles
+
+    return objective
+
+
+def measured_objective(repeats: int = 3) -> Objective:
+    """Objective: measured wall-clock runtime of the generated program."""
+
+    def objective(expr: Expr) -> float:
+        gen = generate(lower(expr))
+        return time_callable(gen.run, expr.rows, repeats=repeats)
+
+    return objective
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a factorization search."""
+
+    n: int
+    tree: object
+    value: float
+    evaluations: int
+    formula: Expr
+    table: dict = field(default_factory=dict)
+
+
+def _tree_size(tree) -> int:
+    if isinstance(tree, int):
+        return tree
+    l, r = tree
+    return _tree_size(l) * _tree_size(r)
+
+
+def dp_search(
+    n: int,
+    objective: Objective,
+    leaf_max: int = 64,
+) -> SearchResult:
+    """Dynamic-programming search for the best factorization tree of ``n``.
+
+    ``leaf_max`` bounds the size a subtransform may stay unexpanded
+    (the codelet limit); prime sizes are always leaves.
+    """
+    best: dict[int, tuple[object, float]] = {}
+    evaluations = 0
+
+    def evaluate(size: int, tree) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        return objective(expand_from_tree(size, tree))
+
+    def solve(size: int) -> tuple[object, float]:
+        if size in best:
+            return best[size]
+        candidates: list[tuple[object, float]] = []
+        pairs = factor_pairs(size)
+        if size <= leaf_max or not pairs:
+            candidates.append((size, evaluate(size, size)))
+        for m, k in pairs:
+            lt, _ = solve(m)
+            rt, _ = solve(k)
+            tree = (lt, rt)
+            candidates.append((tree, evaluate(size, tree)))
+        choice = min(candidates, key=lambda c: c[1])
+        best[size] = choice
+        return choice
+
+    tree, value = solve(n)
+    return SearchResult(
+        n=n,
+        tree=tree,
+        value=value,
+        evaluations=evaluations,
+        formula=expand_from_tree(n, tree),
+        table={s: t for s, (t, _) in best.items()},
+    )
+
+
+def _max_composite_leaf(tree) -> int:
+    """Largest factorizable leaf size in a tree (1 if none)."""
+    if isinstance(tree, int):
+        return tree if factor_pairs(tree) else 1
+    l, r = tree
+    return max(_max_composite_leaf(l), _max_composite_leaf(r))
+
+
+def exhaustive_search(
+    n: int, objective: Objective, leaf_limit: int = 2, leaf_max: int = 64
+) -> SearchResult:
+    """Evaluate every factorization tree (ground truth for small ``n``).
+
+    Trees containing composite leaves larger than ``leaf_max`` are excluded
+    so the space matches :func:`dp_search`'s codelet limit.
+    """
+    best_tree = None
+    best_value = float("inf")
+    evaluations = 0
+    for tree in all_factor_trees(n, leaf_limit=leaf_limit):
+        if _max_composite_leaf(tree) > leaf_max:
+            continue
+        value = objective(expand_from_tree(n, tree))
+        evaluations += 1
+        if value < best_value:
+            best_tree, best_value = tree, value
+    assert best_tree is not None
+    return SearchResult(
+        n=n,
+        tree=best_tree,
+        value=best_value,
+        evaluations=evaluations,
+        formula=expand_from_tree(n, best_tree),
+    )
+
+
+def random_search(
+    n: int,
+    objective: Objective,
+    samples: int = 20,
+    seed: int = 0,
+    leaf_max: int = 64,
+) -> SearchResult:
+    """Uniform random sampling of factorization trees."""
+    rng = np.random.default_rng(seed)
+
+    def random_tree(size: int):
+        pairs = factor_pairs(size)
+        if not pairs or (size <= leaf_max and rng.random() < 0.34):
+            return size
+        m, k = pairs[rng.integers(len(pairs))]
+        return (random_tree(m), random_tree(k))
+
+    best_tree = None
+    best_value = float("inf")
+    for _ in range(samples):
+        tree = random_tree(n)
+        value = objective(expand_from_tree(n, tree))
+        if value < best_value:
+            best_tree, best_value = tree, value
+    assert best_tree is not None
+    return SearchResult(
+        n=n,
+        tree=best_tree,
+        value=best_value,
+        evaluations=samples,
+        formula=expand_from_tree(n, best_tree),
+    )

@@ -1,0 +1,128 @@
+"""Stochastic search over factorization trees (paper ref [24]).
+
+Spiral's search block also supports stochastic/evolutionary strategies
+(Singer & Veloso, SC'01).  This module implements hill climbing with random
+restarts over tree *mutations*:
+
+* resplit: replace a subtree by a fresh random factorization,
+* collapse: turn a subtree into a leaf (codelet),
+* expand: split a leaf.
+
+Useful where DP's locality assumption fails (cost not compositional — e.g.
+parallel costs with barriers) and exhaustive search is too large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..rewrite.breakdown import expand_from_tree, factor_pairs
+from .dp import Objective, SearchResult
+
+
+def _random_tree(size: int, rng: np.random.Generator, leaf_max: int):
+    pairs = factor_pairs(size)
+    if not pairs or (size <= leaf_max and rng.random() < 0.4):
+        return size
+    m, k = pairs[rng.integers(len(pairs))]
+    return (_random_tree(m, rng, leaf_max), _random_tree(k, rng, leaf_max))
+
+
+def _tree_size(tree) -> int:
+    if isinstance(tree, int):
+        return tree
+    l, r = tree
+    return _tree_size(l) * _tree_size(r)
+
+
+def _paths(tree, prefix=()):
+    """All node paths in a tree (root = ())."""
+    yield prefix
+    if not isinstance(tree, int):
+        l, r = tree
+        yield from _paths(l, prefix + (0,))
+        yield from _paths(r, prefix + (1,))
+
+
+def _subtree(tree, path):
+    for step in path:
+        tree = tree[step]
+    return tree
+
+
+def _replace(tree, path, new):
+    if not path:
+        return new
+    l, r = tree
+    if path[0] == 0:
+        return (_replace(l, path[1:], new), r)
+    return (l, _replace(r, path[1:], new))
+
+
+def mutate(tree, rng: np.random.Generator, leaf_max: int):
+    """One random mutation of a factorization tree."""
+    paths = list(_paths(tree))
+    path = paths[rng.integers(len(paths))]
+    node = _subtree(tree, path)
+    size = _tree_size(node)
+    choice = rng.random()
+    if isinstance(node, int):
+        pairs = factor_pairs(size)
+        if pairs:  # expand a leaf
+            m, k = pairs[rng.integers(len(pairs))]
+            return _replace(
+                tree,
+                path,
+                (_random_tree(m, rng, leaf_max), _random_tree(k, rng, leaf_max)),
+            )
+        return tree
+    if choice < 0.3 and size <= leaf_max:
+        return _replace(tree, path, size)  # collapse to a codelet
+    return _replace(tree, path, _random_tree(size, rng, leaf_max))  # resplit
+
+
+@dataclass
+class StochasticConfig:
+    iterations: int = 40
+    restarts: int = 3
+    leaf_max: int = 64
+    seed: int = 0
+
+
+def stochastic_search(
+    n: int, objective: Objective, config: StochasticConfig | None = None
+) -> SearchResult:
+    """Hill climbing with random restarts over tree mutations."""
+    cfg = config or StochasticConfig()
+    rng = np.random.default_rng(cfg.seed)
+    evaluations = 0
+
+    def evaluate(tree) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        return objective(expand_from_tree(n, tree))
+
+    best_tree = None
+    best_value = float("inf")
+    for _ in range(cfg.restarts):
+        cur = _random_tree(n, rng, cfg.leaf_max)
+        cur_value = evaluate(cur)
+        for _ in range(cfg.iterations):
+            cand = mutate(cur, rng, cfg.leaf_max)
+            if cand == cur:
+                continue
+            value = evaluate(cand)
+            if value < cur_value:
+                cur, cur_value = cand, value
+        if cur_value < best_value:
+            best_tree, best_value = cur, cur_value
+    assert best_tree is not None
+    return SearchResult(
+        n=n,
+        tree=best_tree,
+        value=best_value,
+        evaluations=evaluations,
+        formula=expand_from_tree(n, best_tree),
+    )

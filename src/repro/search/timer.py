@@ -1,0 +1,41 @@
+"""Runtime measurement helpers for feedback-driven search."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..spl.expr import COMPLEX
+
+
+def time_callable(
+    fn: Callable[[np.ndarray], np.ndarray],
+    n: int,
+    repeats: int = 5,
+    warmup: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one application of ``fn``.
+
+    Minimum over repeats is the standard noise-robust estimator for
+    autotuning (Spiral and FFTW both time this way).
+    """
+    rng = rng or np.random.default_rng(0)
+    x = (rng.standard_normal(n) + 1j * rng.standard_normal(n)).astype(COMPLEX)
+    for _ in range(warmup):
+        fn(x)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(x)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def pseudo_mflops_from_seconds(n: int, seconds: float) -> float:
+    """The paper's metric for measured runtimes."""
+    if seconds <= 0:
+        return float("inf")
+    return 5 * n * np.log2(n) / (seconds * 1e6)

@@ -1,0 +1,33 @@
+"""Sigma-SPL: loop-level intermediate representation and loop merging."""
+
+from .index_map import (
+    GridForm,
+    SliceForm,
+    diag_values,
+    invert_table,
+    recover_grid,
+    recover_slice,
+    source_table,
+)
+from .loops import BlockLoop, SigmaProgram, SigmaValidationError, Stage
+from .lower import LoweringError, is_diag_stage, is_perm_stage, lower
+from .normalize import normalize_for_lowering
+
+__all__ = [
+    "BlockLoop",
+    "GridForm",
+    "LoweringError",
+    "SigmaProgram",
+    "SigmaValidationError",
+    "SliceForm",
+    "Stage",
+    "diag_values",
+    "invert_table",
+    "is_diag_stage",
+    "is_perm_stage",
+    "lower",
+    "normalize_for_lowering",
+    "recover_grid",
+    "recover_slice",
+    "source_table",
+]

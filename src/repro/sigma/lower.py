@@ -1,0 +1,266 @@
+"""Lowering: fully-optimized SPL formulas -> Sigma-SPL loop programs.
+
+This performs the paper's formula-optimization step (ref [11]): walk the
+stage pipeline right-to-left keeping a *pending readdressing* (a permutation
+source table plus a pointwise multiplier vector); permutations and diagonals
+accumulate into the pending state and are folded into the gather tables and
+scale factors of the next compute loop.  Leftover pending state at the left
+end folds into the final stage's scatter.  With ``merge_permutations=False``
+the folding is disabled and permutations/diagonals become explicit copy
+passes — exactly the structure of the classical six-step algorithm, used as
+the loop-merging ablation and baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..spl.expr import COMPLEX, Compose, Expr, SPLError, Tensor
+from ..spl.matrices import Diag, DiagFunc, I, Twiddle
+from ..spl.parallel import ParDirectSum, ParTensor, SMP
+from ..rewrite.pattern import is_permutation_expr
+from .index_map import diag_values, invert_table, source_table
+from .loops import BlockLoop, SigmaProgram, Stage
+from .normalize import normalize_for_lowering
+
+
+class LoweringError(SPLError):
+    """The formula cannot be lowered (unexpected stage shape)."""
+
+
+def is_perm_stage(e: Expr) -> bool:
+    """Is this pipeline stage pure data movement?"""
+    if is_permutation_expr(e):
+        return True
+    if isinstance(e, ParTensor):
+        return is_perm_stage(e.child)
+    return False
+
+
+def is_diag_stage(e: Expr) -> bool:
+    """Is this pipeline stage a pointwise scaling?"""
+    if isinstance(e, (Diag, DiagFunc, Twiddle)):
+        return True
+    if isinstance(e, ParDirectSum):
+        return all(is_diag_stage(b) for b in e.blocks)
+    if isinstance(e, ParTensor):
+        return is_diag_stage(e.child)
+    if isinstance(e, Tensor):
+        return all(isinstance(f, I) or is_diag_stage(f) for f in e.factors)
+    return False
+
+
+@dataclass
+class _LoopSpec:
+    gather: np.ndarray
+    scatter: np.ndarray
+    kernel: Expr
+    proc: Optional[int]
+
+
+def _body_loops(e: Expr, offset: int) -> list[_LoopSpec]:
+    """Loops of a simple (non-parallel) stage body at a global offset."""
+    if isinstance(e, Tensor):
+        factors = list(e.factors)
+        m = r = 1
+        while factors and isinstance(factors[0], I):
+            m *= factors[0].n
+            factors.pop(0)
+        while factors and isinstance(factors[-1], I):
+            r *= factors[-1].n
+            factors.pop()
+        if len(factors) != 1:
+            raise LoweringError(
+                f"stage body {e!r} has {len(factors)} kernels; "
+                "normalization should have split it"
+            )
+        kern = factors[0]
+        k = kern.cols
+        # iteration (i, j), i < m, j < r: indices offset + i*k*r + j + r*t
+        i = np.arange(m, dtype=np.intp)[:, None, None]
+        j = np.arange(r, dtype=np.intp)[None, :, None]
+        t = np.arange(k, dtype=np.intp)[None, None, :]
+        idx = (offset + i * k * r + j + r * t).reshape(m * r, k)
+        return [_LoopSpec(idx, idx.copy(), kern, None)]
+    # bare kernel
+    k = e.cols
+    idx = (offset + np.arange(k, dtype=np.intp)).reshape(1, k)
+    return [_LoopSpec(idx, idx.copy(), e, None)]
+
+
+def _stage_loops(e: Expr) -> tuple[list[_LoopSpec], bool]:
+    """All loops of a compute stage; returns (loops, parallel?)."""
+    if isinstance(e, ParTensor):
+        bs = e.child.cols
+        loops: list[_LoopSpec] = []
+        for i in range(e.p):
+            for spec in _body_loops(e.child, offset=i * bs):
+                loops.append(
+                    _LoopSpec(spec.gather, spec.scatter, spec.kernel, proc=i)
+                )
+        return loops, True
+    if isinstance(e, ParDirectSum):
+        bs = e.blocks[0].cols
+        loops = []
+        for i, b in enumerate(e.blocks):
+            for spec in _body_loops(b, offset=i * bs):
+                loops.append(
+                    _LoopSpec(spec.gather, spec.scatter, spec.kernel, proc=i)
+                )
+        return loops, True
+    return _body_loops(e, offset=0), False
+
+
+def _explicit_move_stage(
+    n: int,
+    src: np.ndarray,
+    scale: Optional[np.ndarray],
+    procs: Optional[int],
+    name: str,
+) -> Stage:
+    """An explicit permutation/scaling pass (un-merged data movement)."""
+    gather = src.reshape(n, 1)
+    scatter = np.arange(n, dtype=np.intp).reshape(n, 1)
+    pre = None if scale is None else scale[src].reshape(n, 1)
+    if procs and procs > 1:
+        chunk = n // procs
+        loops = []
+        for i in range(procs):
+            lo, hi = i * chunk, (i + 1) * chunk if i < procs - 1 else n
+            loops.append(
+                BlockLoop(
+                    kernel=I(1),
+                    gather=gather[lo:hi],
+                    scatter=scatter[lo:hi],
+                    pre_scale=None if pre is None else pre[lo:hi],
+                    proc=i,
+                )
+            )
+        return Stage(loops, parallel=True, name=name)
+    loop = BlockLoop(
+        kernel=I(1), gather=gather, scatter=scatter, pre_scale=pre
+    )
+    return Stage([loop], parallel=False, name=name)
+
+
+def lower(
+    expr: Expr,
+    merge_permutations: bool = True,
+    merge_diagonals: bool = True,
+    copy_procs: Optional[int] = None,
+    validate: bool = False,
+) -> SigmaProgram:
+    """Lower a formula to a Sigma-SPL loop program.
+
+    Parameters
+    ----------
+    merge_permutations / merge_diagonals:
+        Fold permutations / diagonals into adjacent loops (default).  With
+        ``False`` they become explicit passes (six-step style).
+    copy_procs:
+        Parallelize explicit passes over this many processors.
+    validate:
+        Run the O(n log n) structural validation after building.
+    """
+    if isinstance(expr, SMP):
+        raise LoweringError("formula still carries smp() tags; parallelize first")
+    expr = normalize_for_lowering(expr)
+    n = expr.rows
+    factors = list(expr.factors) if isinstance(expr, Compose) else [expr]
+
+    stages: list[Stage] = []
+    pend_src: Optional[np.ndarray] = None  # pending permutation source table
+    pend_scale: Optional[np.ndarray] = None  # pending multiplier (source pos)
+
+    def flush_pending_as_stage(name: str) -> None:
+        nonlocal pend_src, pend_scale
+        if pend_src is None and pend_scale is None:
+            return
+        src = pend_src if pend_src is not None else np.arange(n, dtype=np.intp)
+        stages.append(
+            _explicit_move_stage(n, src, pend_scale, copy_procs, name)
+        )
+        pend_src = pend_scale = None
+
+    for f in reversed(factors):  # rightmost factor applies first
+        if is_perm_stage(f) and f.rows == n:
+            s = source_table(f)
+            if not merge_permutations:
+                flush_pending_as_stage("explicit-perm")
+                stages.append(
+                    _explicit_move_stage(n, s, None, copy_procs, "explicit-perm")
+                )
+                continue
+            pend_src = s if pend_src is None else pend_src[s]
+            continue
+        if is_diag_stage(f) and f.rows == n:
+            d = diag_values(f)
+            if not merge_diagonals:
+                flush_pending_as_stage("pre-diag")
+                stages.append(
+                    _explicit_move_stage(
+                        n,
+                        np.arange(n, dtype=np.intp),
+                        d,
+                        copy_procs,
+                        "explicit-diag",
+                    )
+                )
+                continue
+            if pend_scale is None:
+                pend_scale = np.ones(n, dtype=COMPLEX)
+            if pend_src is None:
+                pend_scale = pend_scale * d
+            else:
+                pend_scale[pend_src] = pend_scale[pend_src] * d
+            continue
+
+        # compute stage: fold pending into gathers
+        specs, parallel = _stage_loops(f)
+        loops = []
+        for spec in specs:
+            gather = spec.gather
+            pre = None
+            if pend_src is not None:
+                gather = pend_src[gather]
+            if pend_scale is not None:
+                pre = pend_scale[gather]
+            loops.append(
+                BlockLoop(
+                    kernel=spec.kernel,
+                    gather=gather,
+                    scatter=spec.scatter,
+                    pre_scale=pre,
+                    proc=spec.proc,
+                )
+            )
+        pend_src = pend_scale = None
+        stages.append(
+            Stage(loops, parallel=parallel, name=type(f).__name__)
+        )
+
+    # leftover pending folds into the last stage's scatter (or becomes an
+    # explicit pass when there is no compute stage at all)
+    if pend_src is not None or pend_scale is not None:
+        if stages:
+            src = pend_src if pend_src is not None else np.arange(n, dtype=np.intp)
+            inv = invert_table(src)
+            last = stages[-1]
+            for lp in last.loops:
+                if pend_scale is not None:
+                    extra = pend_scale[lp.scatter]
+                    lp.post_scale = (
+                        extra if lp.post_scale is None else lp.post_scale * extra
+                    )
+                lp.scatter = inv[lp.scatter]
+        else:
+            flush_pending_as_stage("explicit-perm")
+
+    program = SigmaProgram(size=n, stages=stages)
+    program.analyze_barriers()
+    if validate:
+        program.validate()
+    return program

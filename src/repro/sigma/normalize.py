@@ -1,0 +1,103 @@
+"""Pre-lowering normalization: shape formulas into flat stage pipelines.
+
+Lowering wants the formula as ``Compose(stage_k, ..., stage_1)`` where every
+stage is *simple*: a permutation expression, a diagonal expression, or a
+(possibly ``ParTensor``-wrapped) tensor product ``I_m (x) K (x) I_r`` with a
+single kernel ``K``.  The rules here are classical SPL identities:
+
+* parallel fission:  ``I_p (x)|| (A B) = (I_p (x)|| A)(I_p (x)|| B)``
+* tensor/compose distribution:  ``I_m (x) (A B) = (I_m (x) A)(I_m (x) B)``
+  and ``(A B) (x) I_r = (A (x) I_r)(B (x) I_r)``
+* tensor splitting:  ``A (x) B = (A (x) I)(I (x) B)`` for non-identity A, B
+
+None of them change the denoted matrix (tested), only the loop structure.
+"""
+
+from __future__ import annotations
+
+from ..spl.expr import Compose, Expr, Tensor
+from ..spl.matrices import I
+from ..spl.parallel import ParTensor
+from ..rewrite.pattern import is_permutation_expr
+from ..rewrite.simplify import simplify
+
+
+def _is_identity(e: Expr) -> bool:
+    return isinstance(e, I)
+
+
+def _split_tensor_factors(e: Tensor) -> tuple[int, list[Expr], int]:
+    """Split flattened tensor factors into (leading I size, cores, trailing I size)."""
+    factors = list(e.factors)
+    m = r = 1
+    while factors and _is_identity(factors[0]):
+        m *= factors[0].n
+        factors.pop(0)
+    while factors and _is_identity(factors[-1]):
+        r *= factors[-1].n
+        factors.pop()
+    return m, factors, r
+
+
+def _normalize(e: Expr) -> Expr:
+    # Normalize children first so fission results are already simple.
+    if e.children:
+        e = e.rebuild(*(_normalize(c) for c in e.children))
+
+    if isinstance(e, ParTensor) and isinstance(e.child, Compose):
+        # parallel fission
+        return Compose(*(ParTensor(e.p, f) for f in e.child.factors))
+
+    if isinstance(e, Tensor) and not is_permutation_expr(e):
+        m, cores, r = _split_tensor_factors(e)
+        if len(cores) == 1 and isinstance(cores[0], Compose):
+            # I_m (x) (A B ...) (x) I_r  ->  product of per-factor tensors
+            inner = cores[0]
+            factors = []
+            for f in inner.factors:
+                parts: list[Expr] = []
+                if m > 1:
+                    parts.append(I(m))
+                parts.append(f)
+                if r > 1:
+                    parts.append(I(r))
+                factors.append(
+                    _normalize(Tensor(*parts) if len(parts) > 1 else parts[0])
+                )
+            return Compose(*factors)
+        if len(cores) > 1:
+            # A (x) B (with identities around) -> (A (x) I)(I (x) B) chain
+            factors = []
+            left = m
+            mid_sizes = [c.rows for c in cores]
+            for idx, core in enumerate(cores):
+                before = left
+                after = r
+                for c in cores[:idx]:
+                    before *= c.rows
+                for c in cores[idx + 1 :]:
+                    after *= c.cols
+                parts: list[Expr] = []
+                if before > 1:
+                    parts.append(I(before))
+                parts.append(core)
+                if after > 1:
+                    parts.append(I(after))
+                factors.append(
+                    _normalize(Tensor(*parts) if len(parts) > 1 else parts[0])
+                )
+            return Compose(*factors)
+
+    return e
+
+
+def normalize_for_lowering(expr: Expr) -> Expr:
+    """Normalize to a flat pipeline of simple stages (fixpoint)."""
+    prev = None
+    cur = simplify(expr)
+    for _ in range(64):
+        if cur == prev:
+            return cur
+        prev = cur
+        cur = simplify(_normalize(cur))
+    return cur

@@ -1,0 +1,21 @@
+"""Shared-memory runtimes: thread pools, barriers, fork-join execution."""
+
+from .barrier import SenseReversingBarrier
+from .runtime import (
+    ExecutionStats,
+    OpenMPRuntime,
+    PlanStage,
+    PThreadsRuntime,
+    Runtime,
+    SequentialRuntime,
+)
+
+__all__ = [
+    "ExecutionStats",
+    "OpenMPRuntime",
+    "PThreadsRuntime",
+    "PlanStage",
+    "Runtime",
+    "SenseReversingBarrier",
+    "SequentialRuntime",
+]

@@ -1,0 +1,45 @@
+"""A sense-reversing centralized barrier.
+
+This is the classical low-latency software barrier the paper's generated
+pthreads code relies on for its "low-latency minimal overhead
+synchronization" (Section 3.2).  Each thread flips its local *sense*; the
+last thread to arrive releases the others by flipping the shared sense.  A
+condition variable stands in for the spin-wait of the C implementation
+(spinning burns the GIL in CPython).
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class SenseReversingBarrier:
+    """Reusable barrier for a fixed party count."""
+
+    def __init__(self, parties: int):
+        if parties < 1:
+            raise ValueError(f"barrier needs >= 1 parties, got {parties}")
+        self.parties = parties
+        self._count = parties
+        self._sense = False
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._local = threading.local()
+        self.wait_count = 0  # total number of wait() calls (for accounting)
+
+    def wait(self) -> None:
+        local_sense = not getattr(self._local, "sense", False)
+        self._local.sense = local_sense
+        with self._cond:
+            self.wait_count += 1
+            self._count -= 1
+            if self._count == 0:
+                # last arrival: reset and release everyone
+                self._count = self.parties
+                self._sense = local_sense
+                self._cond.notify_all()
+            else:
+                self._cond.wait_for(lambda: self._sense == local_sense)
+
+    def reset_accounting(self) -> None:
+        self.wait_count = 0

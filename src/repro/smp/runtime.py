@@ -1,0 +1,244 @@
+"""Shared-memory runtimes that execute generated stage plans.
+
+A *plan* is a list of :class:`PlanStage` entries; each stage is a callable
+``work(proc, src, dst)`` that performs processor ``proc``'s share of one
+pipeline stage reading ``src`` and writing ``dst``.  Three runtimes execute
+plans, mirroring the paper's backends:
+
+* :class:`PThreadsRuntime` — a persistent SPMD worker pool with
+  sense-reversing barriers; barriers are *skipped* for stages whose dataflow
+  is processor-local (``needs_barrier=False``), reproducing the generated
+  pthreads code's minimal synchronization.
+* :class:`OpenMPRuntime` — fork-join: every parallel stage spawns fresh
+  threads and joins them (a faithful model of a non-pooling OpenMP runtime,
+  and the behaviour the paper observed for FFTW's per-call threading).
+* :class:`SequentialRuntime` — single-processor reference.
+
+CPython's GIL prevents actual speedup here (NumPy kernels release it only
+partially); wall-clock parallel scaling is measured on the simulated machine
+instead (``repro.machine``).  These runtimes establish *correctness* of the
+generated multithreaded schedules: every thread executes exactly the loops
+the formula assigned to its processor.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .barrier import SenseReversingBarrier
+
+StageWork = Callable[[int, np.ndarray, np.ndarray], None]
+
+
+@dataclass
+class PlanStage:
+    """One executable pipeline stage.
+
+    ``nprocs`` is the number of processor shares the *plan* defines for this
+    stage (a property of the generated program, not of the runtime executing
+    it); sequential runtimes iterate over all shares on one thread.
+    """
+
+    work: StageWork
+    parallel: bool
+    needs_barrier: bool
+    name: str = ""
+    nprocs: int = 1
+
+
+@dataclass
+class ExecutionStats:
+    """Synchronization accounting of one plan execution."""
+
+    barriers: int = 0
+    threads_spawned: int = 0
+    parallel_stages: int = 0
+    sequential_stages: int = 0
+
+
+class Runtime:
+    """Base class: executes a plan over double buffers."""
+
+    #: number of workers this runtime drives
+    p: int
+
+    def execute(
+        self, stages: Sequence[PlanStage], x: np.ndarray, size: int
+    ) -> tuple[np.ndarray, ExecutionStats]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SequentialRuntime(Runtime):
+    """Runs every stage's work items on the calling thread."""
+
+    def __init__(self, p: int = 1):
+        self.p = p
+
+    def execute(self, stages, x, size):
+        stats = ExecutionStats()
+        src = np.array(x, dtype=np.complex128, copy=True)
+        dst = np.empty_like(src)
+        for stage in stages:
+            for proc in range(max(1, stage.nprocs)):
+                stage.work(proc, src, dst)
+            if stage.parallel:
+                stats.parallel_stages += 1
+            else:
+                stats.sequential_stages += 1
+            src, dst = dst, src
+        return src, stats
+
+
+class PThreadsRuntime(Runtime):
+    """Persistent SPMD worker pool (the paper's pthreads backend).
+
+    Workers are created once and reused across ``execute`` calls (thread
+    pooling).  Within a plan, workers run the stage sequence in lockstep;
+    a barrier is executed only before stages with ``needs_barrier=True`` and
+    around sequential stages.
+    """
+
+    def __init__(self, p: int):
+        if p < 1:
+            raise ValueError(f"need p >= 1 workers, got {p}")
+        self.p = p
+        self._barrier = SenseReversingBarrier(p)
+        self._job: Optional[tuple] = None
+        self._job_ready = threading.Condition()
+        self._job_seq = 0
+        # rendezvous of the master and the p-1 pool workers after each job
+        self._done = threading.Barrier(p)
+        self._shutdown = False
+        self._errors: list[BaseException] = []
+        self._threads = [
+            threading.Thread(target=self._worker, args=(i,), daemon=True)
+            for i in range(1, p)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- worker loop --------------------------------------------------------
+
+    def _worker(self, proc: int) -> None:
+        seen = 0
+        while True:
+            with self._job_ready:
+                self._job_ready.wait_for(
+                    lambda: self._shutdown or self._job_seq > seen
+                )
+                if self._shutdown:
+                    return
+                seen = self._job_seq
+                job = self._job
+            try:
+                self._run_stages(proc, *job)
+            except BaseException as exc:  # propagate to master
+                self._errors.append(exc)
+            self._done.wait()
+
+    def _run_stages(self, proc: int, stages, src, dst, stats) -> None:
+        for stage in stages:
+            if stage.needs_barrier or not stage.parallel:
+                self._barrier.wait()
+            if stage.parallel:
+                if proc < max(1, stage.nprocs):
+                    stage.work(proc, src, dst)
+            elif proc == 0:
+                stage.work(0, src, dst)
+            if not stage.parallel:
+                # everyone must wait for the sequential stage to finish
+                self._barrier.wait()
+            src, dst = dst, src
+
+    # -- master API ---------------------------------------------------------
+
+    def execute(self, stages, x, size):
+        for st in stages:
+            if st.nprocs > self.p:
+                raise ValueError(
+                    f"plan stage {st.name!r} needs {st.nprocs} processors, "
+                    f"pool has {self.p}"
+                )
+        stats = ExecutionStats()
+        src = np.array(x, dtype=np.complex128, copy=True)
+        dst = np.empty_like(src)
+        self._errors.clear()
+        self._barrier.reset_accounting()
+        with self._job_ready:
+            self._job = (list(stages), src, dst, stats)
+            self._job_seq += 1
+            self._job_ready.notify_all()
+        # master participates as processor 0
+        try:
+            self._run_stages(0, list(stages), src, dst, stats)
+        finally:
+            if self.p > 1:
+                self._done.wait()
+        if self._errors:
+            raise self._errors[0]
+        stats.barriers = self._barrier.wait_count // self.p
+        stats.parallel_stages = sum(1 for s in stages if s.parallel)
+        stats.sequential_stages = sum(1 for s in stages if not s.parallel)
+        # _run_stages swaps its locals each stage; recover the final buffer
+        # by parity (even stage count ends back in `src`)
+        final = src if len(stages) % 2 == 0 else dst
+        return final, stats
+
+    def close(self) -> None:
+        with self._job_ready:
+            self._shutdown = True
+            self._job_ready.notify_all()
+        for t in self._threads:
+            t.join(timeout=5)
+
+
+class OpenMPRuntime(Runtime):
+    """Fork-join runtime: threads are created per parallel region.
+
+    Thread creation cost is paid at *every* stage — the overhead profile of
+    non-pooled OpenMP/per-call threading that makes small-size
+    parallelization unprofitable (paper Sections 2.2 and 4).
+    """
+
+    def __init__(self, p: int):
+        if p < 1:
+            raise ValueError(f"need p >= 1 workers, got {p}")
+        self.p = p
+
+    def execute(self, stages, x, size):
+        stats = ExecutionStats()
+        src = np.array(x, dtype=np.complex128, copy=True)
+        dst = np.empty_like(src)
+        for stage in stages:
+            if stage.parallel and stage.nprocs > 1:
+                threads = [
+                    threading.Thread(target=stage.work, args=(i, src, dst))
+                    for i in range(1, stage.nprocs)
+                ]
+                for t in threads:
+                    t.start()
+                stats.threads_spawned += len(threads)
+                stage.work(0, src, dst)
+                for t in threads:
+                    t.join()
+                stats.parallel_stages += 1
+            else:
+                for proc in range(max(1, stage.nprocs)):
+                    stage.work(proc, src, dst)
+                stats.sequential_stages += 1
+            stats.barriers += 1  # join is an implicit barrier
+            src, dst = dst, src
+        return src, stats

@@ -1,0 +1,96 @@
+"""Structural transform algebra: transpose and inverse of SPL formulas.
+
+Classical identities the Spiral literature uses throughout:
+
+* ``(A B)^T = B^T A^T`` and ``(A (x) B)^T = A^T (x) B^T``
+* ``DFT_n^T = DFT_n`` (symmetric), ``(L^{mn}_m)^T = L^{mn}_n``
+* permutations are orthogonal: ``P^{-1} = P^T``
+* ``DFT_n^{-1} = (1/n) DFT_n R_n`` (see :mod:`repro.transforms.idft`)
+
+Transposition converts decimation-in-time algorithms into
+decimation-in-frequency ones: transposing the Cooley-Tukey factorization
+(Eq. 1) yields ``DFT_mn = L^{mn}_n (I_m (x) DFT_n) D (DFT_m (x) I_n)`` —
+a different (equally valid) program for the same transform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .expr import Compose, DirectSum, Expr, SPLError, Tensor
+from .matrices import DFT, Diag, DiagFunc, F2, I, L, Perm, Twiddle
+from .parallel import LinePerm, ParDirectSum, ParTensor, SMP
+
+
+def transpose(expr: Expr) -> Expr:
+    """Structural transpose: an SPL formula for ``expr.to_matrix().T``."""
+    if isinstance(expr, (I, F2, DFT, Diag, DiagFunc, Twiddle)):
+        return expr  # symmetric leaves (diagonals trivially, DFT/F2 by form)
+    if isinstance(expr, L):
+        return L(expr.mn, expr.n)  # (L^{mn}_m)^T = L^{mn}_{mn/m}
+    if isinstance(expr, Perm):
+        inv = np.empty_like(expr.perm)
+        inv[expr.perm] = np.arange(expr.perm.size)
+        return Perm(inv)
+    if isinstance(expr, Compose):
+        return Compose(*(transpose(f) for f in reversed(expr.factors)))
+    if isinstance(expr, Tensor):
+        return Tensor(*(transpose(f) for f in expr.factors))
+    if isinstance(expr, DirectSum):
+        return DirectSum(*(transpose(b) for b in expr.blocks))
+    if isinstance(expr, ParTensor):
+        return ParTensor(expr.p, transpose(expr.child))
+    if isinstance(expr, ParDirectSum):
+        return ParDirectSum([transpose(b) for b in expr.blocks])
+    if isinstance(expr, LinePerm):
+        return LinePerm(transpose(expr.perm_expr), expr.mu)
+    if isinstance(expr, SMP):
+        return SMP(expr.p, expr.mu, transpose(expr.child))
+    # duck-typed vector constructs (repro.vector depends on spl, not vice versa)
+    kind = type(expr).__name__
+    if kind == "VecTensor":
+        return expr.rebuild(transpose(expr.child))
+    if kind == "InRegisterTranspose":
+        return expr  # I (x) L^{nu^2}_nu is symmetric under nu <-> nu
+    if kind == "VecDiag":
+        return expr
+    if kind == "WHT":
+        return expr  # Kronecker power of the symmetric H_2
+    raise SPLError(f"no structural transpose for {type(expr).__name__}")
+
+
+def invert(expr: Expr) -> Expr:
+    """Structural inverse of an invertible SPL formula.
+
+    Diagonals invert pointwise, permutations by transposition, products in
+    reverse; ``DFT_n`` uses the reversal identity.  Raises on singular
+    diagonals.
+    """
+    if isinstance(expr, I):
+        return expr
+    if isinstance(expr, F2):
+        return Compose(Diag([0.5, 0.5]), F2())  # F2^{-1} = F2 / 2
+    if isinstance(expr, DFT):
+        from ..transforms.idft import idft_formula
+
+        return idft_formula(expr.n)
+    if isinstance(expr, (Diag, DiagFunc, Twiddle)):
+        vals = np.asarray(expr.values)
+        if np.any(np.abs(vals) < 1e-300):
+            raise SPLError("diagonal is singular; cannot invert")
+        return Diag(1.0 / vals)
+    if isinstance(expr, (L, Perm, LinePerm)):
+        return transpose(expr)
+    if isinstance(expr, Compose):
+        return Compose(*(invert(f) for f in reversed(expr.factors)))
+    if isinstance(expr, Tensor):
+        return Tensor(*(invert(f) for f in expr.factors))
+    if isinstance(expr, DirectSum):
+        return DirectSum(*(invert(b) for b in expr.blocks))
+    if isinstance(expr, ParTensor):
+        return ParTensor(expr.p, invert(expr.child))
+    if isinstance(expr, ParDirectSum):
+        return ParDirectSum([invert(b) for b in expr.blocks])
+    if isinstance(expr, SMP):
+        return SMP(expr.p, expr.mu, invert(expr.child))
+    raise SPLError(f"no structural inverse for {type(expr).__name__}")

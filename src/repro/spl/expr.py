@@ -1,0 +1,352 @@
+"""Base classes for the SPL (Signal Processing Language) expression AST.
+
+SPL describes structured sparse matrix factorizations of linear transforms
+(Xiong et al., PLDI'01; Püschel et al., Proc. IEEE 2005).  An SPL expression
+*is* a matrix: every node knows how to
+
+* ``apply`` itself to a vector (vectorized NumPy, supporting leading batch
+  dimensions) — the functional O(fast) semantics,
+* materialize itself with ``to_matrix`` — the dense oracle used in tests,
+* report its arithmetic cost in real flops,
+* expose ``children`` / ``rebuild`` so the rewriting engine can traverse and
+  reconstruct trees generically.
+
+All expressions are immutable and structurally hashable; the rewriting system
+relies on both properties.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterator, Sequence
+
+import numpy as np
+
+#: dtype used for all transform data.
+COMPLEX = np.complex128
+
+#: Real-flop cost conventions for complex arithmetic.
+FLOPS_COMPLEX_ADD = 2
+FLOPS_COMPLEX_MUL = 6
+
+
+class SPLError(Exception):
+    """Raised for malformed SPL expressions (size mismatches, bad params)."""
+
+
+class Expr:
+    """Abstract base class of all SPL expressions.
+
+    Subclasses must set ``rows`` and ``cols`` (matrix dimensions) and
+    implement ``apply``, ``to_matrix``, ``_key`` and, for non-leaf nodes,
+    ``children``/``rebuild``.
+    """
+
+    rows: int
+    cols: int
+
+    # -- structural interface ------------------------------------------------
+
+    @property
+    def children(self) -> tuple["Expr", ...]:
+        """Child expressions (empty for leaves)."""
+        return ()
+
+    def rebuild(self, *children: "Expr") -> "Expr":
+        """Reconstruct this node with new children (same arity)."""
+        if children:
+            raise SPLError(f"{type(self).__name__} is a leaf; got children")
+        return self
+
+    def _key(self) -> tuple:
+        """Structural identity key; must include the class."""
+        raise NotImplementedError
+
+    # -- semantics -----------------------------------------------------------
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``y = A @ x`` along the last axis of ``x``.
+
+        ``x`` may carry arbitrary leading batch dimensions; the last axis must
+        have length ``self.cols``.
+        """
+        raise NotImplementedError
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense ``rows x cols`` matrix of this expression."""
+        raise NotImplementedError
+
+    def flops(self) -> int:
+        """Real-flop count of one application (adds=2, muls=6)."""
+        raise NotImplementedError
+
+    # -- conveniences ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Dimension of a square expression."""
+        if self.rows != self.cols:
+            raise SPLError(f"{self!r} is not square ({self.rows}x{self.cols})")
+        return self.rows
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.apply(x)
+
+    def __mul__(self, other: "Expr") -> "Expr":
+        """``A * B`` is matrix composition (``A`` applied after ``B``)."""
+        if not isinstance(other, Expr):
+            return NotImplemented
+        return Compose(self, other)
+
+    def tensor(self, other: "Expr") -> "Expr":
+        """Kronecker product ``self (x) other``."""
+        return Tensor(self, other)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expr) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from .pprint import format_expr
+
+        return format_expr(self)
+
+    # -- traversal helpers -----------------------------------------------------
+
+    def preorder(self) -> Iterator["Expr"]:
+        """Yield this node, then descendants, depth-first left-to-right."""
+        yield self
+        for child in self.children:
+            yield from child.preorder()
+
+    def postorder(self) -> Iterator["Expr"]:
+        """Yield descendants depth-first, then this node."""
+        for child in self.children:
+            yield from child.postorder()
+        yield self
+
+    def count_nodes(self) -> int:
+        return sum(1 for _ in self.preorder())
+
+    def contains(self, pred) -> bool:
+        """True iff any node in the tree satisfies ``pred``."""
+        return any(pred(node) for node in self.preorder())
+
+
+def _check_batched(x: np.ndarray, cols: int, name: str) -> np.ndarray:
+    x = np.asarray(x, dtype=COMPLEX)
+    if x.shape[-1] != cols:
+        raise SPLError(
+            f"{name}: input last axis has length {x.shape[-1]}, expected {cols}"
+        )
+    return x
+
+
+class Compose(Expr):
+    """Matrix product ``A_0 A_1 ... A_{k-1}`` (applied right-to-left).
+
+    Nested ``Compose`` children are flattened so that products are
+    associatively normalized; this keeps pattern matching on products simple.
+    """
+
+    def __init__(self, *factors: Expr):
+        flat: list[Expr] = []
+        for f in factors:
+            if isinstance(f, Compose):
+                flat.extend(f.factors)
+            else:
+                flat.append(f)
+        if len(flat) < 2:
+            raise SPLError("Compose needs at least two factors")
+        for a, b in zip(flat, flat[1:]):
+            if a.cols != b.rows:
+                raise SPLError(
+                    f"Compose size mismatch: {a.cols} (cols) vs {b.rows} (rows)"
+                )
+        self.factors: tuple[Expr, ...] = tuple(flat)
+        self.rows = flat[0].rows
+        self.cols = flat[-1].cols
+
+    @property
+    def children(self) -> tuple[Expr, ...]:
+        return self.factors
+
+    def rebuild(self, *children: Expr) -> Expr:
+        if len(children) == 1:
+            return children[0]
+        return Compose(*children)
+
+    def _key(self) -> tuple:
+        return (Compose, tuple(f._key() for f in self.factors))
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        x = _check_batched(x, self.cols, "Compose")
+        for f in reversed(self.factors):
+            x = f.apply(x)
+        return x
+
+    def to_matrix(self) -> np.ndarray:
+        return reduce(np.matmul, (f.to_matrix() for f in self.factors))
+
+    def flops(self) -> int:
+        return sum(f.flops() for f in self.factors)
+
+
+class Tensor(Expr):
+    """Kronecker (tensor) product ``A_0 (x) A_1 (x) ... (x) A_{k-1}``.
+
+    Nested ``Tensor`` children are flattened (the tensor product is
+    associative).  Application uses the standard row-major identity
+
+        ``(A (x) B) vec(X) = vec(A X B^T)``
+
+    evaluated structurally so it stays O(fast) for fast children.
+    """
+
+    def __init__(self, *factors: Expr):
+        flat: list[Expr] = []
+        for f in factors:
+            if isinstance(f, Tensor):
+                flat.extend(f.factors)
+            else:
+                flat.append(f)
+        if len(flat) < 2:
+            raise SPLError("Tensor needs at least two factors")
+        self.factors: tuple[Expr, ...] = tuple(flat)
+        self.rows = int(np.prod([f.rows for f in flat]))
+        self.cols = int(np.prod([f.cols for f in flat]))
+
+    @property
+    def children(self) -> tuple[Expr, ...]:
+        return self.factors
+
+    def rebuild(self, *children: Expr) -> Expr:
+        if len(children) == 1:
+            return children[0]
+        return Tensor(*children)
+
+    def _key(self) -> tuple:
+        return (Tensor, tuple(f._key() for f in self.factors))
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        x = _check_batched(x, self.cols, "Tensor")
+        return _tensor_apply(self.factors, x)
+
+    def to_matrix(self) -> np.ndarray:
+        return reduce(np.kron, (f.to_matrix() for f in self.factors))
+
+    def flops(self) -> int:
+        # Each factor A_i is applied (prod of other dims) times.  Application
+        # order in ``_tensor_apply`` is right-to-left, so when factor i runs,
+        # factors j > i are already transformed (rows) and j < i are not
+        # (cols); for the square matrices of FFT formulas the two coincide.
+        total = 0
+        for i, f in enumerate(self.factors):
+            others = 1
+            for j, g in enumerate(self.factors):
+                if j < i:
+                    others *= g.cols
+                elif j > i:
+                    others *= g.rows
+            total += others * f.flops()
+        return total
+
+
+def _tensor_apply(factors: Sequence[Expr], x: np.ndarray) -> np.ndarray:
+    """Apply a k-factor tensor product along the last axis of ``x``."""
+    if len(factors) == 1:
+        return factors[0].apply(x)
+    head, rest = factors[0], factors[1:]
+    rest_cols = int(np.prod([f.cols for f in rest]))
+    lead = x.shape[:-1]
+    X = x.reshape(*lead, head.cols, rest_cols)
+    # Apply the tail tensor along the last axis (batched over head dim).
+    Y = _tensor_apply(rest, X)
+    # Apply head along the head axis: move it last.
+    Y = np.swapaxes(Y, -1, -2)
+    Z = head.apply(Y)
+    Z = np.swapaxes(Z, -1, -2)
+    rest_rows = int(np.prod([f.rows for f in rest]))
+    return np.ascontiguousarray(Z).reshape(*lead, head.rows * rest_rows)
+
+
+class DirectSum(Expr):
+    """Block-diagonal direct sum ``A_0 (+) A_1 (+) ... (+) A_{k-1}``.
+
+    This is the iterative direct sum of the paper: blocks may differ but
+    commonly share a size.  Nested direct sums are flattened.
+    """
+
+    def __init__(self, *blocks: Expr):
+        flat: list[Expr] = []
+        for b in blocks:
+            if type(b) is DirectSum:
+                flat.extend(b.blocks)
+            else:
+                flat.append(b)
+        if not flat:
+            raise SPLError("DirectSum needs at least one block")
+        self.blocks: tuple[Expr, ...] = tuple(flat)
+        self.rows = sum(b.rows for b in flat)
+        self.cols = sum(b.cols for b in flat)
+
+    @property
+    def children(self) -> tuple[Expr, ...]:
+        return self.blocks
+
+    def rebuild(self, *children: Expr) -> Expr:
+        return type(self)(*children)
+
+    def _key(self) -> tuple:
+        return (type(self), tuple(b._key() for b in self.blocks))
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        x = _check_batched(x, self.cols, type(self).__name__)
+        lead = x.shape[:-1]
+        out = np.empty(lead + (self.rows,), dtype=COMPLEX)
+        in_off = out_off = 0
+        for b in self.blocks:
+            out[..., out_off : out_off + b.rows] = b.apply(
+                x[..., in_off : in_off + b.cols]
+            )
+            in_off += b.cols
+            out_off += b.rows
+        return out
+
+    def to_matrix(self) -> np.ndarray:
+        out = np.zeros((self.rows, self.cols), dtype=COMPLEX)
+        r = c = 0
+        for b in self.blocks:
+            out[r : r + b.rows, c : c + b.cols] = b.to_matrix()
+            r += b.rows
+            c += b.cols
+        return out
+
+    def flops(self) -> int:
+        return sum(b.flops() for b in self.blocks)
+
+
+def compose(*factors: Expr) -> Expr:
+    """Compose factors left-to-right in *application order of the product*.
+
+    ``compose(A)`` returns ``A``; otherwise builds :class:`Compose`.
+    """
+    if len(factors) == 1:
+        return factors[0]
+    return Compose(*factors)
+
+
+def tensor(*factors: Expr) -> Expr:
+    """Tensor-product helper; single factor returned unchanged."""
+    if len(factors) == 1:
+        return factors[0]
+    return Tensor(*factors)
+
+
+def direct_sum(*blocks: Expr) -> Expr:
+    """Direct-sum helper; single block returned unchanged."""
+    if len(blocks) == 1:
+        return blocks[0]
+    return DirectSum(*blocks)

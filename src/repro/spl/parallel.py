@@ -1,0 +1,226 @@
+"""Tagged shared-memory constructs of the paper (Section 3.1).
+
+Three *parallel formula constructs* declare that a subformula is fully
+optimized for a ``p``-way shared-memory machine with cache-line length ``mu``
+(measured in complex elements):
+
+* :class:`ParTensor`   -- ``I_p (x)|| A``      (paper: ``I_p (x)_k A``)
+* :class:`ParDirectSum`-- ``(+)||_{i<p} A_i``  (paper: ``(+)_k A_i``)
+* :class:`LinePerm`    -- ``P (x)~ I_mu``      (paper: ``P (x)bar I_mu``)
+
+They are semantically identical to their untagged counterparts but assert the
+paper's guarantees: with block sizes that are multiples of ``mu``, each cache
+line is owned by exactly one processor (no false sharing) and the ``p``
+blocks have equal cost (load balance).
+
+:class:`SMP` is the rewriting *tag* ``A |_{smp(p, mu)}``: a request that the
+rewriting system transform ``A`` into parallel constructs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .expr import COMPLEX, Expr, SPLError, Tensor, _check_batched
+from .matrices import I
+
+
+class SMP(Expr):
+    """The tag ``A |_{smp(p, mu)}``: ``A`` awaits shared-memory rewriting.
+
+    Semantically transparent (it *is* ``A``); the rewriting rules of Table 1
+    match on this node and either push the tag down or replace the subtree by
+    tagged parallel constructs.
+    """
+
+    def __init__(self, p: int, mu: int, child: Expr):
+        if p < 1:
+            raise SPLError(f"smp tag: processor count must be >= 1, got {p}")
+        if mu < 1:
+            raise SPLError(f"smp tag: cache line length must be >= 1, got {mu}")
+        self.p = int(p)
+        self.mu = int(mu)
+        self.child = child
+        self.rows = child.rows
+        self.cols = child.cols
+
+    @property
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    def rebuild(self, *children: Expr) -> Expr:
+        (child,) = children
+        return SMP(self.p, self.mu, child)
+
+    def _key(self) -> tuple:
+        return (SMP, self.p, self.mu, self.child._key())
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return self.child.apply(x)
+
+    def to_matrix(self) -> np.ndarray:
+        return self.child.to_matrix()
+
+    def flops(self) -> int:
+        return self.child.flops()
+
+
+class ParTensor(Expr):
+    """``I_p (x)|| A``: p-way embarrassingly parallel loop over ``A``.
+
+    Declared fully optimized: iteration ``i`` of the loop runs on processor
+    ``i`` and touches only the contiguous block ``x[i*n : (i+1)*n]`` where
+    ``n = A.cols`` (and the analogous output block).
+    """
+
+    def __init__(self, p: int, child: Expr):
+        if p < 1:
+            raise SPLError(f"ParTensor: p must be >= 1, got {p}")
+        self.p = int(p)
+        self.child = child
+        self.rows = p * child.rows
+        self.cols = p * child.cols
+
+    @property
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    def rebuild(self, *children: Expr) -> Expr:
+        (child,) = children
+        return ParTensor(self.p, child)
+
+    def _key(self) -> tuple:
+        return (ParTensor, self.p, self.child._key())
+
+    def untag(self) -> Expr:
+        """The semantically equal untagged formula ``I_p (x) A``."""
+        return Tensor(I(self.p), self.child)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        x = _check_batched(x, self.cols, "ParTensor")
+        lead = x.shape[:-1]
+        X = x.reshape(*lead, self.p, self.child.cols)
+        Y = self.child.apply(X)
+        return Y.reshape(*lead, self.rows)
+
+    def to_matrix(self) -> np.ndarray:
+        return np.kron(np.eye(self.p, dtype=COMPLEX), self.child.to_matrix())
+
+    def flops(self) -> int:
+        return self.p * self.child.flops()
+
+
+class ParDirectSum(Expr):
+    """``(+)||_{i<p} A_i``: parallel direct sum, block ``i`` on processor ``i``.
+
+    All blocks must share the same dimensions so the load is balanced when
+    the blocks have equal cost (paper assumption; true for the split twiddle
+    diagonals this construct is used for).
+    """
+
+    def __init__(self, blocks: tuple[Expr, ...] | list[Expr]):
+        blocks = tuple(blocks)
+        if not blocks:
+            raise SPLError("ParDirectSum needs at least one block")
+        r, c = blocks[0].rows, blocks[0].cols
+        for b in blocks[1:]:
+            if (b.rows, b.cols) != (r, c):
+                raise SPLError(
+                    "ParDirectSum blocks must have equal dimensions for load "
+                    f"balance; got {(r, c)} vs {(b.rows, b.cols)}"
+                )
+        self.blocks = blocks
+        self.p = len(blocks)
+        self.rows = sum(b.rows for b in blocks)
+        self.cols = sum(b.cols for b in blocks)
+
+    @property
+    def children(self) -> tuple[Expr, ...]:
+        return self.blocks
+
+    def rebuild(self, *children: Expr) -> Expr:
+        return ParDirectSum(children)
+
+    def _key(self) -> tuple:
+        return (ParDirectSum, tuple(b._key() for b in self.blocks))
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        x = _check_batched(x, self.cols, "ParDirectSum")
+        lead = x.shape[:-1]
+        out = np.empty(lead + (self.rows,), dtype=COMPLEX)
+        bc = self.blocks[0].cols
+        br = self.blocks[0].rows
+        for i, b in enumerate(self.blocks):
+            out[..., i * br : (i + 1) * br] = b.apply(
+                x[..., i * bc : (i + 1) * bc]
+            )
+        return out
+
+    def to_matrix(self) -> np.ndarray:
+        out = np.zeros((self.rows, self.cols), dtype=COMPLEX)
+        r = c = 0
+        for b in self.blocks:
+            out[r : r + b.rows, c : c + b.cols] = b.to_matrix()
+            r += b.rows
+            c += b.cols
+        return out
+
+    def flops(self) -> int:
+        return sum(b.flops() for b in self.blocks)
+
+
+class LinePerm(Expr):
+    """``P (x)~ I_mu``: a permutation at cache-line granularity.
+
+    ``P`` is any (composite) permutation expression; the construct moves
+    whole lines of ``mu`` consecutive complex elements, so the ownership of
+    entire cache lines — never parts of them — is exchanged between
+    processors.  Spiral never executes these explicitly; loop merging folds
+    them into the index functions of adjacent loops.
+    """
+
+    def __init__(self, perm: Expr, mu: int):
+        if mu < 1:
+            raise SPLError(f"LinePerm: mu must be >= 1, got {mu}")
+        if perm.rows != perm.cols:
+            raise SPLError("LinePerm: P must be square")
+        self.perm_expr = perm
+        self.mu = int(mu)
+        self.rows = self.cols = perm.rows * mu
+
+    @property
+    def children(self) -> tuple[Expr, ...]:
+        return (self.perm_expr,)
+
+    def rebuild(self, *children: Expr) -> Expr:
+        (perm,) = children
+        return LinePerm(perm, self.mu)
+
+    def _key(self) -> tuple:
+        return (LinePerm, self.mu, self.perm_expr._key())
+
+    def untag(self) -> Expr:
+        """The semantically equal untagged formula ``P (x) I_mu``."""
+        if self.mu == 1:
+            return self.perm_expr
+        return Tensor(self.perm_expr, I(self.mu))
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        x = _check_batched(x, self.cols, "LinePerm")
+        lead = x.shape[:-1]
+        k = self.perm_expr.rows
+        X = x.reshape(*lead, k, self.mu)
+        # Permute whole lines: treat each length-mu line as one unit.
+        Y = np.swapaxes(self.perm_expr.apply(np.swapaxes(X, -1, -2)), -1, -2)
+        return np.ascontiguousarray(Y).reshape(*lead, self.rows)
+
+    def to_matrix(self) -> np.ndarray:
+        return np.kron(self.perm_expr.to_matrix(), np.eye(self.mu, dtype=COMPLEX))
+
+    def flops(self) -> int:
+        return 0
+
+
+def smp(p: int, mu: int, expr: Expr) -> SMP:
+    """Tag ``expr`` for shared-memory rewriting: ``expr |_{smp(p, mu)}``."""
+    return SMP(p, mu, expr)

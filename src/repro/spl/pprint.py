@@ -1,0 +1,104 @@
+"""Pretty printer for SPL formulas.
+
+Renders expressions close to the paper's notation, e.g.::
+
+    (DFT_2 ⊗ I_4) · D_{2,4} · (I_2 ⊗ DFT_4) · L^8_2
+
+Use ``unicode=False`` for a pure-ASCII rendering (``(x)``, ``(+)``, ``*``).
+"""
+
+from __future__ import annotations
+
+from .expr import Compose, DirectSum, Expr, Tensor
+from .matrices import DFT, Diag, DiagFunc, F2, I, L, Perm, Twiddle
+from .parallel import LinePerm, ParDirectSum, ParTensor, SMP
+
+
+class _Symbols:
+    def __init__(self, unicode: bool):
+        self.tensor = " ⊗ " if unicode else " (x) "
+        self.par_tensor = " ⊗∥ " if unicode else " (x)|| "
+        self.line_tensor = " ⊗̄ " if unicode else " (x)~ "
+        self.compose = " · " if unicode else " * "
+        self.dsum = " ⊕ " if unicode else " (+) "
+        self.par_dsum = " ⊕∥ " if unicode else " (+)|| "
+
+
+def format_expr(expr: Expr, unicode: bool = True) -> str:
+    """Render ``expr`` as a formula string."""
+    return _fmt(expr, _Symbols(unicode), top=True)
+
+
+def _paren(s: str, top: bool) -> str:
+    return s if top else f"({s})"
+
+
+def _fmt(e: Expr, sym: _Symbols, top: bool = False) -> str:
+    # duck-typed to avoid importing transforms/vector (which depend on spl)
+    kind = type(e).__name__
+    if kind == "WHT":
+        return f"WHT_{e.n}"
+    if kind == "VecTensor":
+        return _paren(f"{_fmt(e.child, sym)} ⊗v I_{e.nu}", top)
+    if kind == "InRegisterTranspose":
+        inner = f"L^{e.nu * e.nu}_{e.nu}"
+        if e.count > 1:
+            inner = f"I_{e.count} ⊗ {inner}"
+        return _paren(inner + " [in-register]", top)
+    if kind == "VecDiag":
+        return f"vdiag[{e.rows}/{e.nu}]"
+    if kind == "Vec":
+        return f"[{_fmt(e.child, sym, top=True)}]_vec({e.nu})"
+    if isinstance(e, I):
+        return f"I_{e.n}"
+    if isinstance(e, F2):
+        return "F_2"
+    if isinstance(e, DFT):
+        return f"DFT_{e.n}"
+    if isinstance(e, Twiddle):
+        return f"D_{{{e.m},{e.n}}}"
+    if isinstance(e, Diag):
+        return f"diag[{e.rows}]"
+    if isinstance(e, DiagFunc):
+        return f"diagf[{e.rows}]"
+    if isinstance(e, L):
+        return f"L^{e.mn}_{e.m}"
+    if isinstance(e, Perm):
+        return f"perm[{e.rows}]"
+    if isinstance(e, SMP):
+        return f"[{_fmt(e.child, sym, top=True)}]_smp({e.p},{e.mu})"
+    if isinstance(e, ParTensor):
+        return _paren(f"I_{e.p}{sym.par_tensor}{_fmt(e.child, sym)}", top)
+    if isinstance(e, ParDirectSum):
+        inner = sym.par_dsum.join(_fmt(b, sym) for b in e.blocks)
+        return _paren(inner, top)
+    if isinstance(e, LinePerm):
+        return _paren(
+            f"{_fmt(e.perm_expr, sym)}{sym.line_tensor}I_{e.mu}", top
+        )
+    if isinstance(e, Tensor):
+        return _paren(sym.tensor.join(_fmt(f, sym) for f in e.factors), top)
+    if isinstance(e, DirectSum):
+        return _paren(sym.dsum.join(_fmt(b, sym) for b in e.blocks), top)
+    if isinstance(e, Compose):
+        return _paren(sym.compose.join(_fmt(f, sym) for f in e.factors), top)
+    return f"<{type(e).__name__} {e.rows}x{e.cols}>"
+
+
+def format_tree(expr: Expr, indent: str = "  ") -> str:
+    """Render ``expr`` as an indented tree (one node per line)."""
+    lines: list[str] = []
+
+    def walk(e: Expr, depth: int) -> None:
+        label = type(e).__name__
+        params = []
+        for attr in ("n", "m", "p", "mu", "mn"):
+            if hasattr(e, attr) and isinstance(getattr(e, attr), int):
+                params.append(f"{attr}={getattr(e, attr)}")
+        suffix = f" [{', '.join(params)}]" if params else ""
+        lines.append(f"{indent * depth}{label}{suffix}  ({e.rows}x{e.cols})")
+        for c in e.children:
+            walk(c, depth + 1)
+
+    walk(expr, 0)
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Further transforms and applications built on the generator."""
+
+from .batch import batch_fft_apply, batch_fft_formula, parallel_batch_fft
+from .bluestein import BluesteinDFT, dft_any_size
+from .convolution import FFTConvolver, inverse_from_forward, linear_convolve
+from .idft import idft_apply, idft_formula, parallel_idft, reversal_perm
+from .dft2d import dft2d_apply, dft2d_formula, parallel_dft2d
+from .wht import (
+    RULE_WHT_BASE,
+    RULE_WHT_BREAKDOWN,
+    WHT,
+    expand_wht,
+    parallel_wht,
+    wht_step,
+)
+
+__all__ = [
+    "BluesteinDFT",
+    "FFTConvolver",
+    "batch_fft_apply",
+    "batch_fft_formula",
+    "dft_any_size",
+    "idft_apply",
+    "idft_formula",
+    "parallel_batch_fft",
+    "parallel_idft",
+    "reversal_perm",
+    "RULE_WHT_BASE",
+    "RULE_WHT_BREAKDOWN",
+    "WHT",
+    "dft2d_apply",
+    "dft2d_formula",
+    "expand_wht",
+    "inverse_from_forward",
+    "linear_convolve",
+    "parallel_dft2d",
+    "parallel_wht",
+    "wht_step",
+]

@@ -1,0 +1,79 @@
+"""FFT-based convolution and derived real-world operations.
+
+The application layer the paper's introduction motivates: fast convolution
+and correlation built on generated DFT programs.  The inverse transform is
+obtained from the *forward* generated program through the conjugation
+identity ``IDFT(X) = conj(DFT(conj(X))) / n``, so everything below runs on
+Spiral-generated code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..codegen.python_backend import GeneratedProgram
+from ..frontend import generate_fft
+
+Transform = Callable[[np.ndarray], np.ndarray]
+
+
+def inverse_from_forward(fft: Transform, n: int) -> Transform:
+    """Build an inverse DFT from a forward DFT program."""
+
+    def ifft(X: np.ndarray) -> np.ndarray:
+        return np.conj(fft(np.conj(X))) / n
+
+    return ifft
+
+
+class FFTConvolver:
+    """Circular convolution engine over a generated FFT program.
+
+    Plans once per size (like a library would); ``convolve`` then costs two
+    forward transforms plus a pointwise product and one inverse.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        threads: int = 1,
+        mu: int = 4,
+        program: Optional[GeneratedProgram] = None,
+    ):
+        self.n = n
+        self.fft: GeneratedProgram = program or generate_fft(
+            n, threads=threads, mu=mu
+        )
+        self.ifft = inverse_from_forward(self.fft, n)
+
+    def convolve(self, x: np.ndarray, h: np.ndarray) -> np.ndarray:
+        """Circular convolution ``(x * h)[k] = sum_j x[j] h[(k-j) mod n]``."""
+        x = np.asarray(x, dtype=np.complex128)
+        h = np.asarray(h, dtype=np.complex128)
+        if x.shape != (self.n,) or h.shape != (self.n,):
+            raise ValueError(f"inputs must have shape ({self.n},)")
+        return self.ifft(self.fft(x) * self.fft(h))
+
+    def correlate(self, x: np.ndarray, h: np.ndarray) -> np.ndarray:
+        """Circular cross-correlation of ``x`` with ``h``."""
+        x = np.asarray(x, dtype=np.complex128)
+        h = np.asarray(h, dtype=np.complex128)
+        return self.ifft(self.fft(x) * np.conj(self.fft(h)))
+
+
+def linear_convolve(x: np.ndarray, h: np.ndarray, threads: int = 1) -> np.ndarray:
+    """Linear convolution via zero-padding to the next admissible size."""
+    x = np.asarray(x, dtype=np.complex128)
+    h = np.asarray(h, dtype=np.complex128)
+    full = x.size + h.size - 1
+    n = 1
+    while n < full:
+        n *= 2
+    conv = FFTConvolver(n, threads=threads)
+    xp = np.zeros(n, dtype=np.complex128)
+    hp = np.zeros(n, dtype=np.complex128)
+    xp[: x.size] = x
+    hp[: h.size] = h
+    return conv.convolve(xp, hp)[:full]

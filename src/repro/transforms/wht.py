@@ -1,0 +1,182 @@
+"""Walsh-Hadamard transform: a second transform through the same pipeline.
+
+Spiral is a generator for *linear transforms*, not just the DFT (paper
+Section 2.3); the WHT is the classic second citizen.  Its breakdown rule
+
+    WHT_mn -> (WHT_m (x) I_n)(I_m (x) WHT_n)
+
+has no twiddles and no stride permutation, so it exercises the Table 1
+rules in their purest form: the same smp(p, mu) rewriting that produced
+Eq. (14) parallelizes the WHT with zero data reshuffling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rewrite.pattern import iv
+from ..rewrite.rule import Rule
+from ..spl.expr import COMPLEX, Compose, Expr, SPLError, Tensor, _check_batched
+from ..spl.matrices import F2, I, _require_positive
+
+
+class WHT(Expr):
+    """The Walsh-Hadamard transform symbol ``WHT_n`` (n a power of two).
+
+    ``WHT_n = H_2 (x) H_2 (x) ... (x) H_2`` with ``H_2 = [[1,1],[1,-1]]``
+    (unnormalized, sequency-unordered — the tensor-product form Spiral
+    uses).
+    """
+
+    def __init__(self, n: int):
+        self.n = _require_positive(n, "WHT size")
+        if self.n & (self.n - 1):
+            raise SPLError(f"WHT size must be a power of two, got {n}")
+        self.rows = self.cols = self.n
+
+    def _key(self) -> tuple:
+        return (WHT, self.n)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        x = _check_batched(x, self.n, "WHT")
+        y = x.copy()
+        half = 1
+        n = self.n
+        while half < n:
+            step = half * 2
+            blocks = y.reshape(*y.shape[:-1], n // step, step)
+            a = blocks[..., :half].copy()
+            b = blocks[..., half:]
+            blocks[..., :half] = a + b
+            blocks[..., half:] = a - b
+            half = step
+        return y
+
+    def to_matrix(self) -> np.ndarray:
+        m = np.array([[1, 1], [1, -1]], dtype=COMPLEX)
+        out = np.array([[1]], dtype=COMPLEX)
+        k = 1
+        while k < self.n:
+            out = np.kron(out, m)
+            k *= 2
+        return out
+
+    def flops(self) -> int:
+        if self.n == 1:
+            return 0
+        # n log2 n complex additions
+        return 2 * self.n * int(np.log2(self.n))
+
+
+class _PWHT:
+    """Pattern matching the WHT symbol, binding its size."""
+
+    def __init__(self, n):
+        self.n = n
+
+    def match_all(self, expr, b):
+        from ..rewrite.pattern import _bind_int
+
+        if isinstance(expr, WHT):
+            out = _bind_int(self.n, expr.n, b)
+            if out is not None:
+                yield out
+
+    def match(self, expr, b=None):
+        for out in self.match_all(expr, b or {}):
+            return out
+        return None
+
+
+def wht_step(m: int, k: int) -> Expr:
+    """One application of the WHT breakdown rule."""
+    return Compose(Tensor(WHT(m), I(k)), Tensor(I(m), WHT(k)))
+
+
+def _wht_build(b):
+    n = b["n"]
+    if n < 4:
+        return None
+    alts = []
+    m = 2
+    while m < n:
+        alts.append(wht_step(m, n // m))
+        m *= 2
+    return alts or None
+
+
+def _wht_base(b):
+    if b["n"] == 2:
+        return F2()  # H_2 == F_2
+    if b["n"] == 1:
+        return I(1)
+    return None
+
+
+RULE_WHT_BREAKDOWN = Rule(
+    "wht-breakdown",
+    _PWHT(iv("n")),
+    _wht_build,
+    doc="WHT_mn -> (WHT_m (x) I_n)(I_m (x) WHT_n)",
+)
+
+RULE_WHT_BASE = Rule(
+    "wht-base", _PWHT(iv("n")), _wht_base, doc="WHT_2 -> F_2, WHT_1 -> I_1"
+)
+
+
+def expand_wht(n: int, min_leaf: int = 2, balanced: bool = True) -> Expr:
+    """Fully expanded WHT formula for size ``n``."""
+    from ..rewrite.simplify import simplify
+
+    def build(size: int) -> Expr:
+        if size == 1:
+            return I(1)
+        if size == 2:
+            return F2()
+        if size <= min_leaf:
+            return WHT(size)
+        if balanced:
+            m = 1 << (size.bit_length() - 1) // 2
+            m = max(2, m)
+        else:
+            m = 2
+        k = size // m
+        return Compose(Tensor(build(m), I(k)), Tensor(I(m), build(k)))
+
+    return simplify(build(n))
+
+
+def parallel_wht(n: int, p: int, mu: int, min_leaf: int = 32) -> Expr:
+    """A fully optimized (Definition 1) shared-memory WHT via Table 1.
+
+    Chooses the top split so both factors satisfy the divisibility
+    preconditions, then runs the *same* parallelization as the DFT.
+    """
+    from ..rewrite.derive import parallelize
+
+    pmu = p * mu
+    if n % (pmu * pmu):
+        raise SPLError(
+            f"parallel WHT needs (p*mu)^2 = {pmu * pmu} to divide n = {n}"
+        )
+    m = 1
+    while m < pmu or n // m < pmu or (n // m) % pmu:
+        m *= 2
+        if m >= n:
+            raise SPLError(f"no admissible WHT split of {n} for p={p}, mu={mu}")
+    f = parallelize(wht_step(m, n // m), p, mu)
+    return _expand_wht_leaves(f, min_leaf)
+
+
+def _expand_wht_leaves(expr: Expr, min_leaf: int) -> Expr:
+    from ..rewrite.simplify import simplify
+
+    def walk(e: Expr) -> Expr:
+        if isinstance(e, WHT) and e.n > min_leaf:
+            return walk(expand_wht(e.n, min_leaf=min_leaf))
+        if e.children:
+            return e.rebuild(*(walk(c) for c in e.children))
+        return e
+
+    return simplify(walk(expr))

@@ -1,0 +1,46 @@
+"""Short-vector (SIMD) extension: vec(nu) rewriting, after refs [10, 13]."""
+
+from .combined import derive_multicore_vector_ct, vectorize_smp
+from .constructs import (
+    InRegisterTranspose,
+    Vec,
+    VecDiag,
+    VecTensor,
+    vec,
+)
+from .rules import (
+    RULE_V1_PRODUCT,
+    RULE_V2_TENSOR_AI,
+    RULE_V3_TENSOR_IA,
+    RULE_V4_STRIDE_PERM,
+    RULE_V5_DIAG,
+    RULE_V6_UNTAG,
+    VectorizationError,
+    devectorize,
+    has_vec_tags,
+    is_fully_vectorized,
+    vector_rules,
+    vectorize,
+)
+
+__all__ = [
+    "InRegisterTranspose",
+    "RULE_V1_PRODUCT",
+    "RULE_V2_TENSOR_AI",
+    "RULE_V3_TENSOR_IA",
+    "RULE_V4_STRIDE_PERM",
+    "RULE_V5_DIAG",
+    "RULE_V6_UNTAG",
+    "Vec",
+    "VecDiag",
+    "VecTensor",
+    "VectorizationError",
+    "derive_multicore_vector_ct",
+    "devectorize",
+    "has_vec_tags",
+    "is_fully_vectorized",
+    "vec",
+    "vector_rules",
+    "vectorize",
+    "vectorize_smp",
+]

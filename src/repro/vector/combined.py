@@ -1,0 +1,74 @@
+"""smp(p, mu) x vec(nu): the tandem the paper points at in Section 3.2.
+
+Eq. (14) "breaks down to smaller DFTs with alignment guarantees for their
+input and output vectors", so each processor's chunk can be vectorized
+independently: parallel loops keep their structure, the chunk bodies are
+rewritten with the vec(nu) rules, the split twiddle diagonals become vector
+diagonals, and the cache-line permutations are already vector-granularity
+moves whenever nu divides mu.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spl.expr import Compose, Expr, SPLError
+from ..spl.matrices import Diag, I
+from ..spl.parallel import LinePerm, ParDirectSum, ParTensor
+from ..rewrite.pattern import is_permutation_expr
+from ..rewrite.simplify import simplify
+from .constructs import VecDiag
+from .rules import vectorize
+
+
+def vectorize_smp(expr: Expr, nu: int) -> Expr:
+    """Vectorize a fully optimized (Definition 1) shared-memory formula.
+
+    Requires ``nu`` to divide the LinePerm granularity (``nu | mu``) so all
+    inter-processor data movement stays at vector granularity.
+    """
+    if nu == 1:
+        return expr
+
+    def walk(e: Expr) -> Expr:
+        if isinstance(e, ParTensor):
+            return ParTensor(e.p, vectorize(e.child, nu))
+        if isinstance(e, ParDirectSum):
+            blocks = []
+            for b in e.blocks:
+                if isinstance(b, Diag):
+                    if b.rows % nu:
+                        raise SPLError(
+                            f"vec({nu}): diagonal block size {b.rows} is "
+                            "not a multiple of nu"
+                        )
+                    blocks.append(VecDiag(np.asarray(b.values), nu))
+                else:
+                    blocks.append(vectorize(b, nu))
+            return ParDirectSum(blocks)
+        if isinstance(e, LinePerm):
+            if e.mu % nu:
+                raise SPLError(
+                    f"vec({nu}): line permutation granularity {e.mu} is not "
+                    "a multiple of nu — inter-processor moves would split "
+                    "vectors"
+                )
+            return e  # already vector-granularity data movement
+        if isinstance(e, Compose):
+            return Compose(*(walk(f) for f in e.factors))
+        if isinstance(e, I) or is_permutation_expr(e):
+            return e
+        return vectorize(e, nu)
+
+    return simplify(walk(expr))
+
+
+def derive_multicore_vector_ct(
+    n: int, p: int, mu: int, nu: int, split=None
+) -> Expr:
+    """Multicore + short-vector Cooley-Tukey FFT in one derivation."""
+    from ..rewrite.derive import derive_multicore_ct
+
+    if mu % nu:
+        raise SPLError(f"nu={nu} must divide mu={mu} for the smp/vec tandem")
+    return vectorize_smp(derive_multicore_ct(n, p, mu, split=split), nu)

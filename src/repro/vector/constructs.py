@@ -1,0 +1,192 @@
+"""Tagged constructs for short-vector (SIMD) code, after refs [10, 13].
+
+The paper notes (Section 3.2) that Eq. (14) "breaks down to smaller DFTs
+with alignment guarantees ... makes it possible to use (14) in tandem with
+the efficient short vector Cooley-Tukey FFT on machines with SIMD
+extensions."  This package provides that tandem: a ``vec(nu)`` tag and the
+vector terminal constructs
+
+* :class:`VecTensor` ``A (x)v I_nu`` — every scalar operation of ``A``
+  becomes one nu-way vector operation on aligned vectors,
+* :class:`InRegisterTranspose` ``I_k (x) L^{nu^2}_nu`` — the nu x nu
+  in-register transpose (shuffle sequences), the only sub-vector data
+  movement short-vector code ever needs,
+* :class:`VecDiag` — a pointwise scaling executed as aligned vector
+  multiplies.
+
+All constructs are semantically exact (their ``apply`` equals the untagged
+formula); the SIMD claim is carried by ``flops()``, which counts *vector*
+operations — so the machine cost model sees the nu-fold compute reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spl.expr import COMPLEX, Expr, SPLError, Tensor, _check_batched
+from ..spl.matrices import Diag, I, L
+
+
+class Vec(Expr):
+    """The tag ``A |_{vec(nu)}``: ``A`` awaits vectorization rewriting."""
+
+    def __init__(self, nu: int, child: Expr):
+        if nu < 1:
+            raise SPLError(f"vec tag: vector length must be >= 1, got {nu}")
+        self.nu = int(nu)
+        self.child = child
+        self.rows = child.rows
+        self.cols = child.cols
+
+    @property
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    def rebuild(self, *children: Expr) -> Expr:
+        (child,) = children
+        return Vec(self.nu, child)
+
+    def _key(self) -> tuple:
+        return (Vec, self.nu, self.child._key())
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return self.child.apply(x)
+
+    def to_matrix(self) -> np.ndarray:
+        return self.child.to_matrix()
+
+    def flops(self) -> int:
+        return self.child.flops()
+
+
+class VecTensor(Expr):
+    """``A (x)v I_nu``: ``A`` lifted to nu-way vector arithmetic.
+
+    Semantically equal to ``A (x) I_nu``; declared fully vectorized: data is
+    processed in aligned vectors of ``nu`` complex elements and every scalar
+    operation of ``A`` maps to exactly one vector instruction.
+    """
+
+    def __init__(self, child: Expr, nu: int):
+        if nu < 1:
+            raise SPLError(f"VecTensor: nu must be >= 1, got {nu}")
+        self.child = child
+        self.nu = int(nu)
+        self.rows = child.rows * nu
+        self.cols = child.cols * nu
+
+    @property
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    def rebuild(self, *children: Expr) -> Expr:
+        (child,) = children
+        return VecTensor(child, self.nu)
+
+    def _key(self) -> tuple:
+        return (VecTensor, self.nu, self.child._key())
+
+    def untag(self) -> Expr:
+        return Tensor(self.child, I(self.nu)) if self.nu > 1 else self.child
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        x = _check_batched(x, self.cols, "VecTensor")
+        lead = x.shape[:-1]
+        X = x.reshape(*lead, self.child.cols, self.nu)
+        Y = np.swapaxes(
+            self.child.apply(np.swapaxes(X, -1, -2)), -1, -2
+        )
+        return np.ascontiguousarray(Y).reshape(*lead, self.rows)
+
+    def to_matrix(self) -> np.ndarray:
+        return np.kron(self.child.to_matrix(), np.eye(self.nu, dtype=COMPLEX))
+
+    def flops(self) -> int:
+        # one nu-way vector op per scalar op of the child
+        return self.child.flops()
+
+    def scalar_flops(self) -> int:
+        """Equivalent scalar operation count (for speedup accounting)."""
+        return self.child.flops() * self.nu
+
+
+class InRegisterTranspose(Expr):
+    """``I_count (x) L^{nu^2}_nu``: nu x nu transposes inside registers.
+
+    The shuffle-based building block of short-vector permutations; costs a
+    handful of vector shuffles per block instead of scalar loads/stores.
+    """
+
+    def __init__(self, count: int, nu: int):
+        if count < 1 or nu < 1:
+            raise SPLError("InRegisterTranspose: count and nu must be >= 1")
+        self.count = int(count)
+        self.nu = int(nu)
+        self.rows = self.cols = count * nu * nu
+
+    def _key(self) -> tuple:
+        return (InRegisterTranspose, self.count, self.nu)
+
+    def untag(self) -> Expr:
+        inner = L(self.nu * self.nu, self.nu)
+        return inner if self.count == 1 else Tensor(I(self.count), inner)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        x = _check_batched(x, self.cols, "InRegisterTranspose")
+        lead = x.shape[:-1]
+        X = x.reshape(*lead, self.count, self.nu, self.nu)
+        return np.ascontiguousarray(np.swapaxes(X, -1, -2)).reshape(
+            *lead, self.rows
+        )
+
+    def to_matrix(self) -> np.ndarray:
+        return self.untag().to_matrix()
+
+    def flops(self) -> int:
+        return 0  # shuffles, no arithmetic
+
+    def shuffle_ops(self) -> int:
+        """Approximate vector-shuffle count (nu log2-ish per block)."""
+        return self.count * self.nu
+
+
+class VecDiag(Expr):
+    """A diagonal executed as aligned nu-way vector multiplies."""
+
+    def __init__(self, values: np.ndarray, nu: int):
+        vals = np.asarray(values, dtype=COMPLEX)
+        if vals.ndim != 1 or vals.size == 0:
+            raise SPLError("VecDiag needs a non-empty 1-D value vector")
+        if nu < 1 or vals.size % nu:
+            raise SPLError(
+                f"VecDiag: nu={nu} must divide the diagonal length {vals.size}"
+            )
+        self.values = vals
+        self.values.setflags(write=False)
+        self.nu = int(nu)
+        self.rows = self.cols = int(vals.size)
+
+    def _key(self) -> tuple:
+        return (VecDiag, self.nu, self.values.tobytes())
+
+    def untag(self) -> Expr:
+        return Diag(np.asarray(self.values))
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        x = _check_batched(x, self.rows, "VecDiag")
+        return x * self.values
+
+    def to_matrix(self) -> np.ndarray:
+        return np.diag(self.values)
+
+    def flops(self) -> int:
+        # 6 real flops per *vector* complex multiply
+        return (self.rows // self.nu) * 6
+
+    def scalar_flops(self) -> int:
+        return self.rows * 6
+
+
+def vec(nu: int, expr: Expr) -> Vec:
+    """Tag ``expr`` for vectorization: ``expr |_{vec(nu)}``."""
+    return Vec(nu, expr)

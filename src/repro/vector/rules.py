@@ -1,0 +1,262 @@
+"""Vectorization rewriting rules (the vec(nu) analogue of Table 1).
+
+After refs [10, 13]: transform a formula into vector terminal constructs
+(:class:`VecTensor`, :class:`InRegisterTranspose`, :class:`VecDiag`) so all
+memory access happens in aligned nu-vectors and all sub-vector data movement
+is confined to in-register transposes.
+
+  (v1)  (A B)|vec              -> A|vec B|vec
+  (v2)  (A (x) I_n)|vec        -> (A (x) I_{n/nu}) (x)v I_nu          [nu | n]
+  (v3)  (I_m (x) A_n)|vec      -> L^{mn}_m|vec (A (x) I_m)|vec L^{mn}_n|vec
+                                  (commutation theorem)
+  (v4)  L^{mn}_m|vec           -> ((L^{mn/nu}_m) (x)v I_nu)
+                                  (I_{mn/nu^2} (x) L^{nu^2}_nu)
+                                  ((I_{n/nu} (x) L^m_{m/nu}) (x)v I_nu)
+                                                           [nu | m, nu | n]
+  (v5)  D|vec                  -> VecDiag(D)                    [nu | size]
+  (v6)  I|vec -> I;  terminal|vec -> terminal
+
+(v4) was derived by digit analysis and verified as an exact matrix identity
+over parameter grids (``tests/vector/``); the middle factor is the only
+sub-vector data movement, exactly the structure of short-vector FFTs.
+"""
+
+from __future__ import annotations
+
+from ..rewrite.pattern import (
+    PDiag,
+    PI,
+    PL,
+    PTensor,
+    W,
+    is_permutation_expr,
+    iv,
+)
+from ..rewrite.rule import Rule, RuleSet
+from ..rewrite.simplify import simplify, simplify_rules
+from ..sigma.index_map import diag_values
+from ..spl.expr import Compose, Expr, SPLError, Tensor
+from ..spl.matrices import I, L
+from .constructs import InRegisterTranspose, Vec, VecDiag, VecTensor
+
+
+class PVec:
+    """Pattern matching ``inner |_{vec(nu)}``."""
+
+    def __init__(self, nu, inner):
+        self.nu = nu
+        self.inner = inner
+
+    def match_all(self, expr, b):
+        from ..rewrite.pattern import _bind_int
+
+        if not isinstance(expr, Vec):
+            return
+        out = _bind_int(self.nu, expr.nu, b)
+        if out is None:
+            return
+        yield from self.inner.match_all(expr.child, out)
+
+    def match(self, expr, b=None):
+        for out in self.match_all(expr, b or {}):
+            return out
+        return None
+
+
+def _tag(nu: int, e: Expr) -> Vec:
+    return Vec(nu, e)
+
+
+def _v1_build(b):
+    e: Compose = b["AB"]
+    nu = b["nu"]
+    return Compose(*(_tag(nu, f) for f in e.factors))
+
+
+RULE_V1_PRODUCT = Rule(
+    "vec-product(v1)",
+    PVec(iv("nu"), W("AB", guard=lambda e: isinstance(e, Compose))),
+    _v1_build,
+    doc="(AB)|vec -> A|vec B|vec",
+)
+
+
+def _not_stride_perm(e: Expr) -> bool:
+    return not isinstance(e, L)
+
+
+def _v2_build(b):
+    A: Expr = b["A"]
+    n, nu = b["n"], b["nu"]
+    if n % nu:
+        return None
+    inner = A if n == nu else Tensor(A, I(n // nu))
+    return VecTensor(inner, nu)
+
+
+RULE_V2_TENSOR_AI = Rule(
+    "vec-tensor-AI(v2)",
+    PVec(iv("nu"), PTensor(W("A", guard=_not_stride_perm), PI(iv("n")))),
+    _v2_build,
+    doc="(A (x) I_n)|vec -> (A (x) I_{n/nu}) (x)v I_nu  [nu | n]",
+)
+
+
+def _is_perm_or_diag(e: Expr) -> bool:
+    from ..sigma.lower import is_diag_stage
+
+    return is_permutation_expr(e) or is_diag_stage(e)
+
+
+def _v3_build(b):
+    A: Expr = b["A"]
+    m, nu = b["m"], b["nu"]
+    if A.rows != A.cols:
+        return None
+    n = A.rows
+    if m % nu:
+        return None  # the commuted (A (x) I_m) needs nu | m
+    return Compose(
+        _tag(nu, L(m * n, m)),
+        _tag(nu, Tensor(A, I(m))),
+        _tag(nu, L(m * n, n)),
+    )
+
+
+RULE_V3_TENSOR_IA = Rule(
+    "vec-tensor-IA(v3)",
+    PVec(
+        iv("nu"),
+        PTensor(PI(iv("m")), W("A", guard=lambda e: not _is_perm_or_diag(e))),
+    ),
+    _v3_build,
+    doc="(I_m (x) A)|vec -> commutation, then (v2)/(v4)",
+)
+
+
+def _v4_build(b):
+    mn, m, nu = b["mn"], b["m"], b["nu"]
+    n = mn // m
+    if m % nu or n % nu:
+        return None
+    if m == nu and n == nu:
+        return InRegisterTranspose(1, nu)
+    left = VecTensor(L(mn // nu, m), nu)
+    mid = InRegisterTranspose(mn // (nu * nu), nu)
+    right_inner: Expr = (
+        L(m, m // nu) if n == nu else Tensor(I(n // nu), L(m, m // nu))
+    )
+    right = VecTensor(simplify(right_inner), nu)
+    return simplify(Compose(left, mid, right))
+
+
+RULE_V4_STRIDE_PERM = Rule(
+    "vec-L(v4)",
+    PVec(iv("nu"), PL(iv("mn"), iv("m"))),
+    _v4_build,
+    doc="L^{mn}_m|vec -> vector moves + in-register transposes",
+)
+
+
+def _v5_build(b):
+    D: Expr = b["D"]
+    nu = b["nu"]
+    if D.rows % nu:
+        return None
+    return VecDiag(diag_values(D), nu)
+
+
+RULE_V5_DIAG = Rule(
+    "vec-diag(v5)",
+    PVec(iv("nu"), PDiag("D")),
+    _v5_build,
+    doc="D|vec -> VecDiag  [nu | size]",
+)
+
+
+def _v6_build(b):
+    e: Vec = b["x"]
+    c = e.child
+    if isinstance(c, (I, VecTensor, InRegisterTranspose, VecDiag)):
+        return c
+    if isinstance(c, Vec) and c.nu == e.nu:
+        return c
+    return None
+
+
+RULE_V6_UNTAG = Rule(
+    "vec-untag(v6)",
+    W("x", guard=lambda e: isinstance(e, Vec)),
+    _v6_build,
+    doc="identity and terminal constructs drop the tag",
+)
+
+
+def vector_rules() -> RuleSet:
+    return RuleSet(
+        "vec(nu)",
+        [
+            RULE_V6_UNTAG,
+            RULE_V1_PRODUCT,
+            RULE_V5_DIAG,
+            RULE_V4_STRIDE_PERM,
+            RULE_V2_TENSOR_AI,
+            RULE_V3_TENSOR_IA,
+        ],
+    )
+
+
+class VectorizationError(SPLError):
+    """The formula could not be fully vectorized."""
+
+
+def has_vec_tags(expr: Expr) -> bool:
+    return expr.contains(lambda e: isinstance(e, Vec))
+
+
+def is_fully_vectorized(expr: Expr, nu: int) -> bool:
+    """All arithmetic in nu-vector constructs; data movement at vector
+    granularity except in-register transposes."""
+    if isinstance(expr, (VecTensor, VecDiag)):
+        return expr.nu == nu
+    if isinstance(expr, InRegisterTranspose):
+        return expr.nu == nu
+    if isinstance(expr, I):
+        return True
+    if isinstance(expr, Compose):
+        return all(is_fully_vectorized(f, nu) for f in expr.factors)
+    if isinstance(expr, Tensor) and isinstance(expr.factors[0], I):
+        rest = expr.rebuild(*expr.factors[1:])
+        return is_fully_vectorized(rest, nu)
+    return False
+
+
+def vectorize(expr: Expr, nu: int, check: bool = True) -> Expr:
+    """Rewrite ``expr`` into short-vector form for nu-way SIMD."""
+    from ..rewrite.engine import rewrite_exhaustive
+
+    if nu == 1:
+        return expr
+    rules = simplify_rules() + vector_rules()
+    out = simplify(rewrite_exhaustive(Vec(nu, expr), rules))
+    if has_vec_tags(out):
+        stuck = [repr(e.child) for e in out.preorder() if isinstance(e, Vec)]
+        raise VectorizationError(
+            f"undischarged vec({nu}) tags at: " + "; ".join(stuck[:5])
+        )
+    if check and not is_fully_vectorized(out, nu):
+        raise VectorizationError(
+            f"vectorization produced a non-vector formula: {out!r}"
+        )
+    return out
+
+
+def devectorize(expr: Expr) -> Expr:
+    """Replace vector constructs by their untagged equivalents."""
+    children = [devectorize(c) for c in expr.children]
+    e = expr.rebuild(*children) if children else expr
+    if isinstance(e, (VecTensor, InRegisterTranspose, VecDiag)):
+        return e.untag()
+    if isinstance(e, Vec):
+        return e.child
+    return e

@@ -1,0 +1,128 @@
+"""Wisdom: persistent autotuning results (the FFTW-style plan cache).
+
+Searching the factorization space costs time; its *result* — the best tree
+for a (size, threads, mu, strategy) configuration — is a few bytes.  This
+module persists those results as JSON so later sessions (or processes)
+regenerate the tuned program directly, the same role FFTW's "wisdom" files
+play.
+
+    wisdom = Wisdom("wisdom.json")
+    fft = wisdom.plan(4096, threads=2)   # searches once, cached afterwards
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from .codegen.python_backend import GeneratedProgram, generate
+from .rewrite.breakdown import expand_from_tree
+from .rewrite.derive import derive_multicore_ct
+from .rewrite.breakdown import expand_dft
+from .search.dp import Objective, dp_search, flop_objective
+from .sigma.lower import lower
+
+
+def _tree_to_json(tree):
+    if isinstance(tree, int):
+        return tree
+    l, r = tree
+    return [_tree_to_json(l), _tree_to_json(r)]
+
+
+def _tree_from_json(obj):
+    if isinstance(obj, int):
+        return obj
+    l, r = obj
+    return (_tree_from_json(l), _tree_from_json(r))
+
+
+class Wisdom:
+    """A persistent cache of search results keyed by plan configuration."""
+
+    def __init__(self, path: Optional[str | Path] = None):
+        self.path = Path(path) if path is not None else None
+        self._store: dict = {}
+        self._programs: dict = {}
+        if self.path is not None and self.path.exists():
+            try:
+                self._store = json.loads(self.path.read_text())
+            except (json.JSONDecodeError, OSError):
+                self._store = {}
+
+    # -- persistence -----------------------------------------------------------
+
+    def _save(self) -> None:
+        if self.path is not None:
+            self.path.write_text(json.dumps(self._store, indent=1))
+
+    @staticmethod
+    def _key(n: int, threads: int, mu: int) -> str:
+        return f"dft:{n}:p{threads}:mu{mu}"
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: tuple) -> bool:
+        n, threads, mu = key
+        return self._key(n, threads, mu) in self._store
+
+    def forget(self) -> None:
+        """Drop all stored plans (in memory and on disk)."""
+        self._store = {}
+        self._programs = {}
+        self._save()
+
+    # -- planning ----------------------------------------------------------------
+
+    def plan(
+        self,
+        n: int,
+        threads: int = 1,
+        mu: int = 4,
+        objective: Optional[Objective] = None,
+        leaf_max: int = 32,
+    ) -> GeneratedProgram:
+        """Return a tuned program, searching only on a wisdom miss.
+
+        For ``threads > 1`` the multicore CT derivation fixes the top-level
+        structure (Eq. 14); the search tunes the sequential leaf
+        factorizations.  The search objective defaults to arithmetic count
+        (cheap, deterministic); pass ``measured_objective()`` or
+        ``model_objective(spec)`` for tuned plans.
+        """
+        key = self._key(n, threads, mu)
+        if key in self._programs:
+            return self._programs[key]
+
+        if key not in self._store:
+            res = dp_search(n, objective or flop_objective, leaf_max=leaf_max)
+            self._store[key] = {
+                "tree": _tree_to_json(res.tree),
+                "value": res.value,
+                "evaluations": res.evaluations,
+            }
+            self._save()
+        entry = self._store[key]
+        tree = _tree_from_json(entry["tree"])
+        program = self._build(n, threads, mu, tree, leaf_max)
+        self._programs[key] = program
+        return program
+
+    def _build(self, n, threads, mu, tree, leaf_max) -> GeneratedProgram:
+        if threads > 1:
+            # top structure from Eq. (14); leaves re-expanded per the tuned
+            # radix profile (balanced strategy with the tuned leaf bound)
+            f = expand_dft(
+                derive_multicore_ct(n, threads, mu),
+                "balanced",
+                min_leaf=leaf_max,
+            )
+        else:
+            f = expand_from_tree(n, tree)
+        return generate(lower(f))
+
+    def entry(self, n: int, threads: int = 1, mu: int = 4) -> Optional[dict]:
+        """The stored search record (tree, objective value, evaluations)."""
+        return self._store.get(self._key(n, threads, mu))

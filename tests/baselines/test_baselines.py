@@ -1,0 +1,145 @@
+"""Tests for the baseline algorithms (iterative FFT, six-step, FFTW model)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FFTWModel,
+    bit_reverse_indices,
+    dft_naive,
+    fft_iterative,
+    fft_recursive,
+    six_step_apply,
+    six_step_formula,
+    six_step_program,
+)
+from repro.machine import core_duo, opteron
+from tests.conftest import random_vector
+
+
+class TestIterativeFFT:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 64, 1024])
+    def test_matches_numpy(self, rng, n):
+        x = random_vector(rng, n)
+        np.testing.assert_allclose(fft_iterative(x), np.fft.fft(x), atol=1e-8)
+
+    @pytest.mark.parametrize("n", [2, 16, 128])
+    def test_recursive_matches(self, rng, n):
+        x = random_vector(rng, n)
+        np.testing.assert_allclose(fft_recursive(x), np.fft.fft(x), atol=1e-8)
+
+    def test_naive_oracle(self, rng):
+        x = random_vector(rng, 12)
+        np.testing.assert_allclose(dft_naive(x), np.fft.fft(x), atol=1e-8)
+
+    def test_bit_reversal(self):
+        np.testing.assert_array_equal(
+            bit_reverse_indices(8), [0, 4, 2, 6, 1, 5, 3, 7]
+        )
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            fft_iterative(np.zeros(12, dtype=complex))
+        with pytest.raises(ValueError):
+            bit_reverse_indices(0)
+
+    def test_batched(self, rng):
+        X = (rng.standard_normal((3, 16)) + 1j * rng.standard_normal((3, 16)))
+        np.testing.assert_allclose(
+            fft_iterative(X), np.fft.fft(X, axis=-1), atol=1e-8
+        )
+
+
+class TestSixStep:
+    @pytest.mark.parametrize("n", [16, 64, 256, 144])
+    def test_correct(self, rng, n):
+        x = random_vector(rng, n)
+        np.testing.assert_allclose(six_step_apply(x), np.fft.fft(x), atol=1e-7)
+
+    def test_parallel_passes(self, rng):
+        x = random_vector(rng, 256)
+        np.testing.assert_allclose(
+            six_step_apply(x, procs=2), np.fft.fft(x), atol=1e-7
+        )
+
+    def test_unmerged_has_explicit_stages(self):
+        prog = six_step_program(64, merge=False)
+        merged = six_step_program(64, merge=True)
+        assert len(prog.stages) > len(merged.stages)
+        assert any("explicit" in s.name for s in prog.stages)
+
+    def test_formula_is_six_factors(self):
+        from repro.spl import Compose
+
+        f = six_step_formula(64)
+        assert isinstance(f, Compose)
+        assert len(f.factors) == 6
+
+    def test_prime_rejected(self):
+        from repro.spl import SPLError
+
+        with pytest.raises(SPLError):
+            six_step_formula(13)
+
+
+class TestFFTWModel:
+    def test_sequential_program_correct(self, rng):
+        model = FFTWModel(core_duo())
+        prog = model.sequential_program(256)
+        x = random_vector(rng, 256)
+        np.testing.assert_allclose(prog.apply(x), np.fft.fft(x), atol=1e-7)
+
+    def test_parallel_program_correct(self, rng):
+        model = FFTWModel(core_duo())
+        for sched in ("block", "cyclic"):
+            prog = model.parallel_program(256, 2, sched)
+            x = random_vector(rng, 256)
+            np.testing.assert_allclose(prog.apply(x), np.fft.fft(x), atol=1e-7)
+
+    def test_planner_prefers_sequential_for_small_sizes(self):
+        model = FFTWModel(core_duo())
+        assert model.plan(256).threads == 1
+
+    def test_planner_goes_parallel_for_large_sizes(self):
+        """The paper: FFTW uses threads only beyond several thousand points."""
+        model = FFTWModel(core_duo())
+        plan = model.plan(1 << 16)
+        assert plan.threads == 2
+
+    def test_multithread_crossover_near_paper(self):
+        """FFTW's 2-thread crossover lands in the 2^12..2^15 window
+        (the paper reports sizes larger than 2^13 on the Core Duo)."""
+        model = FFTWModel(core_duo())
+        crossover = None
+        for k in range(8, 17):
+            if model.plan(1 << k).threads > 1:
+                crossover = k
+                break
+        assert crossover is not None and 12 <= crossover <= 15
+
+    def test_planner_avoids_cyclic_schedule(self):
+        """Cyclic scheduling false-shares; patient planning rejects it."""
+        model = FFTWModel(core_duo())
+        plan = model.plan(1 << 16)
+        assert plan.schedule == "block"
+
+    def test_four_threads_only_for_huge_sizes(self):
+        model = FFTWModel(opteron())
+        assert model.plan(1 << 12).threads == 1
+        big = model.plan(1 << 17)
+        assert big.threads >= 2
+
+    def test_candidate_threads(self):
+        assert FFTWModel(opteron()).candidate_threads() == [1, 2, 4]
+        assert FFTWModel(core_duo()).candidate_threads() == [1, 2]
+
+    def test_sequential_cache(self):
+        model = FFTWModel(core_duo())
+        assert model.sequential_program(256) is model.sequential_program(256)
+
+    def test_broken_pooling_penalty(self):
+        model = FFTWModel(opteron())
+        c2 = model.cost_parallel(1 << 14, 2, "block")
+        c4 = model.cost_parallel(1 << 14, 4, "block")
+        # 4 threads pay disproportionally more sync
+        assert c4.sync > 2 * c2.sync

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestDerive:
+    def test_derive(self, capsys):
+        assert main(["derive", "256", "-p", "2", "--mu", "4"]) == 0
+        out = capsys.readouterr()
+        assert "⊗∥" in out.out
+        assert "Definition 1" in out.err
+
+    def test_derive_ascii(self, capsys):
+        assert main(["derive", "256", "-p", "2", "--mu", "4", "--ascii"]) == 0
+        out = capsys.readouterr().out
+        assert "(x)||" in out and "⊗" not in out
+
+
+class TestGenerate:
+    def test_generate_python(self, capsys):
+        assert main(["generate", "64", "-p", "2", "--mu", "2"]) == 0
+        out = capsys.readouterr()
+        assert "def make_stages(C):" in out.out
+        assert "verified=True" in out.err
+
+    def test_generate_c(self, capsys):
+        assert main(["generate", "64", "-p", "2", "--mu", "2", "--emit-c"]) == 0
+        out = capsys.readouterr().out
+        assert "#include <pthread.h>" in out
+        assert "int main(void)" in out
+
+    def test_generate_c_sequential(self, capsys):
+        assert (
+            main(["generate", "32", "--emit-c", "--mode", "sequential"]) == 0
+        )
+        assert "pthread" not in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_rows(self, capsys):
+        assert main(["bench", "core_duo", "--kmin", "6", "--kmax", "8"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l and not l.startswith("#")]
+        assert lines[0].startswith("log2n,")
+        assert len(lines) == 4  # header + 3 sizes
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "cray"])
+
+
+class TestSearch:
+    def test_search(self, capsys):
+        assert main(["search", "256", "--machine", "core_duo"]) == 0
+        out = capsys.readouterr().out
+        assert "tree:" in out and "modeled cycles:" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

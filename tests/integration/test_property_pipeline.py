@@ -1,0 +1,133 @@
+"""Property-based tests over the whole pipeline (Hypothesis).
+
+Semantic preservation is THE invariant of a rewriting-based generator:
+whatever the rules, strategies, schedules, and backends do, the matrix
+denoted must never change.  These properties drive randomized
+(n, p, mu, nu) configurations through every layer.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import generate_fft
+from repro.machine import schedule_block, schedule_cyclic
+from repro.rewrite import (
+    cooley_tukey_step,
+    derive_multicore_ct,
+    expand_dft,
+    parallelize,
+)
+from repro.sigma import lower, normalize_for_lowering
+from repro.spl import COMPLEX, is_fully_optimized
+from repro.vector import devectorize, vectorize
+
+
+def _vec(rng_seed: int, n: int) -> np.ndarray:
+    rng = np.random.default_rng(rng_seed)
+    return (rng.standard_normal(n) + 1j * rng.standard_normal(n)).astype(COMPLEX)
+
+
+# admissible configurations: n = (p*mu)^2 * extra
+@st.composite
+def smp_configs(draw):
+    p = draw(st.sampled_from([2, 4]))
+    mu = draw(st.sampled_from([1, 2, 4]))
+    extra = draw(st.sampled_from([1, 2, 3, 4]))
+    n = (p * mu) ** 2 * extra
+    return n, p, mu
+
+
+@given(smp_configs())
+@settings(max_examples=25, deadline=None)
+def test_derivation_always_exact_and_optimized(cfg):
+    n, p, mu = cfg
+    f = derive_multicore_ct(n, p, mu)
+    assert is_fully_optimized(f, p, mu)
+    x = _vec(n, n)
+    np.testing.assert_allclose(f.apply(x), np.fft.fft(x), atol=1e-6)
+
+
+@given(smp_configs(), st.sampled_from(["radix2", "balanced"]))
+@settings(max_examples=15, deadline=None)
+def test_lowering_preserves_semantics(cfg, strategy):
+    n, p, mu = cfg
+    if strategy == "radix2" and n & (n - 1):
+        strategy = "balanced"
+    f = expand_dft(derive_multicore_ct(n, p, mu), strategy, min_leaf=16)
+    prog = lower(f, validate=True)
+    x = _vec(n + 1, n)
+    np.testing.assert_allclose(prog.apply(x), f.apply(x), atol=1e-6)
+
+
+@given(
+    st.sampled_from([4, 8, 16, 32]),
+    st.sampled_from([4, 8, 16]),
+    st.sampled_from([2, 4]),
+)
+@settings(max_examples=20, deadline=None)
+def test_vectorization_preserves_semantics(m, k, nu):
+    if m % nu or k % nu:
+        return
+    f = cooley_tukey_step(m, k)
+    v = vectorize(f, nu)
+    x = _vec(m * k, m * k)
+    np.testing.assert_allclose(v.apply(x), f.apply(x), atol=1e-7)
+    np.testing.assert_allclose(devectorize(v).apply(x), f.apply(x), atol=1e-7)
+
+
+@given(st.sampled_from([64, 128, 256, 192]), st.sampled_from([2, 3, 4]))
+@settings(max_examples=15, deadline=None)
+def test_schedules_preserve_semantics(n, p):
+    from repro.rewrite import derive_sequential_ct
+
+    prog = lower(expand_dft(derive_sequential_ct(n), "balanced", min_leaf=16))
+    x = _vec(n + 2, n)
+    want = prog.apply(x)
+    for sched in (schedule_block, schedule_cyclic):
+        out = sched(prog, p)
+        out.validate()
+        np.testing.assert_allclose(out.apply(x), want, atol=1e-9)
+
+
+@given(smp_configs())
+@settings(max_examples=10, deadline=None)
+def test_generated_program_matches_fft(cfg):
+    n, p, mu = cfg
+    gen = generate_fft(n, threads=p, mu=mu, min_leaf=16)
+    x = _vec(n + 3, n)
+    np.testing.assert_allclose(gen(x), np.fft.fft(x), atol=1e-6)
+
+
+@given(st.sampled_from([16, 24, 36, 48, 64, 96]))
+@settings(max_examples=15, deadline=None)
+def test_normalization_preserves_semantics(n):
+    from repro.rewrite import derive_sequential_ct
+
+    f = expand_dft(derive_sequential_ct(n), "balanced", min_leaf=8)
+    norm = normalize_for_lowering(f)
+    x = _vec(n + 4, n)
+    np.testing.assert_allclose(norm.apply(x), f.apply(x), atol=1e-7)
+
+
+@given(smp_configs())
+@settings(max_examples=10, deadline=None)
+def test_parallelize_of_six_step(cfg):
+    """Table 1 parallelizes the six-step formula too (it is just SPL)."""
+    from repro.rewrite import six_step
+    from repro.rewrite.breakdown import factor_pairs
+
+    n, p, mu = cfg
+    pmu = p * mu
+    pairs = [
+        (m, k) for m, k in factor_pairs(n) if m % pmu == 0 and k % pmu == 0
+    ]
+    if not pairs:
+        return
+    m, k = pairs[0]
+    f = six_step(m, k)
+    try:
+        out = parallelize(f, p, mu)
+    except Exception:
+        return  # not all six-step instances are admissible; fine
+    x = _vec(n + 5, n)
+    np.testing.assert_allclose(out.apply(x), np.fft.fft(x), atol=1e-6)

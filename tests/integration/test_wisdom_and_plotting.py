@@ -1,0 +1,116 @@
+"""Tests for the wisdom cache and the ASCII chart renderer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.plotting import ascii_chart
+from repro.wisdom import Wisdom
+from tests.conftest import random_vector
+
+
+class TestWisdom:
+    def test_plan_is_correct_program(self, rng, tmp_path):
+        w = Wisdom(tmp_path / "wisdom.json")
+        fft = w.plan(64)
+        x = random_vector(rng, 64)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-7)
+
+    def test_search_runs_once(self, tmp_path):
+        w = Wisdom(tmp_path / "wisdom.json")
+        w.plan(64)
+        entry = w.entry(64)
+        assert entry is not None and entry["evaluations"] > 0
+        # second call: cached program object
+        assert w.plan(64) is w.plan(64)
+
+    def test_persistence_across_instances(self, rng, tmp_path):
+        path = tmp_path / "wisdom.json"
+        w1 = Wisdom(path)
+        w1.plan(128)
+        tree1 = w1.entry(128)["tree"]
+
+        w2 = Wisdom(path)
+        assert (128, 1, 4) in w2
+        assert w2.entry(128)["tree"] == tree1
+        fft = w2.plan(128)  # rebuilt from stored tree, no new search
+        x = random_vector(rng, 128)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-7)
+
+    def test_parallel_plan(self, rng, tmp_path):
+        w = Wisdom(tmp_path / "wisdom.json")
+        fft = w.plan(256, threads=2, mu=4)
+        x = random_vector(rng, 256)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-7)
+
+    def test_forget(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        w = Wisdom(path)
+        w.plan(64)
+        assert len(w) == 1
+        w.forget()
+        assert len(w) == 0
+        assert json.loads(path.read_text()) == {}
+
+    def test_memory_only_mode(self, rng):
+        w = Wisdom()  # no path: in-memory only
+        fft = w.plan(64)
+        x = random_vector(rng, 64)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-7)
+
+    def test_corrupt_file_tolerated(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        path.write_text("{not json")
+        w = Wisdom(path)
+        assert len(w) == 0
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            {"a": {6: 100.0, 7: 200.0, 8: 300.0}},
+            title="t",
+            width=30,
+            height=8,
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "t"
+        assert "o=a" in lines[-1]
+        assert any("o" in l for l in lines[1:-3])
+
+    def test_multiple_series_markers(self):
+        chart = ascii_chart(
+            {
+                "one": {1: 1.0, 2: 2.0},
+                "two": {1: 2.0, 2: 1.0},
+            },
+            width=20,
+            height=6,
+        )
+        assert "o=one" in chart and "x=two" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_chart(
+            {"s": {6: 50.0, 18: 100.0}},
+            width=40,
+            height=6,
+            ylabel="MF",
+            xlabel="log2n",
+        )
+        assert "log2n" in chart
+        assert "MF" in chart
+        # last tick fully visible at the right edge
+        assert "18" in chart
+
+    def test_empty(self):
+        assert ascii_chart({}) == "(empty chart)"
+
+    def test_single_point(self):
+        chart = ascii_chart({"p": {4: 10.0}}, width=10, height=4)
+        assert "o" in chart
+
+    def test_interpolation_dots(self):
+        chart = ascii_chart({"s": {0: 0.0, 10: 100.0}}, width=40, height=10)
+        assert "." in chart  # line segments drawn between markers

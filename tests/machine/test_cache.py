@@ -1,0 +1,92 @@
+"""Tests for the trace-driven cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Cache, CacheHierarchy, CacheLevel
+
+
+def small_cache(size=1024, line=64, assoc=2):
+    return Cache(CacheLevel(size, line, assoc, 3))
+
+
+class TestCacheBasics:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert not c.access_line(0)
+        assert c.access_line(0)
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_lru_eviction_within_set(self):
+        # assoc=2: third distinct line mapping to the same set evicts LRU
+        c = small_cache(size=1024, line=64, assoc=2)  # 8 sets
+        s = c.n_sets
+        c.access_line(0)
+        c.access_line(s)      # same set as 0
+        c.access_line(2 * s)  # evicts line 0
+        assert not c.contains_line(0)
+        assert c.contains_line(s)
+        assert c.contains_line(2 * s)
+
+    def test_lru_order_updated_on_hit(self):
+        c = small_cache(size=1024, line=64, assoc=2)
+        s = c.n_sets
+        c.access_line(0)
+        c.access_line(s)
+        c.access_line(0)       # refresh line 0
+        c.access_line(2 * s)   # should evict line s, not 0
+        assert c.contains_line(0)
+        assert not c.contains_line(s)
+
+    def test_element_addresses_translate_to_lines(self):
+        c = small_cache(line=64)  # 4 complex elements per line
+        misses = c.access_elements(np.arange(8))
+        assert misses == 2  # 8 elements = 2 lines
+
+    def test_sequential_vs_strided_traffic(self):
+        """Strided access touches more lines than sequential for same count."""
+        c1 = small_cache(size=512, line=64, assoc=2)
+        seq_misses = c1.access_elements(np.arange(64))
+        c2 = small_cache(size=512, line=64, assoc=2)
+        strided_misses = c2.access_elements(np.arange(0, 256, 4))
+        assert strided_misses > seq_misses
+
+    def test_reset(self):
+        c = small_cache()
+        c.access_line(1)
+        c.reset()
+        assert c.stats.accesses == 0
+        assert not c.contains_line(1)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(CacheLevel(1000, 64, 3, 3))
+
+    def test_miss_rate(self):
+        c = small_cache()
+        c.access_line(0)
+        c.access_line(0)
+        assert c.stats.miss_rate == 0.5
+
+
+class TestHierarchy:
+    def test_l1_miss_goes_to_l2(self):
+        h = CacheHierarchy(
+            CacheLevel(256, 64, 2, 3), CacheLevel(4096, 64, 4, 14)
+        )
+        stats = h.access_elements(np.arange(64))  # 16 lines > L1 (4 lines)
+        assert stats.l1.misses == 16
+        assert stats.l2.misses == 16
+        # second sweep: L1 too small, L2 holds everything
+        stats2 = h.access_elements(np.arange(64))
+        assert stats2.l2.misses == 0
+        assert stats2.l1.misses > 0
+
+    def test_working_set_in_l1(self):
+        h = CacheHierarchy(
+            CacheLevel(1024, 64, 4, 3), CacheLevel(8192, 64, 4, 14)
+        )
+        h.access_elements(np.arange(32))  # 8 lines, fits in L1 (16 lines)
+        stats = h.access_elements(np.arange(32))
+        assert stats.l1.misses == 0
+        assert stats.memory_accesses == 0

@@ -1,0 +1,109 @@
+"""Tests for coherence/false-sharing analysis — the paper's P1 property.
+
+Definition 1 promises Spiral schedules are free of false sharing; the
+mu-oblivious cyclic schedule must show it.  These tests verify both claims
+*empirically* from the lowered index tables.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frontend import SpiralSMP
+from repro.machine import (
+    analyze_sharing,
+    core_duo,
+    count_false_sharing,
+    schedule_block,
+    schedule_cyclic,
+)
+from repro.rewrite import derive_multicore_ct, derive_sequential_ct, expand_dft
+from repro.sigma import lower
+
+
+def spiral_program(n, p, mu, leaf=16):
+    return lower(expand_dft(derive_multicore_ct(n, p, mu), "balanced", min_leaf=leaf))
+
+
+def sequential_program(n, leaf=16):
+    return lower(expand_dft(derive_sequential_ct(n), "balanced", min_leaf=leaf))
+
+
+MU = 4
+
+
+class TestSpiralSchedulesAreFalseSharingFree:
+    @pytest.mark.parametrize(
+        "n,p,mu", [(256, 2, 4), (256, 4, 4), (1024, 2, 4), (1024, 4, 4), (4096, 2, 4)]
+    )
+    def test_zero_false_sharing(self, n, p, mu):
+        prog = spiral_program(n, p, mu)
+        assert count_false_sharing(prog, mu) == 0
+
+    def test_property_holds_at_exact_line_granularity(self):
+        # even when each processor's chunk is a single cache line
+        prog = spiral_program(256, 4, MU)
+        report = analyze_sharing(prog, MU)
+        assert report.is_false_sharing_free
+
+
+class TestCyclicSchedulesFalselyShare:
+    @pytest.mark.parametrize("n,p", [(256, 2), (1024, 2), (1024, 4)])
+    def test_cyclic_has_false_sharing(self, n, p):
+        prog = schedule_cyclic(sequential_program(n), p)
+        assert count_false_sharing(prog, MU) > 0
+
+    def test_block_has_less_false_sharing_than_cyclic(self):
+        seq = sequential_program(1024)
+        cyc = count_false_sharing(schedule_cyclic(seq, 2), MU)
+        blk = count_false_sharing(schedule_block(seq, 2), MU)
+        assert blk < cyc
+
+    def test_bounces_scale_with_sharers(self):
+        seq = sequential_program(1024)
+        r2 = analyze_sharing(schedule_cyclic(seq, 2), MU)
+        r4 = analyze_sharing(schedule_cyclic(seq, 4), MU)
+        assert r4.total_false_shared_lines >= r2.total_false_shared_lines
+
+
+class TestTrueSharing:
+    def test_sequential_has_no_coherence_traffic(self):
+        prog = sequential_program(256)
+        report = analyze_sharing(prog, MU)
+        assert report.total_coherence_misses == 0
+
+    def test_parallel_fft_communicates(self):
+        """The FFT's transpose requires real inter-processor communication."""
+        prog = spiral_program(1024, 2, 4)
+        report = analyze_sharing(prog, MU)
+        assert report.total_coherence_misses > 0
+
+    def test_communication_volume_order(self):
+        """Communication is O(N/mu) lines — the all-to-all volume."""
+        n, p = 4096, 2
+        prog = spiral_program(n, p, 4)
+        report = analyze_sharing(prog, MU)
+        lines = n // MU
+        assert report.total_coherence_misses <= 4 * lines
+
+    def test_mu_one_analysis(self):
+        prog = spiral_program(256, 2, 4)
+        # finer granularity can only split lines, never create false sharing
+        assert count_false_sharing(prog, 1) == 0
+
+
+class TestReportStructure:
+    def test_per_stage_breakdown(self):
+        prog = spiral_program(1024, 2, 4)
+        report = analyze_sharing(prog, MU)
+        assert len(report.stages) == len(prog.stages)
+        for st in report.stages:
+            assert st.false_shared_lines >= 0
+            assert all(v >= 0 for v in st.coherence_misses.values())
+
+    def test_bounce_count_at_least_shared_lines(self):
+        prog = schedule_cyclic(sequential_program(512), 2)
+        report = analyze_sharing(prog, MU)
+        assert (
+            report.total_false_sharing_bounces
+            >= report.total_false_shared_lines
+        )

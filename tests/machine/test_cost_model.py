@@ -1,0 +1,158 @@
+"""Tests for machine specs and the analytic cost model."""
+
+import pytest
+
+from repro.frontend import SpiralSMP, feasible_threads
+from repro.machine import (
+    PAPER_MACHINES,
+    SyncProfile,
+    core_duo,
+    estimate_cost,
+    machine,
+    opteron,
+    pentium_d,
+    schedule_block,
+    xeon_mp,
+)
+from repro.rewrite import derive_sequential_ct, expand_dft
+from repro.sigma import lower
+
+
+def seq_prog(n, leaf=32):
+    return lower(expand_dft(derive_sequential_ct(n), "balanced", min_leaf=leaf))
+
+
+class TestMachineSpecs:
+    def test_paper_mu_is_four(self):
+        """64-byte lines with double complex elements: mu = 4 (paper 3.1)."""
+        for mk in PAPER_MACHINES.values():
+            assert mk().mu == 4
+
+    def test_lookup(self):
+        assert machine("core_duo").p == 2
+        assert machine("opteron").p == 4
+        with pytest.raises(KeyError):
+            machine("cray")
+
+    def test_cmp_coherence_cheaper_than_bus(self):
+        assert core_duo().coherence_miss_cycles < pentium_d().coherence_miss_cycles
+        assert opteron().coherence_miss_cycles < xeon_mp().coherence_miss_cycles
+
+    def test_pooled_sync_cheaper_than_spawn(self):
+        for mk in PAPER_MACHINES.values():
+            spec = mk()
+            assert spec.barrier_cycles < spec.thread_spawn_cycles / 10
+
+    def test_mem_speedup_lookup(self):
+        spec = opteron()
+        assert spec.mem_speedup(1) == 1.0
+        assert spec.mem_speedup(4) > spec.mem_speedup(2) > 1.0
+        # NUMA-oblivious codes recover less of the scaling
+        assert spec.mem_speedup(4, numa_aware=False) < spec.mem_speedup(4)
+        # but the penalty only applies beyond two threads
+        assert spec.mem_speedup(2, numa_aware=False) == spec.mem_speedup(2)
+
+    def test_cycles_to_us(self):
+        assert core_duo().cycles_to_us(2000.0) == pytest.approx(1.0)
+
+    def test_shared_l2_capacity(self):
+        assert core_duo().l2_capacity_for(2) == core_duo().l2.size_bytes
+        assert opteron().l2_capacity_for(4) == 4 * opteron().l2.size_bytes
+
+
+class TestCostModel:
+    def test_cost_positive_and_decomposed(self):
+        cost = estimate_cost(seq_prog(256), core_duo(), 1, SyncProfile.NONE)
+        assert cost.compute > 0
+        assert cost.total_cycles >= cost.compute
+        assert cost.sync == 0
+
+    def test_in_cache_sizes_are_compute_bound(self):
+        cost = estimate_cost(seq_prog(256), core_duo(), 1, SyncProfile.NONE)
+        assert cost.memory == 0  # 8 KB fits in L1
+
+    def test_out_of_cache_sizes_pay_memory(self):
+        cost = estimate_cost(seq_prog(1 << 15), pentium_d(), 1, SyncProfile.NONE)
+        assert cost.memory > 0
+
+    def test_parallel_compute_scales(self):
+        spec = core_duo()
+        spiral = SpiralSMP(spec)
+        seq = spiral.cost(256, 1)
+        par = spiral.cost(256, 2)
+        assert par.compute < seq.compute
+
+    def test_pooled_cheaper_than_spawn(self):
+        spec = core_duo()
+        spiral = SpiralSMP(spec)
+        pooled = spiral.cost(1024, 2, SyncProfile.POOLED)
+        spawn = spiral.cost(1024, 2, SyncProfile.SPAWN_PER_CALL)
+        assert pooled.sync < spawn.sync
+
+    def test_fork_join_between(self):
+        spec = core_duo()
+        spiral = SpiralSMP(spec)
+        pooled = spiral.cost(1024, 2, SyncProfile.POOLED)
+        fj = spiral.cost(1024, 2, SyncProfile.FORK_JOIN)
+        spawn = spiral.cost(1024, 2, SyncProfile.SPAWN_PER_CALL)
+        assert pooled.sync <= fj.sync <= spawn.sync
+
+    def test_pseudo_mflops_inverse_to_time(self):
+        spec = core_duo()
+        c = estimate_cost(seq_prog(1024), spec, 1, SyncProfile.NONE)
+        mf = c.pseudo_mflops(spec)
+        assert mf == pytest.approx(5 * 1024 * 10 / c.time_us(spec))
+
+    def test_memory_efficiency_scales_memory_only(self):
+        spec = pentium_d()
+        prog = seq_prog(1 << 15)
+        full = estimate_cost(prog, spec, 1, SyncProfile.NONE)
+        eff = estimate_cost(
+            prog, spec, 1, SyncProfile.NONE, memory_efficiency=0.5
+        )
+        assert eff.memory == pytest.approx(full.memory * 0.5)
+        assert eff.compute == pytest.approx(full.compute)
+
+    def test_false_sharing_costs_cycles(self):
+        from repro.machine import schedule_cyclic
+
+        spec = pentium_d()
+        seq = seq_prog(1024)
+        cyc = estimate_cost(
+            schedule_cyclic(seq, 2), spec, 2, SyncProfile.POOLED
+        )
+        blk = estimate_cost(
+            schedule_block(seq, 2), spec, 2, SyncProfile.POOLED
+        )
+        assert cyc.false_sharing > blk.false_sharing
+
+    def test_per_stage_breakdown_present(self):
+        cost = estimate_cost(seq_prog(256), core_duo(), 1, SyncProfile.NONE)
+        assert len(cost.per_stage) == len(seq_prog(256).stages)
+
+
+class TestPaperClaimMechanisms:
+    """The headline crossovers must *emerge* from the model mechanisms."""
+
+    def test_spiral_parallel_wins_in_l1(self):
+        """C1: parallel speedup for a size that fits in L1 (N = 2^8)."""
+        spec = core_duo()
+        spiral = SpiralSMP(spec)
+        seq = spiral.cost(256, 1).total_cycles
+        par = spiral.cost(256, 2).total_cycles
+        assert par < seq
+        assert seq < 10_000  # the paper: "runs at less than 10,000 cycles"
+
+    def test_spawn_per_call_kills_small_sizes(self):
+        """FFTW-style threading cannot win at N = 2^8."""
+        spec = core_duo()
+        spiral = SpiralSMP(spec)
+        seq = spiral.cost(256, 1).total_cycles
+        spawn = spiral.cost(256, 2, SyncProfile.SPAWN_PER_CALL).total_cycles
+        assert spawn > seq
+
+    def test_feasible_threads(self):
+        assert feasible_threads(256, 2, 4) == 2
+        assert feasible_threads(256, 4, 4) == 4
+        assert feasible_threads(64, 4, 4) == 2  # 16^2 does not divide 64
+        assert feasible_threads(32, 4, 4) == 1

@@ -1,0 +1,72 @@
+"""Tests for iteration scheduling policies (block vs cyclic)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import schedule_block, schedule_cyclic
+from repro.rewrite import derive_sequential_ct, expand_dft
+from repro.sigma import lower
+from tests.conftest import random_vector
+
+
+def seq_prog(n, leaf=16):
+    return lower(expand_dft(derive_sequential_ct(n), "balanced", min_leaf=leaf))
+
+
+class TestSemanticPreservation:
+    @pytest.mark.parametrize("sched", [schedule_block, schedule_cyclic])
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_rescheduled_program_is_correct(self, rng, sched, p):
+        prog = seq_prog(256)
+        out = sched(prog, p)
+        x = random_vector(rng, 256)
+        np.testing.assert_allclose(out.apply(x), prog.apply(x), atol=1e-8)
+        np.testing.assert_allclose(out.apply(x), np.fft.fft(x), atol=1e-7)
+        out.validate()
+
+
+class TestAssignment:
+    def test_block_is_contiguous(self):
+        prog = schedule_block(seq_prog(256), 2)
+        for stage in prog.stages:
+            for lp in stage.loops:
+                assert lp.proc in (0, 1)
+
+    def test_cyclic_interleaves(self):
+        prog = seq_prog(256)
+        out = schedule_cyclic(prog, 2)
+        # the per-stage loop count grows (each original loop split in two)
+        assert sum(len(s.loops) for s in out.stages) > sum(
+            len(s.loops) for s in prog.stages
+        )
+
+    def test_all_stages_marked_parallel(self):
+        out = schedule_block(seq_prog(256), 2)
+        assert all(s.parallel for s in out.stages)
+
+    def test_p1_stays_sequential(self):
+        out = schedule_block(seq_prog(256), 1)
+        assert not any(s.parallel for s in out.stages)
+
+    def test_load_balance_of_block_split(self):
+        out = schedule_block(seq_prog(1024), 4)
+        for stage in out.stages:
+            counts = {}
+            for lp in stage.loops:
+                counts[lp.proc] = counts.get(lp.proc, 0) + lp.count
+            if len(counts) > 1:
+                assert max(counts.values()) - min(counts.values()) <= max(
+                    1, max(counts.values()) // 2
+                )
+
+    def test_runs_via_generated_code(self, rng):
+        """Scheduled programs survive codegen + threaded execution."""
+        from repro.codegen import generate
+        from repro.smp import PThreadsRuntime
+
+        out = schedule_block(seq_prog(256), 2)
+        gen = generate(out)
+        x = random_vector(rng, 256)
+        with PThreadsRuntime(2) as rt:
+            got = gen.run(x, rt)
+        np.testing.assert_allclose(got, np.fft.fft(x), atol=1e-7)

@@ -1,0 +1,60 @@
+"""Tests for synchronization-cost accounting helpers."""
+
+import pytest
+
+from repro.frontend import SpiralSMP
+from repro.machine import SyncProfile, core_duo, estimate_cost, sync_cycles
+
+
+def prog(n=256, t=2):
+    return SpiralSMP(core_duo()).program(n, t)
+
+
+class TestSyncCycles:
+    def test_sequential_is_free(self):
+        assert sync_cycles(prog(), core_duo(), 1, SyncProfile.POOLED) == 0
+        assert sync_cycles(prog(), core_duo(), 2, SyncProfile.NONE) == 0
+
+    def test_profile_ordering(self):
+        spec = core_duo()
+        p = prog()
+        pooled = sync_cycles(p, spec, 2, SyncProfile.POOLED)
+        fj = sync_cycles(p, spec, 2, SyncProfile.FORK_JOIN)
+        spawn = sync_cycles(p, spec, 2, SyncProfile.SPAWN_PER_CALL)
+        assert 0 < pooled <= fj <= spawn
+
+    def test_pooled_counts_only_required_barriers(self):
+        spec = core_duo()
+        p = prog(256, 2)  # one elided barrier at this configuration
+        nbar = sum(1 for s in p.stages if s.needs_barrier) + 1
+        assert sync_cycles(p, spec, 2, SyncProfile.POOLED) == (
+            spec.pool_dispatch_cycles + nbar * spec.barrier_cycles
+        )
+
+    def test_spawn_scales_with_threads(self):
+        spec = core_duo()
+        p4 = SpiralSMP(core_duo()).program(1024, 2)
+        two = sync_cycles(p4, spec, 2, SyncProfile.SPAWN_PER_CALL)
+        three = sync_cycles(p4, spec, 3, SyncProfile.SPAWN_PER_CALL)
+        assert three - two == spec.thread_spawn_cycles
+
+
+class TestWithSync:
+    def test_replaces_only_sync(self):
+        spec = core_duo()
+        cost = estimate_cost(prog(), spec, 2, SyncProfile.POOLED)
+        other = cost.with_sync(12345.0)
+        assert other.sync == 12345.0
+        assert other.compute == cost.compute
+        assert other.memory == cost.memory
+        assert other.coherence == cost.coherence
+        assert other.total_cycles == pytest.approx(
+            cost.total_cycles - cost.sync + 12345.0
+        )
+
+    def test_original_unchanged(self):
+        spec = core_duo()
+        cost = estimate_cost(prog(), spec, 2, SyncProfile.POOLED)
+        before = cost.sync
+        cost.with_sync(0.0)
+        assert cost.sync == before

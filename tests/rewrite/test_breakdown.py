@@ -1,0 +1,176 @@
+"""Tests for the breakdown rules (Cooley-Tukey, six-step, base cases)."""
+
+import numpy as np
+import pytest
+
+from repro.rewrite import (
+    RULE_COOLEY_TUKEY,
+    RULE_DFT_BASE,
+    RULE_SIX_STEP,
+    all_factor_trees,
+    breakdown_rules,
+    cooley_tukey_step,
+    expand_dft,
+    expand_from_tree,
+    factor_pairs,
+    rewrite_exhaustive,
+    six_step,
+)
+from repro.spl import DFT, F2, I
+from tests.conftest import random_vector
+
+
+class TestFactorPairs:
+    def test_composite(self):
+        assert factor_pairs(12) == [(2, 6), (3, 4), (4, 3), (6, 2)]
+
+    def test_prime(self):
+        assert factor_pairs(7) == []
+        assert factor_pairs(2) == []
+
+    def test_square(self):
+        assert (4, 4) in factor_pairs(16)
+
+
+class TestCooleyTukeyRule:
+    @pytest.mark.parametrize("m,k", [(2, 2), (2, 8), (8, 2), (4, 4), (3, 6), (5, 5)])
+    def test_step_is_exact(self, rng, m, k):
+        x = random_vector(rng, m * k)
+        np.testing.assert_allclose(
+            cooley_tukey_step(m, k).apply(x), np.fft.fft(x), atol=1e-8
+        )
+
+    def test_rule_enumerates_all_splits(self):
+        alts = list(RULE_COOLEY_TUKEY.rewrites(DFT(16)))
+        assert len(alts) == len(factor_pairs(16)) == 3
+
+    def test_rule_inapplicable_on_primes(self):
+        assert RULE_COOLEY_TUKEY.first_rewrite(DFT(13)) is None
+
+    def test_base_case_rule(self):
+        assert RULE_DFT_BASE.first_rewrite(DFT(2)) == F2()
+        assert RULE_DFT_BASE.first_rewrite(DFT(4)) is None
+
+
+class TestSixStep:
+    @pytest.mark.parametrize("m,k", [(2, 2), (4, 4), (2, 8), (3, 5)])
+    def test_six_step_is_exact(self, rng, m, k):
+        x = random_vector(rng, m * k)
+        np.testing.assert_allclose(
+            six_step(m, k).apply(x), np.fft.fft(x), atol=1e-8
+        )
+
+    def test_rule_applies(self):
+        assert RULE_SIX_STEP.applies(DFT(16))
+
+
+class TestExpansion:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32, 64, 128])
+    @pytest.mark.parametrize("strategy", ["radix2", "radix-right", "balanced"])
+    def test_expansion_correct(self, rng, n, strategy):
+        expr = expand_dft(DFT(n), strategy=strategy)
+        x = random_vector(rng, n)
+        np.testing.assert_allclose(expr.apply(x), np.fft.fft(x), atol=1e-7)
+
+    def test_full_expansion_has_no_symbols(self):
+        expr = expand_dft(DFT(64), strategy="radix2")
+        assert not expr.contains(lambda e: isinstance(e, DFT))
+
+    def test_min_leaf_keeps_codelets(self):
+        expr = expand_dft(DFT(64), strategy="radix2", min_leaf=8)
+        leaf_sizes = {e.n for e in expr.preorder() if isinstance(e, DFT)}
+        assert leaf_sizes and all(s <= 8 for s in leaf_sizes)
+
+    def test_mixed_radix_sizes(self, rng):
+        for n in [12, 24, 48, 36]:
+            expr = expand_dft(DFT(n), strategy="balanced")
+            x = random_vector(rng, n)
+            np.testing.assert_allclose(expr.apply(x), np.fft.fft(x), atol=1e-7)
+
+    def test_prime_size_stays_leaf(self, rng):
+        expr = expand_dft(DFT(13))
+        assert expr == DFT(13)
+
+    def test_expansion_inside_composite(self, rng):
+        from repro.spl import Compose, L, Tensor
+
+        f = Compose(Tensor(I(2), DFT(8)), L(16, 2))
+        out = expand_dft(f, strategy="radix2")
+        x = random_vector(rng, 16)
+        np.testing.assert_allclose(out.apply(x), f.apply(x), atol=1e-8)
+        assert not out.contains(lambda e: isinstance(e, DFT))
+
+
+class TestExplicitTrees:
+    def test_tree_expansion(self, rng):
+        expr = expand_from_tree(8, ((2, 2), 2))
+        x = random_vector(rng, 8)
+        np.testing.assert_allclose(expr.apply(x), np.fft.fft(x), atol=1e-8)
+
+    def test_leaf_tree(self):
+        assert expand_from_tree(2, 2) == F2()
+        assert expand_from_tree(1, 1) == I(1)
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            expand_from_tree(8, (2, 2))
+
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_all_trees_are_correct(self, rng, n):
+        trees = list(all_factor_trees(n))
+        assert len(trees) > 1
+        x = random_vector(rng, n)
+        want = np.fft.fft(x)
+        for tree in trees:
+            expr = expand_from_tree(n, tree)
+            np.testing.assert_allclose(expr.apply(x), want, atol=1e-8)
+
+    def test_tree_count_small_sizes(self):
+        # Number of distinct trees: leaf + splits.
+        assert len(list(all_factor_trees(4))) == 2  # 4 itself, (2,2)
+        # 8: leaf, (2,4-leaf), (2,(2,2)), (4-leaf,2), ((2,2),2)
+        assert len(list(all_factor_trees(8))) == 5
+
+
+class TestBreakdownRuleSet:
+    def test_exhaustive_expansion_matches_fft(self, rng):
+        out = rewrite_exhaustive(DFT(16), breakdown_rules())
+        assert not out.contains(lambda e: isinstance(e, DFT))
+        x = random_vector(rng, 16)
+        np.testing.assert_allclose(out.apply(x), np.fft.fft(x), atol=1e-8)
+
+
+class TestDIFVariant:
+    @pytest.mark.parametrize("m,k", [(2, 4), (4, 4), (8, 2), (3, 5)])
+    def test_dif_is_exact(self, rng, m, k):
+        from repro.rewrite import cooley_tukey_dif_step
+
+        x = random_vector(rng, m * k)
+        np.testing.assert_allclose(
+            cooley_tukey_dif_step(m, k).apply(x), np.fft.fft(x), atol=1e-8
+        )
+
+    def test_dif_permutation_on_output_side(self):
+        from repro.rewrite import cooley_tukey_dif_step
+        from repro.spl import L
+
+        f = cooley_tukey_dif_step(4, 4)
+        # leftmost factor (applied last) is the stride permutation
+        assert isinstance(f.factors[0], L)
+
+    def test_dif_parallelizes_via_table1(self, rng):
+        from repro.rewrite import cooley_tukey_dif_step, parallelize
+        from repro.spl import is_fully_optimized
+
+        f = parallelize(cooley_tukey_dif_step(16, 16), 2, 4)
+        assert is_fully_optimized(f, 2, 4)
+        x = random_vector(rng, 256)
+        np.testing.assert_allclose(f.apply(x), np.fft.fft(x), atol=1e-7)
+
+    def test_dif_lowers_and_runs(self, rng):
+        from repro.rewrite import cooley_tukey_dif_step
+        from repro.sigma import lower
+
+        prog = lower(cooley_tukey_dif_step(8, 8), validate=True)
+        x = random_vector(rng, 64)
+        np.testing.assert_allclose(prog.apply(x), np.fft.fft(x), atol=1e-8)

@@ -1,0 +1,165 @@
+"""Tests for the Eq. (14) derivation pipeline — the paper's core claim.
+
+The automatic rewriting of the tagged Cooley-Tukey FFT must (a) terminate
+with all tags discharged, (b) produce a *fully optimized* formula in the
+Definition 1 sense, (c) compute the DFT exactly, and (d) reproduce the
+paper's Eq. (14)/Figure 2 *verbatim*.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rewrite import (
+    ParallelizationError,
+    RewriteTrace,
+    build_eq14,
+    choose_ct_split,
+    cooley_tukey_step,
+    derive_multicore_ct,
+    derive_sequential_ct,
+    parallelize,
+)
+from repro.spl import (
+    DFT,
+    LinePerm,
+    ParDirectSum,
+    ParTensor,
+    SPLError,
+    is_fully_optimized,
+    parallel_region_count,
+)
+from tests.conftest import random_vector
+
+
+CONFIGS = [
+    (64, 2, 1),
+    (64, 2, 2),
+    (64, 2, 4),
+    (256, 2, 4),
+    (256, 4, 4),
+    (1024, 4, 4),
+    (1024, 2, 8),
+    (144, 2, 2),
+    (324, 3, 3),
+]
+
+
+class TestDeriveMulticoreCT:
+    @pytest.mark.parametrize("n,p,mu", CONFIGS)
+    def test_numerically_exact(self, rng, n, p, mu):
+        f = derive_multicore_ct(n, p, mu)
+        x = random_vector(rng, n)
+        np.testing.assert_allclose(f.apply(x), np.fft.fft(x), atol=1e-6)
+
+    @pytest.mark.parametrize("n,p,mu", CONFIGS)
+    def test_definition_one_holds(self, n, p, mu):
+        f = derive_multicore_ct(n, p, mu)
+        assert is_fully_optimized(f, p, mu)
+
+    @pytest.mark.parametrize("n,p,mu", CONFIGS)
+    def test_matches_paper_eq14_verbatim(self, n, p, mu):
+        m, k = choose_ct_split(n, p, mu)
+        assert derive_multicore_ct(n, p, mu) == build_eq14(m, k, p, mu)
+
+    def test_rejects_inadmissible_size(self):
+        # (p*mu)^2 must divide n (paper's existence condition).
+        with pytest.raises(SPLError):
+            derive_multicore_ct(64, 4, 4)
+
+    def test_p1_returns_sequential_ct(self, rng):
+        f = derive_multicore_ct(64, 1, 4)
+        x = random_vector(rng, 64)
+        np.testing.assert_allclose(f.apply(x), np.fft.fft(x), atol=1e-7)
+        assert parallel_region_count(f) == 0
+
+    def test_trace_records_paper_rules(self):
+        trace = RewriteTrace()
+        derive_multicore_ct(256, 2, 4, trace=trace)
+        fired = set(trace.rule_names())
+        for expected in [
+            "smp-product(6)",
+            "smp-tensor-AI(7)",
+            "smp-L(8)",
+            "smp-tensor-IA(9)",
+            "smp-perm-line(10)",
+            "smp-diag-split(11)",
+        ]:
+            assert expected in fired, f"{expected} never fired; got {fired}"
+
+    def test_structure_matches_figure2(self):
+        """Seven factors: 3 line perms, 3 parallel loops, 1 parallel diag."""
+        f = derive_multicore_ct(256, 2, 4)
+        kinds = [type(g).__name__ for g in f.factors]
+        assert kinds == [
+            "LinePerm",
+            "ParTensor",
+            "LinePerm",
+            "ParDirectSum",
+            "ParTensor",
+            "ParTensor",
+            "LinePerm",
+        ]
+
+    def test_explicit_split(self, rng):
+        f = derive_multicore_ct(128, 2, 2, split=(16, 8))
+        x = random_vector(rng, 128)
+        np.testing.assert_allclose(f.apply(x), np.fft.fft(x), atol=1e-7)
+
+    def test_bad_split_rejected(self):
+        with pytest.raises(SPLError):
+            derive_multicore_ct(128, 2, 2, split=(16, 16))
+
+
+class TestChooseSplit:
+    def test_balanced_preference(self):
+        assert choose_ct_split(256, 2, 4) == (16, 16)
+
+    def test_divisibility_respected(self):
+        m, k = choose_ct_split(1024, 4, 4)
+        assert m % 16 == 0 and k % 16 == 0 and m * k == 1024
+
+    def test_rejects_small(self):
+        with pytest.raises(SPLError):
+            choose_ct_split(32, 4, 4)
+
+
+class TestBuildEq14:
+    def test_preconditions(self):
+        with pytest.raises(SPLError):
+            build_eq14(12, 16, 2, 4)  # p*mu = 8 does not divide m = 12
+
+    def test_numeric(self, rng):
+        f = build_eq14(16, 16, 4, 2)
+        x = random_vector(rng, 256)
+        np.testing.assert_allclose(f.apply(x), np.fft.fft(x), atol=1e-6)
+
+    def test_twiddle_blocks_partition_full_diagonal(self):
+        from repro.spl import Twiddle
+
+        f = build_eq14(8, 8, 2, 2)
+        dsum = next(g for g in f.factors if isinstance(g, ParDirectSum))
+        joined = np.concatenate([b.values for b in dsum.blocks])
+        np.testing.assert_allclose(joined, Twiddle(8, 8).values, atol=1e-12)
+
+
+class TestParallelize:
+    def test_raises_on_stuck_tags(self):
+        # DFT_6 with p = 4: no admissible rewriting (4 does not divide 6).
+        with pytest.raises(ParallelizationError):
+            parallelize(cooley_tukey_step(2, 3), 4, 1)
+
+    def test_parallelize_idempotent_semantics(self, rng):
+        f = cooley_tukey_step(8, 8)
+        out = parallelize(f, 2, 2)
+        x = random_vector(rng, 64)
+        np.testing.assert_allclose(out.apply(x), f.apply(x), atol=1e-7)
+
+
+class TestSequentialReference:
+    def test_sequential_ct(self, rng):
+        f = derive_sequential_ct(64)
+        x = random_vector(rng, 64)
+        np.testing.assert_allclose(f.apply(x), np.fft.fft(x), atol=1e-7)
+
+    def test_prime_size_fallback(self):
+        assert derive_sequential_ct(13) == DFT(13)

@@ -1,0 +1,132 @@
+"""Unit tests for the pattern-matching combinators."""
+
+from repro.rewrite import (
+    PCompose,
+    PDFT,
+    PDiag,
+    PGuard,
+    PI,
+    PL,
+    POr,
+    PPerm,
+    PSMP,
+    PTensor,
+    W,
+    is_permutation_expr,
+    iv,
+)
+from repro.spl import (
+    Compose,
+    DFT,
+    Diag,
+    F2,
+    I,
+    L,
+    LinePerm,
+    Perm,
+    SMP,
+    Tensor,
+    Twiddle,
+)
+
+
+class TestLeafPatterns:
+    def test_wildcard_captures(self):
+        b = W("A").match(DFT(8))
+        assert b == {"A": DFT(8)}
+
+    def test_wildcard_guard(self):
+        pat = W("A", guard=lambda e: isinstance(e, DFT))
+        assert pat.match(DFT(4)) is not None
+        assert pat.match(I(4)) is None
+
+    def test_wildcard_consistency(self):
+        pat = PTensor(W("A"), W("A"))
+        assert pat.match(Tensor(DFT(2), DFT(2))) is not None
+        assert pat.match(Tensor(DFT(2), DFT(4))) is None
+
+    def test_identity_binds_size(self):
+        assert PI(iv("n")).match(I(16)) == {"n": 16}
+        assert PI(16).match(I(16)) == {}
+        assert PI(8).match(I(16)) is None
+        assert PI(iv("n")).match(DFT(16)) is None
+
+    def test_dft_binds_size(self):
+        assert PDFT(iv("n")).match(DFT(12)) == {"n": 12}
+
+    def test_L_binds_both_parameters(self):
+        assert PL(iv("mn"), iv("m")).match(L(8, 2)) == {"mn": 8, "m": 2}
+        assert PL(8, 4).match(L(8, 2)) is None
+
+    def test_diag_matches_all_diagonal_kinds(self):
+        assert PDiag("D").match(Diag([1.0, 2.0])) is not None
+        assert PDiag("D").match(Twiddle(2, 4)) is not None
+        assert PDiag("D").match(I(4)) is None
+
+    def test_int_var_consistency(self):
+        # L^{n*n}_n forces both parameters related through shared var:
+        pat = PTensor(PI(iv("n")), PDFT(iv("n")))
+        assert pat.match(Tensor(I(4), DFT(4))) == {"n": 4}
+        assert pat.match(Tensor(I(2), DFT(4))) is None
+
+
+class TestStructuralPatterns:
+    def test_binary_tensor(self):
+        pat = PTensor(PDFT(iv("m")), PI(iv("n")))
+        assert pat.match(Tensor(DFT(4), I(8))) == {"m": 4, "n": 8}
+        assert pat.match(Tensor(I(8), DFT(4))) is None
+
+    def test_kary_tensor_regrouping(self):
+        # A flattened 3-factor tensor still matches a binary pattern via
+        # regrouping; only the leading split has an identity head (merging
+        # adjacent identities into I_8 is the simplifier's job).
+        pat = PTensor(PI(iv("m")), W("A"))
+        matches = list(pat.match_all(Tensor(I(2), I(4), DFT(2)), {}))
+        assert {m["m"] for m in matches} == {2}
+        assert matches[0]["A"] == Tensor(I(4), DFT(2))
+        # Trailing identity: both splits expose an identity tail.
+        pat2 = PTensor(W("A"), PI(iv("n")))
+        matches2 = list(pat2.match_all(Tensor(DFT(2), I(4), I(2)), {}))
+        assert {m["n"] for m in matches2} == {2}
+
+    def test_binary_compose(self):
+        pat = PCompose(W("A"), PL(iv("mn"), iv("m")))
+        b = pat.match(Compose(Tensor(DFT(2), I(2)), Twiddle(2, 2), L(4, 2)))
+        assert b is not None and b["mn"] == 4
+
+    def test_smp_pattern(self):
+        pat = PSMP(iv("p"), iv("mu"), PDFT(iv("n")))
+        assert pat.match(SMP(2, 4, DFT(8))) == {"p": 2, "mu": 4, "n": 8}
+        assert pat.match(DFT(8)) is None
+
+    def test_or_pattern(self):
+        pat = POr(PDFT(iv("n")), PI(iv("n")))
+        assert pat.match(DFT(4)) == {"n": 4}
+        assert pat.match(I(4)) == {"n": 4}
+        assert pat.match(F2()) is None
+
+    def test_guard_pattern(self):
+        pat = PGuard(PDFT(iv("n")), lambda b: b["n"] % 2 == 0)
+        assert pat.match(DFT(4)) is not None
+        assert pat.match(DFT(3)) is None
+
+
+class TestPermutationRecognizer:
+    def test_leaf_permutations(self):
+        assert is_permutation_expr(L(8, 2))
+        assert is_permutation_expr(Perm([1, 0]))
+        assert is_permutation_expr(I(4))
+        assert is_permutation_expr(LinePerm(L(4, 2), 2))
+
+    def test_composite_permutations(self):
+        assert is_permutation_expr(Tensor(L(4, 2), I(2)))
+        assert is_permutation_expr(Compose(L(4, 2), L(4, 2)))
+
+    def test_non_permutations(self):
+        assert not is_permutation_expr(DFT(4))
+        assert not is_permutation_expr(Tensor(DFT(2), I(2)))
+        assert not is_permutation_expr(Diag([1.0, 1.0]))
+
+    def test_pperm_pattern(self):
+        assert PPerm("P").match(Tensor(L(4, 2), I(2))) is not None
+        assert PPerm("P").match(DFT(4)) is None

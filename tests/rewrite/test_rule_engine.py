@@ -1,0 +1,135 @@
+"""Tests for Rule/RuleSet and the rewriting strategies."""
+
+import pytest
+
+from repro.rewrite import (
+    PDFT,
+    Rule,
+    RuleSet,
+    RewriteLimitExceeded,
+    RewriteTrace,
+    W,
+    iv,
+    normal_forms,
+    rewrite_alternatives,
+    rewrite_bottom_up_once,
+    rewrite_exhaustive,
+    rewrite_step,
+)
+from repro.spl import Compose, DFT, F2, I, L, Tensor
+
+
+def dft_to_f2() -> Rule:
+    return Rule(
+        "dft2->f2", PDFT(iv("n")), lambda b: F2() if b["n"] == 2 else None
+    )
+
+
+def split_rule() -> Rule:
+    """DFT_n -> all binary Cooley-Tukey-shaped splits (nondeterministic)."""
+    from repro.rewrite import cooley_tukey_step, factor_pairs
+
+    def build(b):
+        pairs = factor_pairs(b["n"])
+        return [cooley_tukey_step(m, k) for m, k in pairs] or None
+
+    return Rule("split", PDFT(iv("n")), build)
+
+
+class TestRule:
+    def test_rewrites_yields_alternatives(self):
+        alts = list(split_rule().rewrites(DFT(8)))
+        assert len(alts) == 2  # 2x4 and 4x2
+
+    def test_none_means_inapplicable(self):
+        assert dft_to_f2().first_rewrite(DFT(4)) is None
+        assert not dft_to_f2().applies(DFT(4))
+        assert dft_to_f2().applies(DFT(2))
+
+    def test_dimension_guard(self):
+        bad = Rule("bad", PDFT(iv("n")), lambda b: I(b["n"] * 2))
+        with pytest.raises(AssertionError):
+            list(bad.rewrites(DFT(4)))
+
+    def test_duplicate_outputs_deduplicated(self):
+        dup = Rule("dup", PDFT(iv("n")), lambda b: [I(b["n"]), I(b["n"])])
+        assert len(list(dup.rewrites(DFT(4)))) == 1
+
+
+class TestRuleSet:
+    def test_priority_order(self):
+        rs = RuleSet("t", [dft_to_f2(), split_rule()])
+        out, step = rewrite_step(DFT(2), rs)
+        assert step.rule_name == "dft2->f2"
+
+    def test_by_name_and_without(self):
+        rs = RuleSet("t", [dft_to_f2(), split_rule()])
+        assert rs.by_name("split").name == "split"
+        assert len(rs.without("split")) == 1
+        with pytest.raises(KeyError):
+            rs.by_name("nope")
+
+    def test_addition(self):
+        rs = RuleSet("a", [dft_to_f2()]) + RuleSet("b", [split_rule()])
+        assert len(rs) == 2
+
+
+class TestStrategies:
+    def test_rewrite_step_outermost_first(self):
+        rs = RuleSet("t", [split_rule(), dft_to_f2()])
+        expr = Compose(Tensor(DFT(2), I(2)), L(4, 2))
+        out, step = rewrite_step(expr, rs)
+        assert step.path == (0, 0)  # inside the tensor product
+        assert step.rule_name == "dft2->f2"
+
+    def test_rewrite_exhaustive_reaches_normal_form(self):
+        rs = RuleSet("t", [dft_to_f2(), split_rule()])
+        trace = RewriteTrace()
+        out = rewrite_exhaustive(DFT(8), rs, trace=trace)
+        assert not out.contains(lambda e: isinstance(e, DFT))
+        assert len(trace) > 0
+        assert "dft2->f2" in trace.rule_names()
+
+    def test_exhaustive_limit(self):
+        flip = Rule(
+            "loop",
+            W("x", guard=lambda e: isinstance(e, (DFT, F2))),
+            lambda b: DFT(2) if isinstance(b["x"], F2) else F2(),
+        )
+        with pytest.raises(RewriteLimitExceeded):
+            rewrite_exhaustive(DFT(2), RuleSet("loop", [flip]), max_steps=10)
+
+    def test_trace_rendering(self):
+        rs = RuleSet("t", [dft_to_f2()])
+        trace = RewriteTrace()
+        rewrite_exhaustive(Tensor(DFT(2), I(2)), rs, trace=trace)
+        text = trace.render()
+        assert "dft2->f2" in text and "F_2" in text
+
+    def test_bottom_up_once(self):
+        rs = RuleSet("t", [dft_to_f2()])
+        out = rewrite_bottom_up_once(Tensor(DFT(2), DFT(2)), rs)
+        assert out == Tensor(F2(), F2())
+
+    def test_alternatives_enumeration(self):
+        rs = RuleSet("t", [split_rule()])
+        alts = list(rewrite_alternatives(DFT(8), rs))
+        assert len(alts) == 2
+        # also finds positions inside trees
+        alts2 = list(rewrite_alternatives(Tensor(I(2), DFT(8)), rs))
+        assert len(alts2) == 2
+        assert all(step.path == (1,) for _, step in alts2)
+
+    def test_normal_forms_enumeration(self):
+        rs = RuleSet("t", [dft_to_f2(), split_rule()])
+        forms = list(normal_forms(DFT(8), rs))
+        # DFT_8 has several full expansions; all must be DFT-free.
+        assert len(forms) >= 2
+        for f in forms:
+            assert not f.contains(lambda e: isinstance(e, DFT))
+
+    def test_step_preserves_siblings(self):
+        rs = RuleSet("t", [dft_to_f2()])
+        expr = Compose(Tensor(DFT(2), I(2)), L(4, 2))
+        out, _ = rewrite_step(expr, rs)
+        assert out == Compose(Tensor(F2(), I(2)), L(4, 2))

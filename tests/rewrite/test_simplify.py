@@ -1,0 +1,78 @@
+"""Tests for structural simplification rules."""
+
+import numpy as np
+
+from repro.rewrite import simplify
+from repro.spl import (
+    Compose,
+    DFT,
+    F2,
+    I,
+    L,
+    LinePerm,
+    ParTensor,
+    Tensor,
+    Twiddle,
+)
+from tests.conftest import random_vector
+
+
+def test_merges_adjacent_identities():
+    assert simplify(Tensor(I(2), I(4), DFT(2))) == Tensor(I(8), DFT(2))
+
+
+def test_drops_i1_factors():
+    assert simplify(Tensor(I(1), DFT(4), I(1))) == DFT(4)
+
+
+def test_all_identity_tensor_collapses():
+    assert simplify(Tensor(I(2), I(1), I(3))) == I(6)
+
+
+def test_compose_drops_identities():
+    assert simplify(Compose(I(8), Tensor(F2(), I(4)), I(8))) == Tensor(F2(), I(4))
+
+
+def test_compose_of_identities_collapses():
+    assert simplify(Compose(I(4), I(4))) == I(4)
+
+
+def test_trivial_L():
+    assert simplify(L(8, 1)) == I(8)
+    assert simplify(L(8, 8)) == I(8)
+
+
+def test_trivial_twiddle():
+    assert simplify(Twiddle(1, 8)) == I(8)
+    assert simplify(Twiddle(8, 1)) == I(8)
+
+
+def test_par_tensor_p1():
+    assert simplify(ParTensor(1, DFT(4))) == DFT(4)
+
+
+def test_line_perm_identity():
+    assert simplify(LinePerm(I(4), 2)) == I(8)
+
+
+def test_nontrivial_left_alone():
+    expr = Compose(Tensor(DFT(2), I(4)), L(8, 2))
+    assert simplify(expr) == expr
+
+
+def test_semantics_preserved(rng):
+    expr = Compose(
+        Tensor(I(1), DFT(4), I(2)),
+        Compose(I(8), Tensor(I(2), L(4, 4))),
+    )
+    out = simplify(expr)
+    x = random_vector(rng, 8)
+    np.testing.assert_allclose(out.apply(x), expr.apply(x), atol=1e-9)
+    assert out.count_nodes() < expr.count_nodes()
+
+
+def test_nested_cleanup_cascades():
+    # After dropping I_1 the tensor may become all-identity, then the
+    # compose must drop it too.
+    expr = Compose(Tensor(I(1), I(4)), DFT(4))
+    assert simplify(expr) == DFT(4)

@@ -1,0 +1,184 @@
+"""Tests for Table 1: every parallelization rule is a matrix identity.
+
+Each rule's right-hand side must denote exactly the same matrix as its
+left-hand side, for every admissible parameter combination; preconditions
+must make rules back off rather than build wrong formulas.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rewrite import rewrite_exhaustive, simplify
+from repro.rewrite.smp_rules import (
+    RULE_6_PRODUCT,
+    RULE_7_TENSOR_AI,
+    RULE_8_STRIDE_PERM,
+    RULE_9_TENSOR_IA,
+    RULE_10_PERM_LINE,
+    RULE_11_DIAG_SPLIT,
+    RULE_UNTAG_IDENTITY,
+    RULE_UNTAG_PARALLEL,
+    smp_rules,
+)
+from repro.spl import (
+    Compose,
+    DFT,
+    Diag,
+    I,
+    L,
+    LinePerm,
+    ParDirectSum,
+    ParTensor,
+    SMP,
+    Tensor,
+    Twiddle,
+    has_smp_tags,
+)
+from tests.conftest import assert_equal_matrices, random_vector
+
+
+def strip_tags(expr):
+    """Replace every SMP tag by its child (for semantics comparison)."""
+    children = [strip_tags(c) for c in expr.children]
+    e = expr.rebuild(*children) if children else expr
+    return e.child if isinstance(e, SMP) else e
+
+
+class TestRule6Product:
+    def test_distributes_tag(self):
+        f = Compose(Tensor(DFT(2), I(4)), L(8, 2))
+        out = RULE_6_PRODUCT.first_rewrite(SMP(2, 1, f))
+        assert isinstance(out, Compose)
+        assert all(isinstance(g, SMP) for g in out.factors)
+        assert_equal_matrices(strip_tags(out), f)
+
+    def test_ignores_non_products(self):
+        assert RULE_6_PRODUCT.first_rewrite(SMP(2, 1, DFT(4))) is None
+
+
+class TestRule7TensorAI:
+    @pytest.mark.parametrize("m,n,p", [(4, 4, 2), (4, 8, 2), (3, 4, 2), (5, 8, 4), (4, 2, 2)])
+    def test_identity(self, m, n, p):
+        lhs = Tensor(DFT(m), I(n))
+        out = RULE_7_TENSOR_AI.first_rewrite(SMP(p, 1, lhs))
+        assert out is not None
+        assert_equal_matrices(strip_tags(out), lhs)
+
+    def test_precondition_p_divides_n(self):
+        assert RULE_7_TENSOR_AI.first_rewrite(SMP(2, 1, Tensor(DFT(4), I(3)))) is None
+
+    def test_does_not_match_permutation_head(self):
+        # (L (x) I) must be left to rule (10), not re-tiled by (7).
+        assert RULE_7_TENSOR_AI.first_rewrite(SMP(2, 1, Tensor(L(4, 2), I(4)))) is None
+
+
+class TestRule8StridePerm:
+    @pytest.mark.parametrize(
+        "mn,m,p", [(24, 4, 2), (32, 8, 2), (64, 8, 4), (16, 4, 2), (36, 6, 3)]
+    )
+    def test_both_variants_are_identities(self, mn, m, p):
+        lhs = L(mn, m)
+        alts = list(RULE_8_STRIDE_PERM.rewrites(SMP(p, 1, lhs)))
+        assert alts, f"rule 8 produced nothing for L({mn},{m}), p={p}"
+        for alt in alts:
+            assert_equal_matrices(strip_tags(alt), lhs)
+
+    def test_variant_count(self):
+        # p | m and p | n -> both variants exist.
+        alts = list(RULE_8_STRIDE_PERM.rewrites(SMP(2, 1, L(16, 4))))
+        assert len(alts) == 2
+
+    def test_inapplicable_when_neither_divides(self):
+        assert RULE_8_STRIDE_PERM.first_rewrite(SMP(4, 1, L(6, 2))) is None
+
+
+class TestRule9TensorIA:
+    @pytest.mark.parametrize("m,p", [(2, 2), (4, 2), (8, 4), (6, 3), (6, 2)])
+    def test_identity(self, m, p):
+        lhs = Tensor(I(m), DFT(3))
+        out = RULE_9_TENSOR_IA.first_rewrite(SMP(p, 1, lhs))
+        assert isinstance(out, ParTensor)
+        assert out.p == p
+        assert_equal_matrices(out, lhs)
+
+    def test_exact_p_split_has_no_inner_identity(self):
+        out = RULE_9_TENSOR_IA.first_rewrite(SMP(2, 1, Tensor(I(2), DFT(4))))
+        assert out == ParTensor(2, DFT(4))
+
+    def test_precondition(self):
+        assert RULE_9_TENSOR_IA.first_rewrite(SMP(2, 1, Tensor(I(3), DFT(4)))) is None
+
+
+class TestRule10PermLine:
+    @pytest.mark.parametrize("mu", [1, 2, 4])
+    def test_identity(self, mu):
+        lhs = Tensor(L(8, 2), I(4 * mu))
+        out = RULE_10_PERM_LINE.first_rewrite(SMP(2, mu, lhs))
+        assert isinstance(out, LinePerm)
+        assert out.mu == mu
+        assert_equal_matrices(out, lhs)
+
+    def test_exact_mu_case(self):
+        out = RULE_10_PERM_LINE.first_rewrite(SMP(2, 4, Tensor(L(8, 2), I(4))))
+        assert out == LinePerm(L(8, 2), 4)
+
+    def test_precondition_mu_divides(self):
+        assert RULE_10_PERM_LINE.first_rewrite(SMP(2, 4, Tensor(L(8, 2), I(6)))) is None
+
+    def test_composite_perm_head(self):
+        lhs = Tensor(Tensor(L(4, 2), I(2)), I(4))
+        out = RULE_10_PERM_LINE.first_rewrite(SMP(2, 4, lhs))
+        assert isinstance(out, LinePerm)
+        assert_equal_matrices(out, lhs)
+
+
+class TestRule11DiagSplit:
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_identity_twiddle(self, p):
+        lhs = Twiddle(4, 4)
+        out = RULE_11_DIAG_SPLIT.first_rewrite(SMP(p, 1, lhs))
+        assert isinstance(out, ParDirectSum)
+        assert out.p == p
+        assert_equal_matrices(out, lhs)
+
+    def test_identity_plain_diag(self, rng):
+        lhs = Diag(random_vector(rng, 8))
+        out = RULE_11_DIAG_SPLIT.first_rewrite(SMP(2, 1, lhs))
+        assert_equal_matrices(out, lhs)
+
+    def test_precondition(self, rng):
+        lhs = Diag(random_vector(rng, 9))
+        assert RULE_11_DIAG_SPLIT.first_rewrite(SMP(2, 1, lhs)) is None
+
+
+class TestCleanupRules:
+    def test_untag_identity(self):
+        assert RULE_UNTAG_IDENTITY.first_rewrite(SMP(2, 4, I(8))) == I(8)
+        assert RULE_UNTAG_IDENTITY.first_rewrite(SMP(2, 4, DFT(8))) is None
+
+    def test_untag_parallel(self):
+        pt = ParTensor(2, DFT(4))
+        assert RULE_UNTAG_PARALLEL.first_rewrite(SMP(2, 4, pt)) == pt
+
+
+class TestFullRuleSet:
+    @pytest.mark.parametrize(
+        "n,p,mu",
+        [(16, 2, 1), (64, 2, 2), (64, 2, 4), (256, 4, 4), (36, 3, 1), (144, 2, 2)],
+    )
+    def test_ct_formula_fully_discharges(self, rng, n, p, mu):
+        from repro.rewrite import choose_ct_split, cooley_tukey_step
+        from repro.rewrite.simplify import simplify_rules
+
+        m, k = choose_ct_split(n, p, mu)
+        tagged = SMP(p, mu, cooley_tukey_step(m, k))
+        rules = simplify_rules() + smp_rules()
+        out = simplify(rewrite_exhaustive(tagged, rules))
+        assert not has_smp_tags(out)
+        x = random_vector(rng, n)
+        np.testing.assert_allclose(out.apply(x), np.fft.fft(x), atol=1e-7)
+
+    def test_rule_names_follow_paper_numbering(self):
+        names = [r.name for r in smp_rules()]
+        for num in ["(6)", "(7)", "(8)", "(9)", "(10)", "(11)"]:
+            assert any(num in nm for nm in names), f"missing rule {num}"

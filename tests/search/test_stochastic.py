@@ -1,0 +1,69 @@
+"""Tests for the stochastic (hill-climbing) search, paper ref [24]."""
+
+import numpy as np
+import pytest
+
+from repro.rewrite import expand_from_tree
+from repro.search import (
+    StochasticConfig,
+    dp_search,
+    flop_objective,
+    mutate,
+    stochastic_search,
+)
+from tests.conftest import random_vector
+
+
+class TestMutation:
+    def test_mutation_preserves_size(self):
+        rng = np.random.default_rng(0)
+        tree = (4, (2, 8))
+        for _ in range(30):
+            tree = mutate(tree, rng, leaf_max=16)
+            # total product stays 64
+            def size(t):
+                return t if isinstance(t, int) else size(t[0]) * size(t[1])
+
+            assert size(tree) == 64
+
+    def test_mutated_trees_are_valid_formulas(self, rng):
+        nrng = np.random.default_rng(1)
+        tree = (8, 8)
+        x = random_vector(rng, 64)
+        want = np.fft.fft(x)
+        for _ in range(10):
+            tree = mutate(tree, nrng, leaf_max=16)
+            f = expand_from_tree(64, tree)
+            np.testing.assert_allclose(f.apply(x), want, atol=1e-7)
+
+
+class TestStochasticSearch:
+    def test_finds_valid_result(self, rng):
+        res = stochastic_search(
+            64, flop_objective, StochasticConfig(iterations=15, restarts=2)
+        )
+        x = random_vector(rng, 64)
+        np.testing.assert_allclose(res.formula.apply(x), np.fft.fft(x), atol=1e-7)
+
+    def test_close_to_dp_on_flops(self):
+        dp = dp_search(64, flop_objective, leaf_max=8)
+        st = stochastic_search(
+            64,
+            flop_objective,
+            StochasticConfig(iterations=40, restarts=3, leaf_max=8),
+        )
+        assert st.value <= dp.value * 1.5  # hill climbing gets close
+
+    def test_deterministic_by_seed(self):
+        a = stochastic_search(
+            32, flop_objective, StochasticConfig(iterations=10, seed=5)
+        )
+        b = stochastic_search(
+            32, flop_objective, StochasticConfig(iterations=10, seed=5)
+        )
+        assert a.value == b.value and a.tree == b.tree
+
+    def test_evaluation_budget(self):
+        cfg = StochasticConfig(iterations=10, restarts=2)
+        res = stochastic_search(32, flop_objective, cfg)
+        assert res.evaluations <= 2 * (10 + 1)

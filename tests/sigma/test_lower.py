@@ -1,0 +1,234 @@
+"""Tests for SPL -> Sigma-SPL lowering and loop merging."""
+
+import numpy as np
+import pytest
+
+from repro.rewrite import (
+    cooley_tukey_step,
+    derive_multicore_ct,
+    expand_dft,
+    six_step,
+)
+from repro.sigma import (
+    LoweringError,
+    SigmaProgram,
+    is_diag_stage,
+    is_perm_stage,
+    lower,
+    normalize_for_lowering,
+)
+from repro.spl import (
+    Compose,
+    DFT,
+    Diag,
+    F2,
+    I,
+    L,
+    LinePerm,
+    ParDirectSum,
+    ParTensor,
+    SMP,
+    Tensor,
+    Twiddle,
+)
+from tests.conftest import random_vector
+
+
+class TestStageClassification:
+    def test_perm_stages(self):
+        assert is_perm_stage(L(8, 2))
+        assert is_perm_stage(LinePerm(L(4, 2), 2))
+        assert is_perm_stage(ParTensor(2, L(8, 2)))
+        assert not is_perm_stage(DFT(4))
+        assert not is_perm_stage(ParTensor(2, DFT(4)))
+
+    def test_diag_stages(self):
+        assert is_diag_stage(Twiddle(2, 4))
+        assert is_diag_stage(ParDirectSum([Diag([1.0, 2.0]), Diag([3.0, 4.0])]))
+        assert is_diag_stage(Tensor(I(4), Diag([1.0, 2.0])))
+        assert not is_diag_stage(F2())
+
+
+class TestNormalization:
+    def test_parallel_fission(self):
+        f = ParTensor(2, Compose(Tensor(F2(), I(2)), L(4, 2)))
+        out = normalize_for_lowering(f)
+        assert isinstance(out, Compose)
+        assert all(isinstance(g, ParTensor) for g in out.factors)
+
+    def test_tensor_compose_distribution(self, rng):
+        f = Tensor(I(2), Compose(Tensor(F2(), I(2)), L(4, 2)))
+        out = normalize_for_lowering(f)
+        assert isinstance(out, Compose)
+        x = random_vector(rng, 8)
+        np.testing.assert_allclose(out.apply(x), f.apply(x), atol=1e-9)
+
+    def test_tensor_split(self, rng):
+        f = Tensor(DFT(3), DFT(4))
+        out = normalize_for_lowering(f)
+        assert isinstance(out, Compose)
+        x = random_vector(rng, 12)
+        np.testing.assert_allclose(out.apply(x), f.apply(x), atol=1e-8)
+
+    def test_permutations_not_split(self):
+        f = Tensor(L(4, 2), I(2))
+        assert normalize_for_lowering(f) == f
+
+    @pytest.mark.parametrize(
+        "expr_builder",
+        [
+            lambda: ParTensor(2, Compose(Tensor(DFT(2), I(4)), L(8, 2))),
+            lambda: Tensor(I(3), Compose(F2(), Diag([1.0, 2.0]))),
+            lambda: Tensor(DFT(2), DFT(2), DFT(2)),
+            lambda: Tensor(I(2), Compose(Tensor(F2(), I(2)), L(4, 2)), I(2)),
+        ],
+    )
+    def test_semantics_preserved(self, rng, expr_builder):
+        f = expr_builder()
+        out = normalize_for_lowering(f)
+        x = random_vector(rng, f.cols)
+        np.testing.assert_allclose(out.apply(x), f.apply(x), atol=1e-8)
+
+
+class TestLoweringCorrectness:
+    @pytest.mark.parametrize("m,k", [(2, 2), (2, 4), (4, 4), (8, 4), (3, 5)])
+    def test_sequential_ct(self, rng, m, k):
+        prog = lower(cooley_tukey_step(m, k), validate=True)
+        x = random_vector(rng, m * k)
+        np.testing.assert_allclose(prog.apply(x), np.fft.fft(x), atol=1e-8)
+
+    @pytest.mark.parametrize(
+        "n,p,mu", [(64, 2, 2), (64, 2, 4), (256, 2, 4), (256, 4, 4), (144, 2, 2)]
+    )
+    def test_parallel_formula(self, rng, n, p, mu):
+        prog = lower(derive_multicore_ct(n, p, mu), validate=True)
+        x = random_vector(rng, n)
+        np.testing.assert_allclose(prog.apply(x), np.fft.fft(x), atol=1e-7)
+
+    @pytest.mark.parametrize("n", [64, 256, 1024])
+    def test_fully_expanded(self, rng, n):
+        f = expand_dft(derive_multicore_ct(n, 2, 2), "balanced", min_leaf=8)
+        prog = lower(f, validate=True)
+        x = random_vector(rng, n)
+        np.testing.assert_allclose(prog.apply(x), np.fft.fft(x), atol=1e-7)
+
+    def test_deep_radix2_expansion(self, rng):
+        f = expand_dft(DFT(64), "radix2")
+        prog = lower(f, validate=True)
+        x = random_vector(rng, 64)
+        np.testing.assert_allclose(prog.apply(x), np.fft.fft(x), atol=1e-8)
+
+    def test_pure_permutation_formula(self, rng):
+        prog = lower(L(16, 4), validate=True)
+        x = random_vector(rng, 16)
+        np.testing.assert_allclose(prog.apply(x), L(16, 4).apply(x))
+
+    def test_pure_diag_formula(self, rng):
+        d = Twiddle(4, 4)
+        prog = lower(d, validate=True)
+        x = random_vector(rng, 16)
+        np.testing.assert_allclose(prog.apply(x), d.apply(x))
+
+    def test_smp_tag_rejected(self):
+        with pytest.raises(LoweringError):
+            lower(SMP(2, 4, DFT(16)))
+
+
+class TestLoopMerging:
+    def test_permutations_are_folded(self):
+        """With merging on, the CT stride permutation produces no stage."""
+        prog = lower(cooley_tukey_step(4, 4))
+        assert len(prog.stages) == 2  # two compute stages only
+        # the first stage's gather is strided (L folded into indexing)
+        g = prog.stages[0].loops[0].gather
+        assert g[0, 1] - g[0, 0] == 4  # stride-4 read
+
+    def test_twiddles_are_folded(self):
+        prog = lower(cooley_tukey_step(4, 4))
+        scales = [
+            lp.pre_scale is not None or lp.post_scale is not None
+            for s in prog.stages
+            for lp in s.loops
+        ]
+        assert any(scales)
+
+    def test_unmerged_has_explicit_passes(self, rng):
+        f = six_step(4, 4)
+        merged = lower(f)
+        unmerged = lower(f, merge_permutations=False, merge_diagonals=False)
+        assert len(unmerged.stages) > len(merged.stages)
+        x = random_vector(rng, 16)
+        np.testing.assert_allclose(unmerged.apply(x), merged.apply(x), atol=1e-8)
+        np.testing.assert_allclose(merged.apply(x), np.fft.fft(x), atol=1e-8)
+
+    def test_explicit_copy_parallelized(self):
+        prog = lower(
+            six_step(4, 4), merge_permutations=False, copy_procs=2
+        )
+        copy_stages = [s for s in prog.stages if s.name == "explicit-perm"]
+        assert copy_stages and all(s.parallel for s in copy_stages)
+        assert all(len(s.loops) == 2 for s in copy_stages)
+
+    def test_trailing_permutation_folds_into_scatter(self, rng):
+        # L on the LEFT (applied last) must fold into the last stage scatter.
+        f = Compose(L(16, 4), Tensor(I(4), DFT(4)))
+        prog = lower(f, validate=True)
+        assert len(prog.stages) == 1
+        x = random_vector(rng, 16)
+        np.testing.assert_allclose(prog.apply(x), f.apply(x), atol=1e-8)
+
+    def test_trailing_diag_folds_into_post_scale(self, rng):
+        f = Compose(Twiddle(4, 4), Tensor(I(4), DFT(4)))
+        prog = lower(f, validate=True)
+        assert len(prog.stages) == 1
+        assert any(lp.post_scale is not None for lp in prog.stages[0].loops)
+        x = random_vector(rng, 16)
+        np.testing.assert_allclose(prog.apply(x), f.apply(x), atol=1e-8)
+
+
+class TestBarrierAnalysis:
+    def test_single_barrier_for_eq14(self):
+        f = expand_dft(derive_multicore_ct(256, 2, 4), "balanced", min_leaf=16)
+        prog = lower(f)
+        # Two compute stages; only the one crossing chunk boundaries
+        # requires synchronization.
+        assert len(prog.stages) == 2
+        assert prog.barrier_count() == 1
+        assert not prog.stages[0].needs_barrier
+
+    def test_war_hazard_forces_barrier(self):
+        """Deeper intra-chunk expansion creates a write-after-read hazard
+        against the double buffer (a fast worker would overwrite input that
+        a slow worker still reads), so elision must back off."""
+        f = expand_dft(derive_multicore_ct(256, 2, 4), "balanced", min_leaf=8)
+        prog = lower(f)
+        assert len(prog.stages) == 4
+        # stage 0 reads the input at stride across both chunks; stage 1
+        # writes that same buffer -> barrier required despite proc-local RAW
+        assert prog.stages[1].needs_barrier
+
+    def test_sequential_stage_forces_barrier(self):
+        prog = lower(
+            six_step(4, 4), merge_permutations=False, merge_diagonals=False
+        )
+        assert prog.barrier_count() >= len(prog.stages) - 1
+
+    def test_flop_accounting(self):
+        prog = lower(cooley_tukey_step(4, 4))
+        assert prog.flops() > 0
+        # two stages of 4 DFT_4 kernels each plus folded twiddles
+        kernel_flops = 8 * DFT(4).flops()
+        assert prog.flops() >= kernel_flops
+
+
+class TestStageAccessors:
+    def test_reads_writes_partition(self):
+        prog = lower(derive_multicore_ct(64, 2, 2))
+        for s in prog.stages:
+            assert np.array_equal(np.sort(s.writes()), np.arange(64))
+
+    def test_loops_for_proc(self):
+        prog = lower(derive_multicore_ct(64, 2, 2))
+        par = [s for s in prog.stages if s.parallel][0]
+        assert par.procs == [0, 1]
+        assert par.loops_for(0) and par.loops_for(1)

@@ -1,0 +1,82 @@
+"""Tests for the sense-reversing barrier."""
+
+import threading
+
+import pytest
+
+from repro.smp import SenseReversingBarrier
+
+
+def test_single_party_returns_immediately():
+    b = SenseReversingBarrier(1)
+    for _ in range(5):
+        b.wait()
+    assert b.wait_count == 5
+
+
+def test_rejects_zero_parties():
+    with pytest.raises(ValueError):
+        SenseReversingBarrier(0)
+
+
+def test_synchronizes_threads():
+    """No thread may enter phase k+1 before all finish phase k."""
+    parties = 4
+    rounds = 25
+    b = SenseReversingBarrier(parties)
+    phase_counts = [0] * rounds
+    lock = threading.Lock()
+    errors = []
+
+    def worker():
+        try:
+            for r in range(rounds):
+                with lock:
+                    phase_counts[r] += 1
+                b.wait()
+                with lock:
+                    # after the barrier, everyone must have bumped phase r
+                    assert phase_counts[r] == parties, (r, phase_counts[r])
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(parties)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not errors
+    assert all(c == parties for c in phase_counts)
+    assert b.wait_count == parties * rounds
+
+
+def test_reusable_across_phases():
+    """The sense flip makes the barrier immediately reusable."""
+    parties = 3
+    b = SenseReversingBarrier(parties)
+    order: list[int] = []
+    lock = threading.Lock()
+
+    def worker(i):
+        for r in range(10):
+            b.wait()
+            with lock:
+                order.append(r)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(parties)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    # each round appears exactly `parties` times and rounds never interleave
+    # out of order by more than one phase boundary
+    assert len(order) == parties * 10
+    for r in range(10):
+        assert order.count(r) == parties
+
+
+def test_accounting_reset():
+    b = SenseReversingBarrier(1)
+    b.wait()
+    b.reset_accounting()
+    assert b.wait_count == 0

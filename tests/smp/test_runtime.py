@@ -1,0 +1,131 @@
+"""Tests for the SMP runtimes (sequential, pthreads pool, OpenMP fork-join)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import generate
+from repro.rewrite import derive_multicore_ct, expand_dft
+from repro.sigma import lower
+from repro.smp import (
+    OpenMPRuntime,
+    PlanStage,
+    PThreadsRuntime,
+    SequentialRuntime,
+)
+from tests.conftest import random_vector
+
+
+def make_plan(n=256, p=2, mu=4, leaf=16):
+    f = expand_dft(derive_multicore_ct(n, p, mu), "balanced", min_leaf=leaf)
+    return generate(lower(f))
+
+
+class TestSequentialRuntime:
+    def test_executes_all_proc_shares(self, rng):
+        gen = make_plan()
+        x = random_vector(rng, 256)
+        np.testing.assert_allclose(gen.run(x), np.fft.fft(x), atol=1e-7)
+
+    def test_stats(self, rng):
+        gen = make_plan()
+        out, stats = gen.run_with_stats(
+            random_vector(rng, 256), SequentialRuntime()
+        )
+        assert stats.parallel_stages == len(gen.stages)
+        assert stats.threads_spawned == 0
+
+
+class TestPThreadsRuntime:
+    @pytest.mark.parametrize("n,p,mu,leaf", [(256, 2, 4, 16), (1024, 4, 4, 8)])
+    def test_correct(self, rng, n, p, mu, leaf):
+        gen = make_plan(n, p, mu, leaf)
+        x = random_vector(rng, n)
+        with PThreadsRuntime(p) as rt:
+            out, _ = gen.run_with_stats(x, rt)
+        np.testing.assert_allclose(out, np.fft.fft(x), atol=1e-6)
+
+    def test_pool_is_reusable(self, rng):
+        gen = make_plan()
+        with PThreadsRuntime(2) as rt:
+            for _ in range(5):
+                x = random_vector(rng, 256)
+                out, _ = gen.run_with_stats(x, rt)
+                np.testing.assert_allclose(out, np.fft.fft(x), atol=1e-7)
+
+    def test_barriers_skipped_for_local_stages(self, rng):
+        gen = make_plan(256, 2, 4, 16)  # has one elided barrier
+        elided = sum(1 for s in gen.stages if not s.needs_barrier)
+        assert elided >= 1
+        with PThreadsRuntime(2) as rt:
+            _, stats = gen.run_with_stats(random_vector(rng, 256), rt)
+        # barriers = required stage barriers + final rendezvous; strictly
+        # fewer than (stages + 1) when elision kicked in
+        assert stats.barriers <= len(gen.stages)
+
+    def test_worker_exception_propagates(self):
+        def boom(proc, src, dst):
+            raise RuntimeError("kernel failed")
+
+        stage = PlanStage(work=boom, parallel=True, needs_barrier=True, nprocs=2)
+        with PThreadsRuntime(2) as rt:
+            with pytest.raises(RuntimeError, match="kernel failed"):
+                rt.execute([stage], np.zeros(4, dtype=complex), 4)
+
+    def test_rejects_oversized_plan(self):
+        stage = PlanStage(
+            work=lambda *a: None, parallel=True, needs_barrier=True, nprocs=4
+        )
+        with PThreadsRuntime(2) as rt:
+            with pytest.raises(ValueError, match="processors"):
+                rt.execute([stage], np.zeros(4, dtype=complex), 4)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            PThreadsRuntime(0)
+
+
+class TestOpenMPRuntime:
+    def test_correct(self, rng):
+        gen = make_plan()
+        x = random_vector(rng, 256)
+        out, stats = gen.run_with_stats(x, OpenMPRuntime(2))
+        np.testing.assert_allclose(out, np.fft.fft(x), atol=1e-7)
+        # fork-join: one spawn per extra thread per parallel stage
+        assert stats.threads_spawned == len(gen.stages) * 1
+
+    def test_every_stage_costs_a_join(self, rng):
+        gen = make_plan()
+        _, stats = gen.run_with_stats(
+            random_vector(rng, 256), OpenMPRuntime(2)
+        )
+        assert stats.barriers == len(gen.stages)
+
+
+class TestCrossRuntimeAgreement:
+    @pytest.mark.parametrize("n,p,mu,leaf", [(256, 2, 4, 8), (576, 2, 2, 8)])
+    def test_all_runtimes_agree(self, rng, n, p, mu, leaf):
+        gen = make_plan(n, p, mu, leaf)
+        x = random_vector(rng, n)
+        seq = gen.run(x, SequentialRuntime())
+        omp = gen.run(x, OpenMPRuntime(p))
+        with PThreadsRuntime(p) as rt:
+            pth = gen.run(x, rt)
+        np.testing.assert_allclose(seq, omp, atol=1e-9)
+        np.testing.assert_allclose(seq, pth, atol=1e-9)
+
+    def test_sequential_stage_in_plan(self, rng):
+        """Plans with explicit sequential passes run on every runtime."""
+        from repro.rewrite import six_step
+
+        prog = lower(
+            six_step(8, 8), merge_permutations=False, merge_diagonals=False
+        )
+        gen = generate(prog)
+        x = random_vector(rng, 64)
+        want = np.fft.fft(x)
+        np.testing.assert_allclose(gen.run(x), want, atol=1e-7)
+        with PThreadsRuntime(2) as rt:
+            np.testing.assert_allclose(gen.run(x, rt), want, atol=1e-7)
+        np.testing.assert_allclose(
+            gen.run(x, OpenMPRuntime(2)), want, atol=1e-7
+        )

@@ -1,0 +1,115 @@
+"""Tests for structural transpose and inverse of SPL formulas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rewrite import cooley_tukey_step, derive_multicore_ct
+from repro.spl import (
+    Compose,
+    DFT,
+    Diag,
+    F2,
+    I,
+    L,
+    LinePerm,
+    ParTensor,
+    Perm,
+    SPLError,
+    Tensor,
+    Twiddle,
+    invert,
+    transpose,
+)
+from tests.conftest import random_vector
+
+
+CASES = [
+    lambda: I(6),
+    lambda: F2(),
+    lambda: DFT(5),
+    lambda: Diag([1.0, 2.0, 3j]),
+    lambda: Twiddle(2, 4),
+    lambda: L(12, 3),
+    lambda: Perm([2, 0, 3, 1]),
+    lambda: Tensor(DFT(2), L(4, 2)),
+    lambda: Compose(Tensor(DFT(2), I(2)), L(4, 2)),
+    lambda: ParTensor(2, DFT(4)),
+    lambda: LinePerm(L(4, 2), 2),
+    lambda: cooley_tukey_step(4, 4),
+]
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("make", CASES)
+    def test_matches_matrix_transpose(self, make):
+        e = make()
+        np.testing.assert_allclose(
+            transpose(e).to_matrix(), e.to_matrix().T, atol=1e-12
+        )
+
+    def test_involution(self):
+        e = cooley_tukey_step(2, 4)
+        np.testing.assert_allclose(
+            transpose(transpose(e)).to_matrix(), e.to_matrix(), atol=1e-12
+        )
+
+    def test_transposed_ct_is_dif(self, rng):
+        """The transpose of decimation-in-time CT is a valid DIF FFT."""
+        e = transpose(cooley_tukey_step(4, 4))
+        x = random_vector(rng, 16)
+        np.testing.assert_allclose(e.apply(x), np.fft.fft(x), atol=1e-8)
+
+    def test_stride_perm_transpose(self):
+        assert transpose(L(12, 3)) == L(12, 4)
+
+    def test_parallel_formula_transpose(self, rng):
+        f = derive_multicore_ct(256, 2, 4)
+        ft = transpose(f)
+        x = random_vector(rng, 256)
+        np.testing.assert_allclose(
+            ft.apply(x), f.to_matrix().T @ x, atol=1e-6
+        )
+        # DFT symmetry: the transposed parallel DFT is still the DFT
+        np.testing.assert_allclose(ft.apply(x), np.fft.fft(x), atol=1e-6)
+
+
+class TestInverse:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: I(4),
+            lambda: F2(),
+            lambda: DFT(6),
+            lambda: Diag([2.0, 4.0, 1j]),
+            lambda: L(8, 2),
+            lambda: Perm([1, 2, 0]),
+            lambda: Tensor(F2(), I(3)),
+            lambda: cooley_tukey_step(2, 4),
+        ],
+    )
+    def test_left_inverse(self, rng, make):
+        e = make()
+        inv = invert(e)
+        x = random_vector(rng, e.cols)
+        np.testing.assert_allclose(inv.apply(e.apply(x)), x, atol=1e-8)
+
+    def test_singular_diag_rejected(self):
+        with pytest.raises(SPLError):
+            invert(Diag([1.0, 0.0]))
+
+    def test_inverse_of_parallel_formula(self, rng):
+        f = derive_multicore_ct(64, 2, 2)
+        inv = invert(f)
+        x = random_vector(rng, 64)
+        np.testing.assert_allclose(inv.apply(f.apply(x)), x, atol=1e-7)
+        np.testing.assert_allclose(inv.apply(x), np.fft.ifft(x), atol=1e-8)
+
+
+@given(st.sampled_from([2, 3, 4, 6, 8]), st.sampled_from([2, 3, 4, 6, 8]))
+@settings(max_examples=20, deadline=None)
+def test_transpose_property_on_ct(m, k):
+    e = cooley_tukey_step(m, k)
+    np.testing.assert_allclose(
+        transpose(e).to_matrix(), e.to_matrix().T, atol=1e-9
+    )

@@ -1,0 +1,169 @@
+"""Unit tests for the SPL expression combinators (Compose/Tensor/DirectSum)."""
+
+import numpy as np
+import pytest
+
+from repro.spl import (
+    COMPLEX,
+    Compose,
+    DFT,
+    Diag,
+    DirectSum,
+    F2,
+    I,
+    L,
+    SPLError,
+    Tensor,
+    compose,
+    direct_sum,
+    tensor,
+)
+from tests.conftest import assert_semantics, random_vector
+
+
+class TestCompose:
+    def test_applies_right_to_left(self, rng):
+        d = Diag([2.0, 3.0])
+        f = F2()
+        expr = Compose(d, f)  # D * F2: butterfly first, then scaling
+        x = np.array([1.0, 1.0], dtype=COMPLEX)
+        np.testing.assert_allclose(expr.apply(x), [4.0, 0.0])
+
+    def test_matches_matrix_product(self, rng):
+        expr = Compose(Tensor(DFT(2), I(3)), L(6, 2))
+        assert_semantics(expr, rng)
+
+    def test_flattens_nested(self):
+        a, b, c = I(4), L(4, 2), Tensor(F2(), I(2))
+        nested = Compose(a, Compose(b, c))
+        flat = Compose(a, b, c)
+        assert nested == flat
+        assert len(nested.factors) == 3
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(SPLError):
+            Compose(I(4), I(8))
+
+    def test_rejects_single_factor(self):
+        with pytest.raises(SPLError):
+            Compose(I(4))
+
+    def test_rebuild_singleton_collapses(self):
+        expr = Compose(I(4), L(4, 2))
+        assert expr.rebuild(L(4, 2)) == L(4, 2)
+
+    def test_flops_additive(self):
+        expr = Compose(Diag([1, 2, 3, 4]), Tensor(F2(), I(2)))
+        assert expr.flops() == Diag([1, 2, 3, 4]).flops() + Tensor(F2(), I(2)).flops()
+
+    def test_operator_star_is_compose(self):
+        assert (I(4) * L(4, 2)) == Compose(I(4), L(4, 2))
+
+
+class TestTensor:
+    @pytest.mark.parametrize(
+        "factors",
+        [
+            (F2(), I(3)),
+            (I(3), F2()),
+            (DFT(3), DFT(4)),
+            (F2(), F2(), F2()),
+            (L(4, 2), DFT(2), I(2)),
+        ],
+    )
+    def test_matches_kron(self, rng, factors):
+        expr = Tensor(*factors)
+        assert_semantics(expr, rng)
+
+    def test_flattens_nested(self):
+        nested = Tensor(F2(), Tensor(I(2), DFT(3)))
+        flat = Tensor(F2(), I(2), DFT(3))
+        assert nested == flat
+
+    def test_identity_tensor_is_block_loop(self, rng):
+        # (I_m (x) A) x applies A to m contiguous blocks.
+        A = DFT(4)
+        expr = Tensor(I(3), A)
+        x = random_vector(rng, 12)
+        got = expr.apply(x)
+        for i in range(3):
+            np.testing.assert_allclose(
+                got[4 * i : 4 * i + 4], A.apply(x[4 * i : 4 * i + 4])
+            )
+
+    def test_strided_tensor(self, rng):
+        # (A (x) I_n) x applies A at stride n.
+        A = DFT(3)
+        expr = Tensor(A, I(4))
+        x = random_vector(rng, 12)
+        got = expr.apply(x)
+        for j in range(4):
+            np.testing.assert_allclose(got[j::4], A.apply(x[j::4]))
+
+    def test_batched_leading_dims(self, rng):
+        expr = Tensor(F2(), DFT(3))
+        X = (rng.standard_normal((5, 7, 6)) + 1j * rng.standard_normal((5, 7, 6)))
+        got = expr.apply(X)
+        assert got.shape == (5, 7, 6)
+        np.testing.assert_allclose(got[2, 3], expr.apply(X[2, 3]))
+
+    def test_rejects_single_factor(self):
+        with pytest.raises(SPLError):
+            Tensor(I(4))
+
+    def test_flops_counts_applications(self):
+        # I_3 (x) F2: three applications of the butterfly.
+        assert Tensor(I(3), F2()).flops() == 3 * F2().flops()
+        assert Tensor(F2(), I(3)).flops() == 3 * F2().flops()
+
+
+class TestDirectSum:
+    def test_blocks_applied_independently(self, rng):
+        a, b = DFT(2), DFT(3)
+        expr = DirectSum(a, b)
+        x = random_vector(rng, 5)
+        got = expr.apply(x)
+        np.testing.assert_allclose(got[:2], a.apply(x[:2]))
+        np.testing.assert_allclose(got[2:], b.apply(x[2:]))
+
+    def test_matches_matrix(self, rng):
+        expr = DirectSum(F2(), DFT(3), Diag([1j, -1j]))
+        assert_semantics(expr, rng)
+
+    def test_flattens(self):
+        assert DirectSum(F2(), DirectSum(I(2), F2())) == DirectSum(F2(), I(2), F2())
+
+    def test_empty_rejected(self):
+        with pytest.raises(SPLError):
+            DirectSum()
+
+
+class TestHelpers:
+    def test_single_arg_helpers_pass_through(self):
+        assert compose(I(4)) == I(4)
+        assert tensor(I(4)) == I(4)
+        assert direct_sum(I(4)) == I(4)
+
+    def test_structural_equality_and_hash(self):
+        a = Compose(Tensor(DFT(2), I(2)), L(4, 2))
+        b = Compose(Tensor(DFT(2), I(2)), L(4, 2))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Compose(Tensor(DFT(2), I(2)), L(4, 2)) * I(4) or True
+
+    def test_traversal_orders(self):
+        expr = Compose(I(4), Tensor(F2(), I(2)))
+        pre = [type(e).__name__ for e in expr.preorder()]
+        post = [type(e).__name__ for e in expr.postorder()]
+        assert pre == ["Compose", "I", "Tensor", "F2", "I"]
+        assert post == ["I", "F2", "I", "Tensor", "Compose"]
+        assert expr.count_nodes() == 5
+        assert expr.contains(lambda e: isinstance(e, F2))
+        assert not expr.contains(lambda e: isinstance(e, DFT))
+
+    def test_wrong_input_length_raises(self):
+        with pytest.raises(SPLError):
+            Tensor(F2(), I(2)).apply(np.zeros(5, dtype=COMPLEX))
+
+    def test_size_property_requires_square(self):
+        assert I(4).size == 4

@@ -1,0 +1,208 @@
+"""Unit tests for SPL leaf matrices: I, F2, DFT, Diag, Twiddle, L, Perm."""
+
+import numpy as np
+import pytest
+
+from repro.spl import (
+    COMPLEX,
+    Compose,
+    DFT,
+    Diag,
+    DiagFunc,
+    F2,
+    I,
+    L,
+    Perm,
+    SPLError,
+    Tensor,
+    Twiddle,
+)
+from tests.conftest import assert_semantics, random_vector
+
+
+class TestIdentity:
+    def test_apply_is_noop(self, rng):
+        x = random_vector(rng, 8)
+        np.testing.assert_array_equal(I(8).apply(x), x)
+
+    def test_matrix(self):
+        np.testing.assert_array_equal(I(3).to_matrix(), np.eye(3))
+
+    def test_zero_flops(self):
+        assert I(1024).flops() == 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SPLError):
+            I(0)
+        with pytest.raises(SPLError):
+            I(-3)
+
+
+class TestF2:
+    def test_butterfly(self):
+        x = np.array([3.0, 5.0], dtype=COMPLEX)
+        np.testing.assert_allclose(F2().apply(x), [8.0, -2.0])
+
+    def test_equals_dft2(self):
+        np.testing.assert_allclose(F2().to_matrix(), DFT(2).to_matrix())
+
+    def test_flops(self):
+        assert F2().flops() == 4  # two complex additions
+
+
+class TestDFT:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 12, 16])
+    def test_matrix_definition(self, n):
+        # DFT_n = [w^{kl}] with w = exp(-2 pi i / n)
+        w = np.exp(-2j * np.pi / n)
+        k = np.arange(n)
+        expected = w ** np.outer(k, k)
+        np.testing.assert_allclose(DFT(n).to_matrix(), expected, atol=1e-12)
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 6, 9, 16, 64])
+    def test_apply_matches_numpy_fft(self, rng, n):
+        x = random_vector(rng, n)
+        np.testing.assert_allclose(DFT(n).apply(x), np.fft.fft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_apply_matches_matrix(self, rng, n):
+        assert_semantics(DFT(n), rng)
+
+    def test_flop_convention(self):
+        # 5 n log2 n, the paper's pseudo-flop count.
+        assert DFT(8).flops() == 5 * 8 * 3
+        assert DFT(1).flops() == 0
+
+
+class TestDiag:
+    def test_apply_scales(self, rng):
+        vals = random_vector(rng, 6)
+        x = random_vector(rng, 6)
+        np.testing.assert_allclose(Diag(vals).apply(x), vals * x)
+
+    def test_matrix(self, rng):
+        assert_semantics(Diag(random_vector(rng, 5)), rng)
+
+    def test_immutability(self, rng):
+        d = Diag(random_vector(rng, 4))
+        with pytest.raises(ValueError):
+            d.values[0] = 0
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(SPLError):
+            Diag(np.zeros((2, 2)))
+        with pytest.raises(SPLError):
+            Diag([])
+
+    def test_equality_by_values(self):
+        assert Diag([1, 2]) == Diag([1.0, 2.0])
+        assert Diag([1, 2]) != Diag([2, 1])
+
+
+class TestTwiddle:
+    @pytest.mark.parametrize("m,n", [(2, 2), (2, 4), (4, 2), (3, 5), (8, 8)])
+    def test_cooley_tukey_identity(self, rng, m, n):
+        """D_{m,n} is *defined* by making Eq. (1) exact."""
+        ct = Compose(
+            Tensor(DFT(m), I(n)), Twiddle(m, n), Tensor(I(m), DFT(n)), L(m * n, m)
+        )
+        x = random_vector(rng, m * n)
+        np.testing.assert_allclose(ct.apply(x), np.fft.fft(x), atol=1e-8)
+
+    def test_entries(self):
+        # D_{m,n}[i*n + j] = w_{mn}^{i*j}
+        t = Twiddle(2, 4)
+        w = np.exp(-2j * np.pi / 8)
+        expected = [1, 1, 1, 1, 1, w, w**2, w**3]
+        np.testing.assert_allclose(t.values, expected, atol=1e-12)
+
+    def test_first_block_trivial(self):
+        # The i=0 block of any twiddle diagonal is all ones.
+        t = Twiddle(4, 8)
+        np.testing.assert_allclose(t.values[:8], np.ones(8))
+
+    def test_semantics(self, rng):
+        assert_semantics(Twiddle(3, 4), rng)
+
+
+class TestStridePermutation:
+    def test_transpose_view(self):
+        # L^{mn}_m transposes the input viewed as an n x m row-major matrix.
+        m, n = 2, 4
+        x = np.arange(8, dtype=COMPLEX)
+        got = L(8, 2).apply(x)
+        expected = x.reshape(n, m).T.reshape(-1)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_reads_at_stride_m(self):
+        x = np.arange(12, dtype=COMPLEX)
+        got = L(12, 3).apply(x)
+        np.testing.assert_array_equal(got[:4], x[::3])
+
+    @pytest.mark.parametrize("mn,m", [(6, 2), (6, 3), (8, 2), (16, 4), (12, 6)])
+    def test_matrix_matches_apply(self, rng, mn, m):
+        assert_semantics(L(mn, m), rng)
+
+    @pytest.mark.parametrize("mn,m", [(8, 2), (12, 4), (16, 4)])
+    def test_inverse(self, rng, mn, m):
+        x = random_vector(rng, mn)
+        li = L(mn, m).inverse()
+        np.testing.assert_allclose(li.apply(L(mn, m).apply(x)), x)
+
+    def test_trivial_strides_are_identity(self, rng):
+        x = random_vector(rng, 6)
+        np.testing.assert_array_equal(L(6, 1).apply(x), x)
+        np.testing.assert_array_equal(L(6, 6).apply(x), x)
+
+    def test_permutation_vector_consistent(self, rng):
+        lp = L(12, 4)
+        x = random_vector(rng, 12)
+        np.testing.assert_allclose(lp.to_perm().apply(x), lp.apply(x))
+
+    def test_rejects_nondivisor_stride(self):
+        with pytest.raises(SPLError):
+            L(8, 3)
+
+    def test_commutation_property(self, rng):
+        # A (x) B = L^{mn}_m (B (x) A) L^{mn}_n  for A m x m, B n x n.
+        A, B = DFT(3), DFT(4)
+        m, n = 3, 4
+        lhs = Tensor(A, B)
+        rhs = Compose(L(m * n, m), Tensor(B, A), L(m * n, n))
+        np.testing.assert_allclose(
+            lhs.to_matrix(), rhs.to_matrix(), atol=1e-9
+        )
+
+
+class TestPerm:
+    def test_destination_semantics(self):
+        # perm[k] is the destination of source k: y[perm[k]] = x[k].
+        p = Perm([2, 0, 1])
+        x = np.array([10.0, 20.0, 30.0], dtype=COMPLEX)
+        np.testing.assert_array_equal(p.apply(x), [20.0, 30.0, 10.0])
+
+    def test_matrix_matches(self, rng):
+        assert_semantics(Perm([3, 1, 0, 2]), rng)
+
+    def test_source_of_inverts(self):
+        p = Perm([2, 0, 1])
+        x = np.array([1.0, 2.0, 3.0], dtype=COMPLEX)
+        np.testing.assert_array_equal(p.apply(x)[p.perm], x)
+        np.testing.assert_array_equal(p.apply(x), x[p.source_of()])
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(SPLError):
+            Perm([0, 0, 1])
+
+
+class TestDiagFunc:
+    def test_lazy_values(self, rng):
+        df = DiagFunc(4, lambda k: (-1.0) ** k, tag=("alt",))
+        x = random_vector(rng, 4)
+        np.testing.assert_allclose(df.apply(x), x * np.array([1, -1, 1, -1]))
+
+    def test_equality_by_tag(self):
+        f = lambda k: k + 1  # noqa: E731
+        g = lambda k: k + 1  # noqa: E731
+        assert DiagFunc(4, f, tag=("a",)) == DiagFunc(4, g, tag=("a",))
+        assert DiagFunc(4, f, tag=("a",)) != DiagFunc(4, f, tag=("b",))

@@ -1,0 +1,65 @@
+"""Tests for the formula pretty printer."""
+
+from repro.spl import (
+    Compose,
+    DFT,
+    Diag,
+    F2,
+    I,
+    L,
+    LinePerm,
+    ParDirectSum,
+    ParTensor,
+    SMP,
+    Tensor,
+    Twiddle,
+    format_expr,
+    format_tree,
+)
+
+
+def test_cooley_tukey_rendering():
+    ct = Compose(Tensor(DFT(2), I(4)), Twiddle(2, 4), Tensor(I(2), DFT(4)), L(8, 2))
+    s = format_expr(ct)
+    assert s == "(DFT_2 ⊗ I_4) · D_{2,4} · (I_2 ⊗ DFT_4) · L^8_2"
+
+
+def test_ascii_mode():
+    ct = Compose(Tensor(DFT(2), I(4)), L(8, 2))
+    s = format_expr(ct, unicode=False)
+    assert "(x)" in s and "*" in s and "⊗" not in s
+
+
+def test_parallel_constructs_rendering():
+    f = Compose(
+        ParTensor(2, DFT(8)),
+        LinePerm(L(4, 2), 4),
+        ParDirectSum([Diag([1.0] * 8), Diag([2.0] * 8)]),
+    )
+    s = format_expr(f)
+    assert "⊗∥" in s and "⊗̄" in s and "⊕∥" in s
+
+
+def test_smp_tag_rendering():
+    s = format_expr(SMP(2, 4, DFT(8)))
+    assert s == "[DFT_8]_smp(2,4)"
+
+
+def test_f2_rendering():
+    assert format_expr(F2()) == "F_2"
+
+
+def test_tree_rendering():
+    t = format_tree(Compose(Tensor(DFT(2), I(4)), L(8, 2)))
+    lines = t.splitlines()
+    assert lines[0].startswith("Compose")
+    assert any("DFT" in line for line in lines)
+    assert any("(8x8)" in line for line in lines)
+
+
+def test_top_level_has_no_outer_parens():
+    s = format_expr(Tensor(DFT(2), I(4)))
+    assert not s.startswith("(")
+    # ... but nested products are parenthesized
+    s2 = format_expr(Compose(Tensor(DFT(2), I(4)), L(8, 2)))
+    assert s2.startswith("(DFT_2")

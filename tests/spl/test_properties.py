@@ -1,0 +1,110 @@
+"""Tests for the Definition 1 structural checker."""
+
+import pytest
+
+from repro.spl import (
+    Compose,
+    DFT,
+    Diag,
+    F2,
+    I,
+    L,
+    LinePerm,
+    ParDirectSum,
+    ParTensor,
+    SMP,
+    Tensor,
+    Twiddle,
+    check_fully_optimized,
+    has_smp_tags,
+    is_fully_optimized,
+    is_load_balanced,
+    is_parallel_construct,
+    parallel_region_count,
+)
+
+
+P, MU = 2, 4
+
+
+class TestParallelConstructs:
+    def test_par_tensor_ok(self):
+        assert is_parallel_construct(ParTensor(P, DFT(8)), P, MU)
+
+    def test_par_tensor_wrong_p(self):
+        res = is_parallel_construct(ParTensor(4, DFT(8)), P, MU)
+        assert not res and "p=4" in res.reason
+
+    def test_par_tensor_block_not_multiple_of_mu(self):
+        res = is_parallel_construct(ParTensor(P, DFT(6)), P, MU)
+        assert not res and "mu" in res.reason
+
+    def test_par_direct_sum_ok(self):
+        blocks = [Diag([1.0] * 8) for _ in range(P)]
+        assert is_parallel_construct(ParDirectSum(blocks), P, MU)
+
+    def test_par_direct_sum_wrong_count(self):
+        blocks = [Diag([1.0] * 8) for _ in range(3)]
+        assert not is_parallel_construct(ParDirectSum(blocks), P, MU)
+
+    def test_line_perm_ok(self):
+        assert is_parallel_construct(LinePerm(L(8, 2), MU), P, MU)
+
+    def test_line_perm_wrong_granularity(self):
+        assert not is_parallel_construct(LinePerm(L(8, 2), 2), P, MU)
+
+    def test_line_perm_coarser_granularity_ok(self):
+        # Granularity 2*mu still moves whole cache lines.
+        assert is_parallel_construct(LinePerm(L(8, 2), 2 * MU), P, MU)
+
+    def test_plain_node_is_not_parallel(self):
+        assert not is_parallel_construct(DFT(16), P, MU)
+
+
+class TestDefinitionOne:
+    def test_products_of_optimized_are_optimized(self):
+        f = Compose(ParTensor(P, DFT(8)), LinePerm(L(4, 2), MU))
+        assert is_fully_optimized(f, P, MU)
+
+    def test_identity_tensor_of_optimized(self):
+        f = Tensor(I(4), ParTensor(P, DFT(8)))
+        assert is_fully_optimized(f, P, MU)
+
+    def test_bare_sequential_formula_fails(self):
+        f = Compose(Tensor(DFT(4), I(4)), L(16, 4))
+        res = check_fully_optimized(f, P, MU)
+        assert not res and res.reason
+
+    def test_undischarged_tag_fails(self):
+        f = Compose(ParTensor(P, DFT(8)), SMP(P, MU, L(16, 4)))
+        res = check_fully_optimized(f, P, MU)
+        assert not res and "tag" in res.reason
+
+    def test_nested_parallelism_fails(self):
+        f = ParTensor(P, ParTensor(P, DFT(8)))
+        res = check_fully_optimized(f, P, MU)
+        assert not res and "nested" in res.reason
+
+    def test_diag_alone_fails(self):
+        # An unsplit diagonal runs sequentially: not load balanced.
+        assert not is_fully_optimized(Twiddle(4, 4), P, MU)
+
+    def test_identity_alone_passes(self):
+        assert is_fully_optimized(I(64), P, MU)
+
+    def test_load_balance_alias(self):
+        assert is_load_balanced(ParTensor(P, DFT(8)), P, MU)
+
+
+class TestHelpers:
+    def test_has_smp_tags(self):
+        assert has_smp_tags(Compose(I(4), SMP(2, 1, DFT(4))))
+        assert not has_smp_tags(ParTensor(2, DFT(4)))
+
+    def test_parallel_region_count(self):
+        f = Compose(
+            ParTensor(P, DFT(8)),
+            LinePerm(L(4, 2), MU),
+            ParDirectSum([Diag([1.0] * 8)] * P),
+        )
+        assert parallel_region_count(f) == 2

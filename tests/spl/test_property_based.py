@@ -1,0 +1,158 @@
+"""Property-based tests (Hypothesis) for SPL semantics.
+
+Core invariant: for *every* expression tree, ``apply`` agrees with the dense
+matrix.  Strategy builds random well-formed trees from the constructors the
+rewriting system uses.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.spl import (
+    COMPLEX,
+    Compose,
+    DFT,
+    Diag,
+    DirectSum,
+    F2,
+    I,
+    L,
+    LinePerm,
+    ParDirectSum,
+    ParTensor,
+    Tensor,
+    Twiddle,
+)
+
+SMALL_SIZES = [1, 2, 3, 4, 6, 8]
+
+
+@st.composite
+def leaf_exprs(draw, size=None):
+    n = size if size is not None else draw(st.sampled_from(SMALL_SIZES))
+    kind = draw(st.sampled_from(["I", "DFT", "Diag", "L", "F2"]))
+    if kind == "F2" and n == 2:
+        return F2()
+    if kind == "DFT":
+        return DFT(n)
+    if kind == "Diag":
+        vals = draw(
+            st.lists(
+                st.complex_numbers(
+                    max_magnitude=4, allow_nan=False, allow_infinity=False
+                ),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        return Diag(np.array(vals, dtype=COMPLEX))
+    if kind == "L":
+        divisors = [d for d in range(1, n + 1) if n % d == 0]
+        return L(n, draw(st.sampled_from(divisors)))
+    return I(n)
+
+
+@st.composite
+def expr_trees(draw, depth=2):
+    if depth == 0:
+        return draw(leaf_exprs())
+    kind = draw(
+        st.sampled_from(["leaf", "tensor", "compose", "dsum", "par", "line"])
+    )
+    if kind == "leaf":
+        return draw(leaf_exprs())
+    if kind == "tensor":
+        return Tensor(draw(expr_trees(depth=depth - 1)), draw(expr_trees(depth=depth - 1)))
+    if kind == "compose":
+        a = draw(expr_trees(depth=depth - 1))
+        b = draw(expr_trees(depth=0))
+        # make sizes compatible: compose a with something of matching size
+        return Compose(a, draw(leaf_exprs(size=a.cols)))
+    if kind == "dsum":
+        return DirectSum(
+            draw(expr_trees(depth=depth - 1)), draw(expr_trees(depth=depth - 1))
+        )
+    if kind == "par":
+        p = draw(st.sampled_from([2, 3]))
+        return ParTensor(p, draw(expr_trees(depth=depth - 1)))
+    inner = draw(leaf_exprs())
+    if not isinstance(inner, (I, L)):
+        inner = L(inner.rows, 1) if inner.rows > 0 else I(2)
+    return LinePerm(inner, draw(st.sampled_from([1, 2, 4])))
+
+
+@given(expr_trees())
+@settings(max_examples=60, deadline=None)
+def test_apply_matches_matrix(expr):
+    rng = np.random.default_rng(42)
+    x = (rng.standard_normal(expr.cols) + 1j * rng.standard_normal(expr.cols)).astype(
+        COMPLEX
+    )
+    np.testing.assert_allclose(
+        expr.apply(x), expr.to_matrix() @ x, atol=1e-7, rtol=1e-7
+    )
+
+
+@given(expr_trees())
+@settings(max_examples=40, deadline=None)
+def test_apply_is_linear(expr):
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal(expr.cols).astype(COMPLEX)
+    y = rng.standard_normal(expr.cols).astype(COMPLEX)
+    a, b = 2.0 - 1j, -0.5 + 3j
+    np.testing.assert_allclose(
+        expr.apply(a * x + b * y),
+        a * expr.apply(x) + b * expr.apply(y),
+        atol=1e-7,
+        rtol=1e-7,
+    )
+
+
+@given(expr_trees())
+@settings(max_examples=30, deadline=None)
+def test_structural_equality_is_reflexive_and_hashable(expr):
+    assert expr == expr
+    assert hash(expr) == hash(expr)
+    rebuilt = expr.rebuild(*expr.children) if expr.children else expr
+    assert rebuilt == expr
+
+
+@given(
+    st.sampled_from([2, 3, 4, 6, 8]),
+    st.sampled_from([2, 3, 4, 6, 8]),
+)
+@settings(max_examples=25, deadline=None)
+def test_stride_permutation_group_property(m, n):
+    """L^{mn}_m . L^{mn}_n = I (they are mutually inverse)."""
+    rng = np.random.default_rng(3)
+    mn = m * n
+    x = (rng.standard_normal(mn) + 1j * rng.standard_normal(mn)).astype(COMPLEX)
+    y = L(mn, n).apply(L(mn, m).apply(x))
+    np.testing.assert_allclose(y, x)
+
+
+@given(
+    st.sampled_from([2, 3, 4, 5, 6, 8]),
+    st.sampled_from([2, 3, 4, 5, 6, 8]),
+)
+@settings(max_examples=25, deadline=None)
+def test_cooley_tukey_always_exact(m, n):
+    rng = np.random.default_rng(11)
+    mn = m * n
+    ct = Compose(
+        Tensor(DFT(m), I(n)), Twiddle(m, n), Tensor(I(m), DFT(n)), L(mn, m)
+    )
+    x = (rng.standard_normal(mn) + 1j * rng.standard_normal(mn)).astype(COMPLEX)
+    np.testing.assert_allclose(ct.apply(x), np.fft.fft(x), atol=1e-8)
+
+
+@given(st.sampled_from([2, 4, 8]), st.sampled_from([1, 2, 3]))
+@settings(max_examples=20, deadline=None)
+def test_par_tensor_equals_untagged(n, p):
+    rng = np.random.default_rng(5)
+    pt = ParTensor(p, DFT(n))
+    x = (rng.standard_normal(p * n) + 1j * rng.standard_normal(p * n)).astype(COMPLEX)
+    if p == 1:
+        np.testing.assert_allclose(pt.apply(x), DFT(n).apply(x), atol=1e-8)
+    else:
+        np.testing.assert_allclose(pt.apply(x), pt.untag().apply(x), atol=1e-8)

@@ -1,0 +1,85 @@
+"""Tests for FFT-based convolution on generated programs."""
+
+import numpy as np
+import pytest
+
+from repro.transforms import FFTConvolver, inverse_from_forward, linear_convolve
+from tests.conftest import random_vector
+
+
+class TestInverse:
+    def test_roundtrip(self, rng):
+        from repro.frontend import generate_fft
+
+        n = 64
+        fft = generate_fft(n)
+        ifft = inverse_from_forward(fft, n)
+        x = random_vector(rng, n)
+        np.testing.assert_allclose(ifft(fft(x)), x, atol=1e-9)
+
+    def test_matches_numpy_ifft(self, rng):
+        from repro.frontend import generate_fft
+
+        n = 128
+        ifft = inverse_from_forward(generate_fft(n), n)
+        X = random_vector(rng, n)
+        np.testing.assert_allclose(ifft(X), np.fft.ifft(X), atol=1e-9)
+
+
+class TestCircularConvolution:
+    def test_matches_direct_convolution(self, rng):
+        n = 32
+        conv = FFTConvolver(n)
+        x = random_vector(rng, n)
+        h = random_vector(rng, n)
+        direct = np.array(
+            [sum(x[j] * h[(k - j) % n] for j in range(n)) for k in range(n)]
+        )
+        np.testing.assert_allclose(conv.convolve(x, h), direct, atol=1e-8)
+
+    def test_identity_kernel(self, rng):
+        n = 64
+        conv = FFTConvolver(n)
+        delta = np.zeros(n, dtype=complex)
+        delta[0] = 1.0
+        x = random_vector(rng, n)
+        np.testing.assert_allclose(conv.convolve(x, delta), x, atol=1e-9)
+
+    def test_commutative(self, rng):
+        conv = FFTConvolver(64)
+        x, h = random_vector(rng, 64), random_vector(rng, 64)
+        np.testing.assert_allclose(
+            conv.convolve(x, h), conv.convolve(h, x), atol=1e-8
+        )
+
+    def test_threaded_engine(self, rng):
+        conv = FFTConvolver(256, threads=2)
+        x, h = random_vector(rng, 256), random_vector(rng, 256)
+        ref = np.fft.ifft(np.fft.fft(x) * np.fft.fft(h))
+        np.testing.assert_allclose(conv.convolve(x, h), ref, atol=1e-8)
+
+    def test_correlate(self, rng):
+        n = 32
+        conv = FFTConvolver(n)
+        x = random_vector(rng, n)
+        # autocorrelation peak at lag 0 is the energy
+        c = conv.correlate(x, x)
+        np.testing.assert_allclose(c[0], np.sum(np.abs(x) ** 2), atol=1e-8)
+
+    def test_shape_validation(self, rng):
+        conv = FFTConvolver(16)
+        with pytest.raises(ValueError):
+            conv.convolve(np.zeros(8), np.zeros(16))
+
+
+class TestLinearConvolution:
+    def test_matches_numpy_convolve(self, rng):
+        x = rng.standard_normal(20)
+        h = rng.standard_normal(7)
+        got = linear_convolve(x, h)
+        np.testing.assert_allclose(got.real, np.convolve(x, h), atol=1e-8)
+        np.testing.assert_allclose(got.imag, 0, atol=1e-8)
+
+    def test_lengths(self, rng):
+        got = linear_convolve(rng.standard_normal(10), rng.standard_normal(5))
+        assert got.size == 14

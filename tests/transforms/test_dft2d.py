@@ -1,0 +1,68 @@
+"""Tests for the 2-D DFT through the shared-memory pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import generate
+from repro.machine import count_false_sharing
+from repro.sigma import lower
+from repro.spl import SPLError, is_fully_optimized
+from repro.transforms import dft2d_apply, dft2d_formula, parallel_dft2d
+from tests.conftest import random_vector
+
+
+class TestDFT2DFormula:
+    @pytest.mark.parametrize("m,n", [(2, 2), (4, 8), (8, 4), (3, 5), (16, 16)])
+    def test_matches_fft2(self, rng, m, n):
+        X = (rng.standard_normal((m, n)) + 1j * rng.standard_normal((m, n)))
+        np.testing.assert_allclose(
+            dft2d_apply(X), np.fft.fft2(X), atol=1e-8
+        )
+
+    def test_formula_is_tensor(self):
+        f = dft2d_formula(4, 8)
+        assert f.rows == 32
+
+    def test_vectorized_equals_matrix_form(self, rng):
+        m, n = 4, 4
+        f = dft2d_formula(m, n)
+        X = rng.standard_normal((m, n)) + 0j
+        # (DFT_m (x) DFT_n) vec(X) = vec(DFT_m X DFT_n^T)
+        lhs = f.apply(X.reshape(-1)).reshape(m, n)
+        Fm = np.fft.fft(np.eye(m), axis=0)
+        Fn = np.fft.fft(np.eye(n), axis=0)
+        rhs = Fm @ X @ Fn.T
+        np.testing.assert_allclose(lhs, rhs, atol=1e-8)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(SPLError):
+            dft2d_apply(np.zeros(8, dtype=complex))
+
+
+class TestParallelDFT2D:
+    @pytest.mark.parametrize("m,n,p,mu", [(16, 16, 2, 4), (32, 16, 4, 4)])
+    def test_definition_one_and_correct(self, rng, m, n, p, mu):
+        f = parallel_dft2d(m, n, p, mu)
+        assert is_fully_optimized(f, p, mu)
+        X = rng.standard_normal((m, n)) + 1j * rng.standard_normal((m, n))
+        np.testing.assert_allclose(
+            f.apply(X.reshape(-1)).reshape(m, n), np.fft.fft2(X), atol=1e-6
+        )
+
+    def test_no_false_sharing(self):
+        prog = lower(parallel_dft2d(16, 16, 2, 4))
+        assert count_false_sharing(prog, 4) == 0
+
+    def test_generated_threaded_execution(self, rng):
+        from repro.smp import PThreadsRuntime
+
+        f = parallel_dft2d(16, 16, 2, 4, min_leaf=16)
+        gen = generate(lower(f))
+        X = rng.standard_normal((16, 16)) + 0j
+        with PThreadsRuntime(2) as rt:
+            out = gen.run(X.reshape(-1), rt).reshape(16, 16)
+        np.testing.assert_allclose(out, np.fft.fft2(X), atol=1e-7)
+
+    def test_preconditions(self):
+        with pytest.raises(SPLError):
+            parallel_dft2d(8, 16, 4, 4)  # 16 does not divide 8

@@ -1,0 +1,139 @@
+"""Tests for the inverse DFT, Bluestein arbitrary-size DFT, and batched FFT."""
+
+import numpy as np
+import pytest
+
+from repro.machine import analyze_sharing, count_false_sharing
+from repro.sigma import lower
+from repro.spl import SPLError, is_fully_optimized
+from repro.transforms import (
+    BluesteinDFT,
+    batch_fft_apply,
+    batch_fft_formula,
+    dft_any_size,
+    idft_apply,
+    idft_formula,
+    parallel_batch_fft,
+    parallel_idft,
+    reversal_perm,
+)
+from tests.conftest import random_vector
+
+
+class TestIDFT:
+    def test_reversal_perm(self, rng):
+        x = random_vector(rng, 8)
+        y = reversal_perm(8).apply(x)
+        np.testing.assert_allclose(y, x[(-np.arange(8)) % 8])
+
+    @pytest.mark.parametrize("n", [2, 4, 12, 64, 100])
+    def test_formula_matches_ifft(self, rng, n):
+        x = random_vector(rng, n)
+        np.testing.assert_allclose(idft_apply(x), np.fft.ifft(x), atol=1e-9)
+
+    def test_roundtrip_identity(self, rng):
+        from repro.spl import Compose, DFT
+
+        n = 16
+        f = Compose(idft_formula(n), DFT(n))
+        x = random_vector(rng, n)
+        np.testing.assert_allclose(f.apply(x), x, atol=1e-9)
+
+    @pytest.mark.parametrize("n,p,mu", [(256, 2, 4), (1024, 4, 4)])
+    def test_parallel_idft_correct(self, rng, n, p, mu):
+        prog = lower(parallel_idft(n, p, mu), validate=True)
+        x = random_vector(rng, n)
+        np.testing.assert_allclose(prog.apply(x), np.fft.ifft(x), atol=1e-7)
+
+    def test_parallel_idft_no_false_sharing(self):
+        """The reversal merges into gathers; writes stay line-exclusive."""
+        prog = lower(parallel_idft(256, 2, 4))
+        assert count_false_sharing(prog, 4) == 0
+
+    def test_reversal_adds_no_stage(self):
+        seq = lower(parallel_idft(256, 2, 4))
+        from repro.rewrite import derive_multicore_ct, expand_dft
+
+        fwd = lower(
+            expand_dft(derive_multicore_ct(256, 2, 4), "balanced", min_leaf=32)
+        )
+        assert len(seq.stages) == len(fwd.stages)
+
+
+class TestBluestein:
+    @pytest.mark.parametrize("n", [1, 2, 7, 13, 31, 100, 97, 1000])
+    def test_arbitrary_sizes(self, rng, n):
+        x = random_vector(rng, n)
+        np.testing.assert_allclose(dft_any_size(x), np.fft.fft(x), atol=1e-6)
+
+    def test_engine_reuse(self, rng):
+        eng = BluesteinDFT(17)
+        for _ in range(3):
+            x = random_vector(rng, 17)
+            np.testing.assert_allclose(eng(x), np.fft.fft(x), atol=1e-7)
+
+    def test_internal_size_is_power_of_two(self):
+        eng = BluesteinDFT(100)
+        assert eng.m == 256
+        assert eng.m & (eng.m - 1) == 0
+
+    def test_threaded_engine(self, rng):
+        eng = BluesteinDFT(61, threads=2)
+        x = random_vector(rng, 61)
+        np.testing.assert_allclose(eng(x), np.fft.fft(x), atol=1e-7)
+
+    def test_large_prime_precision(self, rng):
+        """The mod-2n chirp keeps phases exact for large primes."""
+        n = 4099
+        x = random_vector(rng, n)
+        got = dft_any_size(x)
+        np.testing.assert_allclose(got, np.fft.fft(x), atol=1e-5)
+
+    def test_shape_and_size_validation(self):
+        with pytest.raises(ValueError):
+            BluesteinDFT(0)
+        with pytest.raises(ValueError):
+            BluesteinDFT(8)(np.zeros(4, dtype=complex))
+
+
+class TestBatchFFT:
+    def test_reference_apply(self, rng):
+        X = rng.standard_normal((4, 16)) + 1j * rng.standard_normal((4, 16))
+        np.testing.assert_allclose(
+            batch_fft_apply(X), np.fft.fft(X, axis=-1), atol=1e-8
+        )
+
+    @pytest.mark.parametrize("b,n,p,mu", [(8, 64, 2, 4), (16, 32, 4, 4)])
+    def test_parallel_batch(self, rng, b, n, p, mu):
+        f = parallel_batch_fft(b, n, p, mu)
+        assert is_fully_optimized(f, p, mu)
+        X = rng.standard_normal((b, n)) + 0j
+        np.testing.assert_allclose(
+            f.apply(X.reshape(-1)).reshape(b, n),
+            np.fft.fft(X, axis=-1),
+            atol=1e-7,
+        )
+
+    def test_batch_needs_no_communication(self):
+        """Independent rows: zero barriers, zero coherence traffic."""
+        prog = lower(parallel_batch_fft(8, 64, 2, 4))
+        assert prog.barrier_count() == 0
+        rep = analyze_sharing(prog, 4)
+        assert rep.total_coherence_misses == 0
+        assert rep.is_false_sharing_free
+
+    def test_preconditions(self):
+        with pytest.raises(SPLError):
+            parallel_batch_fft(7, 64, 2, 4)  # 2 does not divide 7
+        with pytest.raises(SPLError):
+            parallel_batch_fft(8, 66, 2, 4)  # 4 does not divide 66
+
+    def test_threaded_execution(self, rng):
+        from repro.codegen import generate
+        from repro.smp import PThreadsRuntime
+
+        gen = generate(lower(parallel_batch_fft(8, 64, 2, 4, min_leaf=16)))
+        X = rng.standard_normal((8, 64)) + 0j
+        with PThreadsRuntime(2) as rt:
+            out = gen.run(X.reshape(-1), rt).reshape(8, 64)
+        np.testing.assert_allclose(out, np.fft.fft(X, axis=-1), atol=1e-7)

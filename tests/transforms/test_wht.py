@@ -1,0 +1,123 @@
+"""Tests for the Walsh-Hadamard transform through the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import generate
+from repro.sigma import lower
+from repro.spl import Compose, F2, I, SPLError, Tensor, is_fully_optimized
+from repro.transforms import (
+    RULE_WHT_BASE,
+    RULE_WHT_BREAKDOWN,
+    WHT,
+    expand_wht,
+    parallel_wht,
+    wht_step,
+)
+from tests.conftest import assert_semantics, random_vector
+
+
+class TestWHTSymbol:
+    @pytest.mark.parametrize("n", [1, 2, 4, 16, 64])
+    def test_apply_matches_matrix(self, rng, n):
+        assert_semantics(WHT(n), rng)
+
+    def test_matrix_is_hadamard(self):
+        h = WHT(4).to_matrix().real
+        # all +-1 entries, orthogonal rows
+        assert set(np.unique(h)) == {-1.0, 1.0}
+        np.testing.assert_allclose(h @ h.T, 4 * np.eye(4))
+
+    def test_wht2_is_f2(self):
+        np.testing.assert_array_equal(WHT(2).to_matrix(), F2().to_matrix())
+
+    def test_involution_up_to_scale(self, rng):
+        n = 16
+        x = random_vector(rng, n)
+        np.testing.assert_allclose(
+            WHT(n).apply(WHT(n).apply(x)) / n, x, atol=1e-9
+        )
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(SPLError):
+            WHT(12)
+
+    def test_flops(self):
+        assert WHT(8).flops() == 2 * 8 * 3
+        assert WHT(1).flops() == 0
+
+
+class TestWHTBreakdown:
+    @pytest.mark.parametrize("m,k", [(2, 2), (2, 8), (4, 4), (8, 2)])
+    def test_step_identity(self, rng, m, k):
+        x = random_vector(rng, m * k)
+        np.testing.assert_allclose(
+            wht_step(m, k).apply(x), WHT(m * k).apply(x), atol=1e-9
+        )
+
+    def test_rule_enumerates_splits(self):
+        alts = list(RULE_WHT_BREAKDOWN.rewrites(WHT(16)))
+        assert len(alts) == 3  # 2x8, 4x4, 8x2
+
+    def test_base_rule(self):
+        assert RULE_WHT_BASE.first_rewrite(WHT(2)) == F2()
+        assert RULE_WHT_BASE.first_rewrite(WHT(1)) == I(1)
+        assert RULE_WHT_BASE.first_rewrite(WHT(8)) is None
+
+    @pytest.mark.parametrize("n", [4, 16, 128])
+    def test_full_expansion(self, rng, n):
+        f = expand_wht(n)
+        assert not f.contains(lambda e: isinstance(e, WHT))
+        x = random_vector(rng, n)
+        np.testing.assert_allclose(f.apply(x), WHT(n).apply(x), atol=1e-8)
+
+
+class TestParallelWHT:
+    @pytest.mark.parametrize("n,p,mu", [(256, 2, 4), (1024, 4, 4), (64, 2, 2)])
+    def test_definition_one(self, n, p, mu):
+        assert is_fully_optimized(parallel_wht(n, p, mu), p, mu)
+
+    @pytest.mark.parametrize("n,p,mu", [(256, 2, 4), (1024, 4, 4)])
+    def test_correct(self, rng, n, p, mu):
+        f = parallel_wht(n, p, mu)
+        x = random_vector(rng, n)
+        np.testing.assert_allclose(f.apply(x), WHT(n).apply(x), atol=1e-7)
+
+    def test_no_false_sharing(self):
+        from repro.machine import count_false_sharing
+
+        prog = lower(parallel_wht(256, 2, 4))
+        assert count_false_sharing(prog, 4) == 0
+
+    def test_generated_and_threaded(self, rng):
+        from repro.smp import PThreadsRuntime
+
+        gen = generate(lower(parallel_wht(256, 2, 4, min_leaf=16)))
+        x = random_vector(rng, 256)
+        with PThreadsRuntime(2) as rt:
+            out = gen.run(x, rt)
+        np.testing.assert_allclose(out, WHT(256).apply(x), atol=1e-7)
+
+    def test_inadmissible_size_rejected(self):
+        with pytest.raises(SPLError):
+            parallel_wht(32, 4, 4)
+
+    def test_wht_has_no_twiddles(self):
+        """Unlike the DFT, the parallel WHT carries no twiddle diagonals —
+        rule (11) never fires; the readdressing (rule 7/10 line
+        permutations) is all that remains."""
+        from repro.spl import Diag, ParDirectSum, Twiddle
+
+        f = parallel_wht(1024, 2, 4)
+        assert not f.contains(
+            lambda e: isinstance(e, (Twiddle, Diag, ParDirectSum))
+        )
+
+    def test_wht_communicates_less_than_dft(self):
+        """No twiddle pass and fewer permutation stages: the WHT's parallel
+        pipeline is shorter than the DFT's at the same size."""
+        from repro.rewrite import derive_multicore_ct
+
+        wht_f = parallel_wht(1024, 2, 4)
+        dft_f = derive_multicore_ct(1024, 2, 4)
+        assert len(wht_f.factors) < len(dft_f.factors)

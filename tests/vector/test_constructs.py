@@ -1,0 +1,116 @@
+"""Unit tests for the vector (SIMD) constructs."""
+
+import numpy as np
+import pytest
+
+from repro.spl import DFT, F2, I, L, SPLError, Tensor
+from repro.vector import InRegisterTranspose, Vec, VecDiag, VecTensor, vec
+from tests.conftest import assert_semantics, random_vector
+
+
+class TestVecTag:
+    def test_transparent(self, rng):
+        inner = Tensor(DFT(4), I(4))
+        tagged = vec(2, inner)
+        x = random_vector(rng, 16)
+        np.testing.assert_allclose(tagged.apply(x), inner.apply(x))
+        assert tagged.flops() == inner.flops()
+
+    def test_rejects_bad_nu(self):
+        with pytest.raises(SPLError):
+            Vec(0, I(4))
+
+
+class TestVecTensor:
+    @pytest.mark.parametrize("nu", [1, 2, 4])
+    def test_equals_untagged(self, rng, nu):
+        vt = VecTensor(DFT(4), nu)
+        x = random_vector(rng, 4 * nu)
+        np.testing.assert_allclose(
+            vt.apply(x), vt.untag().apply(x), atol=1e-9
+        )
+
+    def test_matrix(self, rng):
+        assert_semantics(VecTensor(Tensor(F2(), I(2)), 2), rng)
+
+    def test_vector_flops_reduced(self):
+        vt = VecTensor(DFT(8), 4)
+        assert vt.flops() == DFT(8).flops()
+        assert vt.scalar_flops() == 4 * DFT(8).flops()
+
+    def test_rebuild(self):
+        vt = VecTensor(DFT(4), 2)
+        assert vt.rebuild(DFT(4)) == vt
+
+
+class TestInRegisterTranspose:
+    @pytest.mark.parametrize("count,nu", [(1, 2), (4, 2), (2, 4)])
+    def test_equals_tensor_of_L(self, rng, count, nu):
+        irt = InRegisterTranspose(count, nu)
+        x = random_vector(rng, count * nu * nu)
+        np.testing.assert_allclose(irt.apply(x), irt.untag().apply(x))
+
+    def test_matrix(self, rng):
+        assert_semantics(InRegisterTranspose(2, 2), rng)
+
+    def test_involution(self, rng):
+        irt = InRegisterTranspose(3, 2)
+        x = random_vector(rng, 12)
+        np.testing.assert_allclose(irt.apply(irt.apply(x)), x)
+
+    def test_no_arithmetic(self):
+        assert InRegisterTranspose(8, 4).flops() == 0
+        assert InRegisterTranspose(8, 4).shuffle_ops() == 32
+
+
+class TestVecDiag:
+    def test_semantics(self, rng):
+        vals = random_vector(rng, 8)
+        vd = VecDiag(vals, 2)
+        x = random_vector(rng, 8)
+        np.testing.assert_allclose(vd.apply(x), vals * x)
+
+    def test_vector_flops(self):
+        vd = VecDiag(np.ones(8, dtype=complex), 4)
+        assert vd.flops() == 2 * 6  # two vector multiplies
+        assert vd.scalar_flops() == 8 * 6
+
+    def test_nu_must_divide(self):
+        with pytest.raises(SPLError):
+            VecDiag(np.ones(6, dtype=complex), 4)
+
+
+class TestVectorizedLIdentity:
+    """The (v4) decomposition: exact for every admissible (m, n, nu)."""
+
+    @pytest.mark.parametrize(
+        "m,n,nu",
+        [(4, 4, 2), (8, 4, 2), (4, 8, 2), (8, 8, 2), (16, 8, 4), (8, 16, 4), (6, 4, 2)],
+    )
+    def test_v4_exact(self, rng, m, n, nu):
+        from repro.spl import Compose
+
+        lhs = L(m * n, m)
+        rhs = Compose(
+            VecTensor(L(m * n // nu, m), nu),
+            InRegisterTranspose(m * n // (nu * nu), nu),
+            VecTensor(
+                L(m, m // nu) if n == nu else Tensor(I(n // nu), L(m, m // nu)),
+                nu,
+            ),
+        )
+        x = random_vector(rng, m * n)
+        np.testing.assert_allclose(rhs.apply(x), lhs.apply(x), atol=1e-12)
+
+
+class TestVectorPrettyPrint:
+    def test_format_vector_constructs(self):
+        from repro.spl import format_expr
+        from repro.vector import vec
+
+        assert "⊗v I_2" in format_expr(VecTensor(DFT(4), 2))
+        assert "in-register" in format_expr(InRegisterTranspose(4, 2))
+        assert "vdiag[8/2]" in format_expr(
+            VecDiag(np.ones(8, dtype=complex), 2)
+        )
+        assert "_vec(2)" in format_expr(vec(2, DFT(4)))

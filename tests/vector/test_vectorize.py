@@ -1,0 +1,155 @@
+"""Tests for the vec(nu) rewriting system and the smp x vec tandem."""
+
+import numpy as np
+import pytest
+
+from repro.rewrite import cooley_tukey_step, derive_multicore_ct
+from repro.spl import (
+    Compose,
+    DFT,
+    I,
+    L,
+    LinePerm,
+    ParDirectSum,
+    ParTensor,
+    SPLError,
+    Tensor,
+    Twiddle,
+    is_fully_optimized,
+)
+from repro.vector import (
+    InRegisterTranspose,
+    VecDiag,
+    VecTensor,
+    VectorizationError,
+    derive_multicore_vector_ct,
+    devectorize,
+    has_vec_tags,
+    is_fully_vectorized,
+    vectorize,
+    vectorize_smp,
+)
+from tests.conftest import random_vector
+
+
+class TestVectorizeRules:
+    @pytest.mark.parametrize("nu", [2, 4])
+    def test_tensor_AI(self, rng, nu):
+        f = Tensor(DFT(4), I(8))
+        v = vectorize(f, nu)
+        assert isinstance(v, VecTensor)
+        x = random_vector(rng, 32)
+        np.testing.assert_allclose(v.apply(x), f.apply(x), atol=1e-9)
+
+    def test_tensor_IA_via_commutation(self, rng):
+        f = Tensor(I(8), DFT(4))
+        v = vectorize(f, 2)
+        assert is_fully_vectorized(v, 2)
+        x = random_vector(rng, 32)
+        np.testing.assert_allclose(v.apply(x), f.apply(x), atol=1e-8)
+
+    def test_stride_perm(self, rng):
+        f = L(64, 8)
+        v = vectorize(f, 2)
+        assert is_fully_vectorized(v, 2)
+        assert v.contains(lambda e: isinstance(e, InRegisterTranspose))
+        x = random_vector(rng, 64)
+        np.testing.assert_allclose(v.apply(x), f.apply(x))
+
+    def test_small_L_is_pure_in_register(self):
+        v = vectorize(L(4, 2), 2)
+        assert v == InRegisterTranspose(1, 2)
+
+    def test_diag(self, rng):
+        f = Twiddle(4, 8)
+        v = vectorize(f, 4)
+        assert isinstance(v, VecDiag)
+        x = random_vector(rng, 32)
+        np.testing.assert_allclose(v.apply(x), f.apply(x))
+
+    @pytest.mark.parametrize("m,k,nu", [(8, 8, 2), (16, 8, 4), (8, 16, 2), (4, 4, 2)])
+    def test_full_ct_vectorization(self, rng, m, k, nu):
+        f = cooley_tukey_step(m, k)
+        v = vectorize(f, nu)
+        assert is_fully_vectorized(v, nu)
+        assert not has_vec_tags(v)
+        x = random_vector(rng, m * k)
+        np.testing.assert_allclose(v.apply(x), np.fft.fft(x), atol=1e-7)
+
+    def test_nu_one_is_identity(self):
+        f = cooley_tukey_step(4, 4)
+        assert vectorize(f, 1) == f
+
+    def test_inadmissible_size_raises(self):
+        # nu = 4 cannot vectorize a formula over size 6 blocks
+        with pytest.raises(VectorizationError):
+            vectorize(Tensor(DFT(2), I(3)), 4)
+
+    def test_devectorize_roundtrip(self, rng):
+        f = cooley_tukey_step(8, 8)
+        v = vectorize(f, 2)
+        d = devectorize(v)
+        assert not d.contains(
+            lambda e: isinstance(e, (VecTensor, VecDiag, InRegisterTranspose))
+        )
+        x = random_vector(rng, 64)
+        np.testing.assert_allclose(d.apply(x), f.apply(x), atol=1e-8)
+
+    def test_vector_op_count_reduced(self):
+        f = cooley_tukey_step(16, 16)
+        v = vectorize(f, 4)
+        # vector ops are ~nu-fold fewer than scalar ops
+        assert v.flops() < f.flops() / 2
+
+
+class TestSmpVecTandem:
+    @pytest.mark.parametrize(
+        "n,p,mu,nu", [(256, 2, 4, 2), (256, 2, 4, 4), (1024, 4, 4, 4)]
+    )
+    def test_correct(self, rng, n, p, mu, nu):
+        f = derive_multicore_vector_ct(n, p, mu, nu)
+        x = random_vector(rng, n)
+        np.testing.assert_allclose(f.apply(x), np.fft.fft(x), atol=1e-6)
+
+    def test_keeps_parallel_structure(self):
+        f = derive_multicore_vector_ct(256, 2, 4, 2)
+        par = derive_multicore_ct(256, 2, 4)
+        # same number of parallel regions and line permutations
+        def count(e, cls):
+            return sum(1 for s in e.preorder() if isinstance(s, cls))
+
+        assert count(f, ParTensor) == count(par, ParTensor)
+        assert count(f, LinePerm) == count(par, LinePerm)
+        assert count(f, ParDirectSum) == count(par, ParDirectSum)
+
+    def test_still_definition_one(self):
+        """Vectorized chunk bodies keep the Definition 1 structure intact."""
+        f = derive_multicore_vector_ct(256, 2, 4, 2)
+        assert is_fully_optimized(f, 2, 4)
+
+    def test_chunks_are_vectorized(self):
+        f = derive_multicore_vector_ct(256, 2, 4, 2)
+        for node in f.preorder():
+            if isinstance(node, ParTensor):
+                assert node.child.contains(
+                    lambda e: isinstance(e, VecTensor)
+                )
+
+    def test_diagonals_become_vector_diagonals(self):
+        f = derive_multicore_vector_ct(256, 2, 4, 2)
+        dsum = next(e for e in f.preorder() if isinstance(e, ParDirectSum))
+        assert all(isinstance(b, VecDiag) for b in dsum.blocks)
+
+    def test_nu_must_divide_mu(self):
+        with pytest.raises(SPLError):
+            derive_multicore_vector_ct(1024, 2, 4, 8)
+
+    def test_lowering_and_execution(self, rng):
+        """Vector formulas lower and run through the standard backend."""
+        from repro.sigma import lower
+        from repro.vector import devectorize
+
+        f = devectorize(derive_multicore_vector_ct(256, 2, 4, 2))
+        prog = lower(f, validate=True)
+        x = random_vector(rng, 256)
+        np.testing.assert_allclose(prog.apply(x), np.fft.fft(x), atol=1e-6)
