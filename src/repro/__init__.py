@@ -31,6 +31,7 @@ from . import (
     sigma,
     smp,
     spl,
+    trace,
     transforms,
     vector,
 )
@@ -72,6 +73,7 @@ __all__ = [
     "smp",
     "spiral_formula",
     "spl",
+    "trace",
     "transforms",
     "vector",
     "verify_program",

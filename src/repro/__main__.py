@@ -1,3 +1,5 @@
+"""Entry point for ``python -m repro``; see :mod:`repro.cli`."""
+
 from .cli import main
 
 if __name__ == "__main__":

@@ -6,12 +6,35 @@ Commands
 ``generate``  generate a program and verify it; ``--emit-c`` writes C source
 ``bench``     sweep one simulated machine and print the Figure 3 panel rows
 ``search``    autotune a factorization on a simulated machine
+``profile``   trace one transform end to end and print the per-stage report
+
+``generate``, ``bench``, ``search``, and ``profile`` accept ``--trace PATH``:
+the whole command runs under a :mod:`repro.trace` tracer and the collected
+timeline is written as Chrome trace-event JSON (open in ``chrome://tracing``
+or Perfetto).  See ``docs/profiling.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
+
+
+@contextlib.contextmanager
+def _maybe_tracing(args: argparse.Namespace):
+    """Run the command under a tracer when ``--trace PATH`` was given."""
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        yield None
+        return
+    from .trace import Tracer, tracing, write_chrome_trace
+
+    tracer = Tracer()
+    with tracing(tracer):
+        yield tracer
+    out = write_chrome_trace(tracer, trace_path)
+    print(f"# chrome trace written to {out}", file=sys.stderr)
 
 
 def _cmd_derive(args: argparse.Namespace) -> int:
@@ -33,28 +56,33 @@ def _cmd_derive(args: argparse.Namespace) -> int:
 def _cmd_generate(args: argparse.Namespace) -> int:
     from .frontend import generate_fft, verify_program
 
-    gen = generate_fft(args.n, threads=args.threads, mu=args.mu)
-    ok = verify_program(gen)
-    print(
-        f"# DFT_{args.n}, p={args.threads}, mu={args.mu}: "
-        f"{len(gen.stages)} stages, verified={ok}",
-        file=sys.stderr,
-    )
-    if args.emit_c:
-        from .rewrite import derive_multicore_ct, derive_sequential_ct, expand_dft
-        from .codegen import generate_c
-        from .sigma import lower
-
-        base = (
-            derive_multicore_ct(args.n, args.threads, args.mu)
-            if args.threads > 1
-            else derive_sequential_ct(args.n)
+    with _maybe_tracing(args):
+        gen = generate_fft(args.n, threads=args.threads, mu=args.mu)
+        ok = verify_program(gen)
+        print(
+            f"# DFT_{args.n}, p={args.threads}, mu={args.mu}: "
+            f"{len(gen.stages)} stages, verified={ok}",
+            file=sys.stderr,
         )
-        f = expand_dft(base, "balanced", min_leaf=32)
-        src = generate_c(lower(f), mode=args.mode)
-        print(src.source)
-    else:
-        print(gen.source)
+        if args.emit_c:
+            from .rewrite import (
+                derive_multicore_ct,
+                derive_sequential_ct,
+                expand_dft,
+            )
+            from .codegen import generate_c
+            from .sigma import lower
+
+            base = (
+                derive_multicore_ct(args.n, args.threads, args.mu)
+                if args.threads > 1
+                else derive_sequential_ct(args.n)
+            )
+            f = expand_dft(base, "balanced", min_leaf=32)
+            src = generate_c(lower(f), mode=args.mode)
+            print(src.source)
+        else:
+            print(gen.source)
     return 0 if ok else 1
 
 
@@ -64,20 +92,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .machine import SyncProfile, machine
 
     spec = machine(args.machine)
-    spiral = SpiralSMP(spec)
-    fftw = FFTWModel(spec)
-    print(f"# {spec.name} — pseudo Mflop/s (5 n log2 n / us)")
-    print("log2n,spiral_seq,spiral_pthreads,spiral_openmp,fftw_seq,fftw_best,fftw_threads")
-    for k in range(args.kmin, args.kmax + 1):
-        n = 1 << k
-        plan = fftw.plan(n)
+    with _maybe_tracing(args):
+        spiral = SpiralSMP(spec)
+        fftw = FFTWModel(spec)
+        print(f"# {spec.name} — pseudo Mflop/s (5 n log2 n / us)")
         print(
-            f"{k},{spiral.pseudo_mflops(n, 1):.0f},"
-            f"{spiral.pseudo_mflops(n, spec.p, SyncProfile.POOLED):.0f},"
-            f"{spiral.pseudo_mflops(n, spec.p, SyncProfile.FORK_JOIN):.0f},"
-            f"{fftw.cost_sequential(n).pseudo_mflops(spec):.0f},"
-            f"{plan.pseudo_mflops(spec):.0f},{plan.threads}"
+            "log2n,spiral_seq,spiral_pthreads,spiral_openmp,"
+            "fftw_seq,fftw_best,fftw_threads"
         )
+        for k in range(args.kmin, args.kmax + 1):
+            n = 1 << k
+            plan = fftw.plan(n)
+            print(
+                f"{k},{spiral.pseudo_mflops(n, 1):.0f},"
+                f"{spiral.pseudo_mflops(n, spec.p, SyncProfile.POOLED):.0f},"
+                f"{spiral.pseudo_mflops(n, spec.p, SyncProfile.FORK_JOIN):.0f},"
+                f"{fftw.cost_sequential(n).pseudo_mflops(spec):.0f},"
+                f"{plan.pseudo_mflops(spec):.0f},{plan.threads}"
+            )
     return 0
 
 
@@ -86,13 +118,35 @@ def _cmd_search(args: argparse.Namespace) -> int:
     from .search import dp_search, model_objective
 
     spec = machine(args.machine)
-    res = dp_search(
-        args.n, model_objective(spec, 1, SyncProfile.NONE), leaf_max=args.leaf_max
+    with _maybe_tracing(args):
+        res = dp_search(
+            args.n,
+            model_objective(spec, 1, SyncProfile.NONE),
+            leaf_max=args.leaf_max,
+        )
+        print(f"# best factorization tree for DFT_{args.n} on {spec.name}")
+        print(f"tree: {res.tree}")
+        print(f"modeled cycles: {res.value:.0f}")
+        print(f"objective evaluations: {res.evaluations}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .trace import profile_transform
+
+    result = profile_transform(
+        args.size,
+        threads=args.threads,
+        mu=args.mu,
+        machine_name=args.machine,
+        runtime=args.runtime,
     )
-    print(f"# best factorization tree for DFT_{args.n} on {spec.name}")
-    print(f"tree: {res.tree}")
-    print(f"modeled cycles: {res.value:.0f}")
-    print(f"objective evaluations: {res.evaluations}")
+    print(result.render_text())
+    if args.trace is not None:
+        result.write_trace(args.trace)
+        print(f"# chrome trace written to {args.trace}", file=sys.stderr)
+    if result.verified is False:
+        return 1
     return 0
 
 
@@ -103,6 +157,14 @@ def build_parser() -> argparse.ArgumentParser:
         "shared memory (SC'06)",
     )
     sub = p.add_subparsers(dest="command", required=True)
+
+    def add_trace_flag(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--trace",
+            metavar="PATH",
+            default=None,
+            help="write a Chrome trace-event JSON of this run to PATH",
+        )
 
     d = sub.add_parser("derive", help="derive the multicore CT formula")
     d.add_argument("n", type=int)
@@ -121,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["pthreads", "openmp", "sequential"],
         default="pthreads",
     )
+    add_trace_flag(g)
     g.set_defaults(fn=_cmd_generate)
 
     b = sub.add_parser("bench", help="sweep a simulated machine")
@@ -130,13 +193,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     b.add_argument("--kmin", type=int, default=6)
     b.add_argument("--kmax", type=int, default=14)
+    add_trace_flag(b)
     b.set_defaults(fn=_cmd_bench)
 
     s = sub.add_parser("search", help="autotune a factorization")
     s.add_argument("n", type=int)
     s.add_argument("--machine", default="core_duo")
     s.add_argument("--leaf-max", type=int, default=32)
+    add_trace_flag(s)
     s.set_defaults(fn=_cmd_search)
+
+    pr = sub.add_parser(
+        "profile",
+        help="trace one transform end to end; per-stage cycle/miss report",
+    )
+    pr.add_argument("--size", "-n", type=int, required=True)
+    pr.add_argument("--threads", "-p", type=int, default=1)
+    pr.add_argument("--mu", type=int, default=4)
+    pr.add_argument("--machine", default="core_duo")
+    pr.add_argument(
+        "--runtime",
+        choices=["pthreads", "openmp", "sequential"],
+        default="pthreads",
+    )
+    add_trace_flag(pr)
+    pr.set_defaults(fn=_cmd_profile)
     return p
 
 

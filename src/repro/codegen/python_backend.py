@@ -34,6 +34,7 @@ from ..sigma.loops import BlockLoop, SigmaProgram
 from ..smp.runtime import PlanStage, Runtime, SequentialRuntime
 from ..spl.expr import COMPLEX, Expr
 from ..spl.matrices import DFT, F2, I
+from ..trace import get_tracer
 
 
 @dataclass
@@ -176,6 +177,15 @@ def generate(
     name: str = "transform",
 ) -> GeneratedProgram:
     """Generate Python source for ``program`` and compile it."""
+    tr = get_tracer()
+    with tr.span("codegen.python", "codegen", size=program.size,
+                 stages=len(program.stages)):
+        return _generate_impl(program, codelet_max, name)
+
+
+def _generate_impl(
+    program: SigmaProgram, codelet_max: int, name: str
+) -> GeneratedProgram:
     em = _Emitter(codelet_max)
     em.lines.append("# Generated by repro: Spiral shared-memory FFT backend")
     em.lines.append(f"# size={program.size}, stages={len(program.stages)}, "

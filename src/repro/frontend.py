@@ -30,6 +30,7 @@ from .rewrite.derive import derive_multicore_ct, derive_sequential_ct
 from .sigma.loops import SigmaProgram
 from .sigma.lower import lower
 from .spl.expr import Expr
+from .trace import get_tracer
 
 
 def feasible_threads(n: int, p: int, mu: int) -> int:
@@ -45,11 +46,14 @@ def feasible_threads(n: int, p: int, mu: int) -> int:
 def spiral_formula(n: int, threads: int, mu: int, strategy: str = "balanced",
                    min_leaf: int = 32) -> Expr:
     """Fully expanded formula for ``DFT_n`` on ``threads`` processors."""
-    if threads > 1:
-        f = derive_multicore_ct(n, threads, mu)
-    else:
-        f = derive_sequential_ct(n)
-    return expand_dft(f, strategy, min_leaf=min_leaf)
+    tr = get_tracer()
+    with tr.span("frontend.derive", "rewrite", n=n, threads=threads, mu=mu):
+        if threads > 1:
+            f = derive_multicore_ct(n, threads, mu)
+        else:
+            f = derive_sequential_ct(n)
+    with tr.span("frontend.expand", "rewrite", strategy=strategy):
+        return expand_dft(f, strategy, min_leaf=min_leaf)
 
 
 def generate_fft(
@@ -64,9 +68,15 @@ def generate_fft(
     Returns a :class:`GeneratedProgram`; call it on a length-``n`` complex
     vector, or pass a :class:`repro.smp.PThreadsRuntime` to ``run`` for
     multithreaded execution.
+
+    Under an active :mod:`repro.trace` tracer the whole pipeline is recorded
+    as a ``generate_fft`` span with derivation, lowering, and codegen child
+    spans (see ``docs/profiling.md``).
     """
-    f = spiral_formula(n, threads, mu, strategy, min_leaf)
-    return generate(lower(f))
+    tr = get_tracer()
+    with tr.span("generate_fft", "frontend", n=n, threads=threads, mu=mu):
+        f = spiral_formula(n, threads, mu, strategy, min_leaf)
+        return generate(lower(f))
 
 
 @dataclass

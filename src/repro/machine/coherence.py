@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..sigma.loops import SigmaProgram, Stage
+from ..trace import get_tracer
 
 
 @dataclass
@@ -81,6 +82,7 @@ def analyze_sharing(program: SigmaProgram, mu: int) -> SharingReport:
     ``mu`` is the cache line length in elements.  Processor ``None`` loops
     (sequential stages) are treated as processor 0.
     """
+    tr = get_tracer()
     n_lines = (program.size + mu - 1) // mu
     # last writer per line, per buffer parity; -1 = untouched (input data)
     last_writer = [
@@ -127,6 +129,19 @@ def analyze_sharing(program: SigmaProgram, mu: int) -> SharingReport:
             if w.size:
                 last_writer[dst_parity][np.unique(w // mu)] = proc
         report.stages.append(sharing)
+        if tr.enabled:
+            for proc, misses in sharing.coherence_misses.items():
+                tr.count("coherence.misses", misses, stage=si, proc=proc)
+            tr.count(
+                "coherence.false_shared_lines",
+                sharing.false_shared_lines,
+                stage=si,
+            )
+            tr.count(
+                "coherence.false_sharing_bounces",
+                sharing.false_sharing_bounces,
+                stage=si,
+            )
     return report
 
 

@@ -31,6 +31,7 @@ from enum import Enum
 import numpy as np
 
 from ..sigma.loops import SigmaProgram, Stage
+from ..trace import get_tracer
 from .coherence import analyze_sharing
 from .topology import COMPLEX_BYTES, MachineSpec
 
@@ -139,6 +140,7 @@ def estimate_cost(
     memory_efficiency: float = 1.0,
     compute_efficiency: float = 1.0,
     numa_aware: bool = True,
+    sharing=None,
 ) -> CostBreakdown:
     """Estimate one transform execution of ``program`` on ``spec``.
 
@@ -148,12 +150,17 @@ def estimate_cost(
     library with stronger large-size optimizations / codelet quality).
     ``numa_aware=False`` models schedules that ignore socket-local memory
     placement and recover only part of the machine's NUMA scaling.
+    ``sharing`` reuses a precomputed :class:`SharingReport` for this
+    program (the profiler passes its own so the analysis runs — and its
+    trace counters accumulate — exactly once).
     """
+    tr = get_tracer()
     n = program.size
     mu = spec.mu
     footprint = 2 * n * COMPLEX_BYTES  # double-buffered working set
     cost = CostBreakdown(size=n, machine=spec.name, threads=threads)
-    sharing = analyze_sharing(program, mu) if threads > 1 else None
+    if sharing is None and threads > 1:
+        sharing = analyze_sharing(program, mu)
 
     for si, stage in enumerate(program.stages):
         per_proc: dict[int, float] = {}
@@ -200,12 +207,26 @@ def estimate_cost(
             {
                 "name": stage.name,
                 "cycles": per_proc[slowest],
+                "compute": c,
+                "memory": m,
+                "coherence": ch,
+                "false_sharing": f,
                 "parallel": stage.parallel,
                 "barrier": stage.needs_barrier,
             }
         )
+        if tr.enabled:
+            tr.count(
+                "machine.stage_cycles", per_proc[slowest],
+                stage=si, stage_name=stage.name or f"stage{si}",
+            )
+            for proc, cycles in per_proc.items():
+                tr.count("machine.proc_cycles", cycles, stage=si, proc=proc)
 
     cost.sync = sync_cycles(program, spec, threads, profile)
+    if tr.enabled:
+        tr.count("machine.sync_cycles", cost.sync)
+        tr.count("machine.total_cycles", cost.total_cycles)
     return cost
 
 

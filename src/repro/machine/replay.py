@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..sigma.loops import SigmaProgram
+from ..trace import get_tracer
 from .cache import CacheHierarchy, HierarchyStats
 from .topology import MachineSpec
 
@@ -32,6 +33,8 @@ class ReplayResult:
     procs: int
     #: per-processor aggregated stats
     per_proc: dict = field(default_factory=dict)
+    #: per-stage totals: {"name", "accesses", "l1_misses", "l2_misses"}
+    per_stage: list = field(default_factory=list)
 
     @property
     def l1_misses(self) -> int:
@@ -74,11 +77,21 @@ def replay(
     generated code allocates them).  ``repeats > 1`` replays the transform
     repeatedly with warm caches, matching how benchmarks measure.
     """
+    tr = get_tracer()
     procs = sorted(
         {lp.proc for s in program.stages for lp in s.loops if lp.proc is not None}
     ) or [0]
     hierarchies = {p: CacheHierarchy(spec.l1, spec.l2) for p in procs}
     result = ReplayResult(size=program.size, procs=len(procs))
+    result.per_stage = [
+        {
+            "name": s.name or f"stage{i}",
+            "accesses": 0,
+            "l1_misses": 0,
+            "l2_misses": 0,
+        }
+        for i, s in enumerate(program.stages)
+    ]
 
     n = program.size
     for _ in range(repeats):
@@ -96,6 +109,15 @@ def replay(
                     ]
                 )
                 stats = h.access_elements(trace)
+                entry = result.per_stage[si]
+                entry["accesses"] += stats.l1.accesses
+                entry["l1_misses"] += stats.l1.misses
+                entry["l2_misses"] += stats.l2.misses
+                if tr.enabled:
+                    tr.count("cache.l1_misses", stats.l1.misses,
+                             stage=si, proc=proc)
+                    tr.count("cache.l2_misses", stats.l2.misses,
+                             stage=si, proc=proc)
                 if proc in result.per_proc:
                     _merge(result.per_proc[proc], stats)
                 else:

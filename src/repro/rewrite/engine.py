@@ -15,6 +15,7 @@ from typing import Iterator, Optional
 
 from ..spl.expr import Expr
 from ..spl.pprint import format_expr
+from ..trace import get_tracer
 from .rule import Rule, RuleSet
 
 
@@ -98,14 +99,30 @@ def rewrite_exhaustive(
     max_steps: int = 100_000,
     trace: Optional[RewriteTrace] = None,
 ) -> Expr:
-    """Rewrite to a normal form (no rule applies anywhere)."""
-    for _ in range(max_steps):
-        nxt = rewrite_step(expr, rules)
-        if nxt is None:
-            return expr
-        expr, step = nxt
-        if trace is not None:
-            trace.append(step)
+    """Rewrite to a normal form (no rule applies anywhere).
+
+    Emits trace telemetry per run: a ``rewrite.exhaustive`` span plus
+    ``rewrite.steps`` and per-rule ``rewrite.rule_fired`` counters recording
+    which Table-1 (or breakdown/simplify) rule fired and where.
+    """
+    tr = get_tracer()
+    with tr.span("rewrite.exhaustive", "rewrite", rules=rules.name) as span:
+        for nsteps in range(max_steps):
+            nxt = rewrite_step(expr, rules)
+            if nxt is None:
+                span.set(steps=nsteps)
+                return expr
+            expr, step = nxt
+            if trace is not None:
+                trace.append(step)
+            if tr.enabled:
+                tr.count("rewrite.steps", 1, rules=rules.name)
+                tr.count(
+                    "rewrite.rule_fired",
+                    1,
+                    rule=step.rule_name,
+                    path="/".join(map(str, step.path)) or "root",
+                )
     raise RewriteLimitExceeded(
         f"no normal form after {max_steps} steps with rule set {rules.name!r}"
     )

@@ -29,6 +29,7 @@ from ..machine.topology import MachineSpec
 from ..rewrite.breakdown import all_factor_trees, expand_from_tree, factor_pairs
 from ..sigma.lower import lower
 from ..spl.expr import Expr
+from ..trace import get_tracer
 from .timer import time_callable
 
 Objective = Callable[[Expr], float]
@@ -91,13 +92,18 @@ def dp_search(
 
     ``leaf_max`` bounds the size a subtransform may stay unexpanded
     (the codelet limit); prime sizes are always leaves.
+
+    Emits a ``search.dp`` span plus one ``search.evaluations`` count per
+    objective call (attributed to the candidate's size).
     """
+    tr = get_tracer()
     best: dict[int, tuple[object, float]] = {}
     evaluations = 0
 
     def evaluate(size: int, tree) -> float:
         nonlocal evaluations
         evaluations += 1
+        tr.count("search.evaluations", 1, strategy="dp", size=size)
         return objective(expand_from_tree(size, tree))
 
     def solve(size: int) -> tuple[object, float]:
@@ -116,7 +122,9 @@ def dp_search(
         best[size] = choice
         return choice
 
-    tree, value = solve(n)
+    with tr.span("search.dp", "search", n=n, leaf_max=leaf_max) as span:
+        tree, value = solve(n)
+        span.set(tree=str(tree), value=value, evaluations=evaluations)
     return SearchResult(
         n=n,
         tree=tree,

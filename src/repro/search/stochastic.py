@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..rewrite.breakdown import expand_from_tree, factor_pairs
+from ..trace import get_tracer
 from .dp import Objective, SearchResult
 
 
@@ -94,7 +95,12 @@ class StochasticConfig:
 def stochastic_search(
     n: int, objective: Objective, config: StochasticConfig | None = None
 ) -> SearchResult:
-    """Hill climbing with random restarts over tree mutations."""
+    """Hill climbing with random restarts over tree mutations.
+
+    Emits a ``search.stochastic`` span, per-restart ``search.evaluations``
+    counts, and a ``search.improvements`` count per accepted mutation.
+    """
+    tr = get_tracer()
     cfg = config or StochasticConfig()
     rng = np.random.default_rng(cfg.seed)
     evaluations = 0
@@ -102,22 +108,27 @@ def stochastic_search(
     def evaluate(tree) -> float:
         nonlocal evaluations
         evaluations += 1
+        tr.count("search.evaluations", 1, strategy="stochastic", size=n)
         return objective(expand_from_tree(n, tree))
 
     best_tree = None
     best_value = float("inf")
-    for _ in range(cfg.restarts):
-        cur = _random_tree(n, rng, cfg.leaf_max)
-        cur_value = evaluate(cur)
-        for _ in range(cfg.iterations):
-            cand = mutate(cur, rng, cfg.leaf_max)
-            if cand == cur:
-                continue
-            value = evaluate(cand)
-            if value < cur_value:
-                cur, cur_value = cand, value
-        if cur_value < best_value:
-            best_tree, best_value = cur, cur_value
+    with tr.span("search.stochastic", "search", n=n,
+                 restarts=cfg.restarts) as span:
+        for _ in range(cfg.restarts):
+            cur = _random_tree(n, rng, cfg.leaf_max)
+            cur_value = evaluate(cur)
+            for _ in range(cfg.iterations):
+                cand = mutate(cur, rng, cfg.leaf_max)
+                if cand == cur:
+                    continue
+                value = evaluate(cand)
+                if value < cur_value:
+                    cur, cur_value = cand, value
+                    tr.count("search.improvements", 1, strategy="stochastic")
+            if cur_value < best_value:
+                best_tree, best_value = cur, cur_value
+        span.set(value=best_value, evaluations=evaluations)
     assert best_tree is not None
     return SearchResult(
         n=n,

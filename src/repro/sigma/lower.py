@@ -22,6 +22,7 @@ from ..spl.expr import COMPLEX, Compose, Expr, SPLError, Tensor
 from ..spl.matrices import Diag, DiagFunc, I, Twiddle
 from ..spl.parallel import ParDirectSum, ParTensor, SMP
 from ..rewrite.pattern import is_permutation_expr
+from ..trace import get_tracer
 from .index_map import diag_values, invert_table, source_table
 from .loops import BlockLoop, SigmaProgram, Stage
 from .normalize import normalize_for_lowering
@@ -164,7 +165,36 @@ def lower(
         Parallelize explicit passes over this many processors.
     validate:
         Run the O(n log n) structural validation after building.
+
+    Emits a ``sigma.lower`` span plus ``sigma.stages`` / ``sigma.barriers``
+    / ``sigma.barriers_elided`` counters describing the built pipeline.
     """
+    tr = get_tracer()
+    with tr.span("sigma.lower", "sigma") as span:
+        program = _lower_impl(
+            expr, merge_permutations, merge_diagonals, copy_procs, validate
+        )
+        if tr.enabled:
+            barriers = program.barrier_count()
+            elided = len(program.stages) - barriers
+            span.set(
+                size=program.size,
+                stages=len(program.stages),
+                barriers=barriers,
+            )
+            tr.count("sigma.stages", len(program.stages))
+            tr.count("sigma.barriers_inserted", barriers)
+            tr.count("sigma.barriers_elided", elided)
+    return program
+
+
+def _lower_impl(
+    expr: Expr,
+    merge_permutations: bool,
+    merge_diagonals: bool,
+    copy_procs: Optional[int],
+    validate: bool,
+) -> SigmaProgram:
     if isinstance(expr, SMP):
         raise LoweringError("formula still carries smp() tags; parallelize first")
     expr = normalize_for_lowering(expr)

@@ -24,11 +24,13 @@ the formula assigned to its processor.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from ..trace import get_tracer
 from .barrier import SenseReversingBarrier
 
 StageWork = Callable[[int, np.ndarray, np.ndarray], None]
@@ -52,7 +54,23 @@ class PlanStage:
 
 @dataclass
 class ExecutionStats:
-    """Synchronization accounting of one plan execution."""
+    """Synchronization accounting of one plan execution.
+
+    The counters mean the same thing on every runtime, so traces are
+    comparable across backends:
+
+    * ``barriers`` — synchronization points the runtime *actually executed*:
+      sense-reversing barrier episodes for the pthreads pool, fork-join
+      joins for the OpenMP runtime.  Stages that fork no threads (sequential
+      stages, or parallel stages with one processor share) cost no barrier
+      on a fork-join runtime and are not counted.  Always 0 for
+      :class:`SequentialRuntime`.
+    * ``threads_spawned`` — OS threads created during the call.  0 for the
+      sequential runtime *and* for the pthreads pool (workers persist).
+    * ``parallel_stages`` / ``sequential_stages`` — counted by the plan's
+      ``PlanStage.parallel`` flag (a property of the generated program), not
+      by how the runtime happened to execute the stage.
+    """
 
     barriers: int = 0
     threads_spawned: int = 0
@@ -82,18 +100,33 @@ class Runtime:
 
 
 class SequentialRuntime(Runtime):
-    """Runs every stage's work items on the calling thread."""
+    """Runs every stage's work items on the calling thread.
+
+    Reports ``barriers == 0`` and ``threads_spawned == 0`` by construction:
+    a single thread synchronizes with nobody, so the zeros make sequential
+    traces directly comparable with the threaded runtimes'.
+    """
 
     def __init__(self, p: int = 1):
         self.p = p
 
     def execute(self, stages, x, size):
+        tr = get_tracer()
         stats = ExecutionStats()
         src = np.array(x, dtype=np.complex128, copy=True)
         dst = np.empty_like(src)
-        for stage in stages:
-            for proc in range(max(1, stage.nprocs)):
-                stage.work(proc, src, dst)
+        for si, stage in enumerate(stages):
+            if tr.enabled:
+                t0 = time.perf_counter()
+                with tr.span(stage.name or f"stage{si}", "smp", tid=0,
+                             stage=si, proc=0):
+                    for proc in range(max(1, stage.nprocs)):
+                        stage.work(proc, src, dst)
+                tr.count("smp.stage_wall_s", time.perf_counter() - t0,
+                         stage=si, proc=0)
+            else:
+                for proc in range(max(1, stage.nprocs)):
+                    stage.work(proc, src, dst)
             if stage.parallel:
                 stats.parallel_stages += 1
             else:
@@ -150,18 +183,40 @@ class PThreadsRuntime(Runtime):
             self._done.wait()
 
     def _run_stages(self, proc: int, stages, src, dst, stats) -> None:
-        for stage in stages:
+        tr = get_tracer()
+        for si, stage in enumerate(stages):
             if stage.needs_barrier or not stage.parallel:
-                self._barrier.wait()
-            if stage.parallel:
-                if proc < max(1, stage.nprocs):
-                    stage.work(proc, src, dst)
-            elif proc == 0:
-                stage.work(0, src, dst)
+                self._wait_barrier(tr, proc)
+            if tr.enabled:
+                t0 = time.perf_counter()
+                with tr.span(stage.name or f"stage{si}", "smp", tid=proc,
+                             stage=si, proc=proc):
+                    self._stage_work(stage, proc, src, dst)
+                tr.count("smp.stage_wall_s", time.perf_counter() - t0,
+                         stage=si, proc=proc)
+            else:
+                self._stage_work(stage, proc, src, dst)
             if not stage.parallel:
                 # everyone must wait for the sequential stage to finish
-                self._barrier.wait()
+                self._wait_barrier(tr, proc)
             src, dst = dst, src
+
+    @staticmethod
+    def _stage_work(stage: PlanStage, proc: int, src, dst) -> None:
+        if stage.parallel:
+            if proc < max(1, stage.nprocs):
+                stage.work(proc, src, dst)
+        elif proc == 0:
+            stage.work(0, src, dst)
+
+    def _wait_barrier(self, tr, proc: int) -> None:
+        if tr.enabled:
+            t0 = time.perf_counter()
+            self._barrier.wait()
+            tr.count("smp.barrier_wait_s", time.perf_counter() - t0,
+                     proc=proc)
+        else:
+            self._barrier.wait()
 
     # -- master API ---------------------------------------------------------
 
@@ -208,9 +263,11 @@ class PThreadsRuntime(Runtime):
 class OpenMPRuntime(Runtime):
     """Fork-join runtime: threads are created per parallel region.
 
-    Thread creation cost is paid at *every* stage — the overhead profile of
-    non-pooled OpenMP/per-call threading that makes small-size
-    parallelization unprofitable (paper Sections 2.2 and 4).
+    Thread creation cost is paid at *every parallel stage* — the overhead
+    profile of non-pooled OpenMP/per-call threading that makes small-size
+    parallelization unprofitable (paper Sections 2.2 and 4).  Stages that
+    fork no threads (sequential passes, one-processor shares) run inline
+    and execute no join barrier.
     """
 
     def __init__(self, p: int):
@@ -219,11 +276,15 @@ class OpenMPRuntime(Runtime):
         self.p = p
 
     def execute(self, stages, x, size):
+        tr = get_tracer()
         stats = ExecutionStats()
         src = np.array(x, dtype=np.complex128, copy=True)
         dst = np.empty_like(src)
-        for stage in stages:
-            if stage.parallel and stage.nprocs > 1:
+        for si, stage in enumerate(stages):
+            if tr.enabled:
+                t0 = time.perf_counter()
+            forked = stage.parallel and stage.nprocs > 1
+            if forked:
                 threads = [
                     threading.Thread(target=stage.work, args=(i, src, dst))
                     for i in range(1, stage.nprocs)
@@ -234,11 +295,22 @@ class OpenMPRuntime(Runtime):
                 stage.work(0, src, dst)
                 for t in threads:
                     t.join()
-                stats.parallel_stages += 1
+                # the join ending a fork-join region is the one implicit
+                # barrier this runtime executes; stages that fork no
+                # threads synchronize nothing and cost no barrier
+                stats.barriers += 1
             else:
                 for proc in range(max(1, stage.nprocs)):
                     stage.work(proc, src, dst)
+            if stage.parallel:
+                stats.parallel_stages += 1
+            else:
                 stats.sequential_stages += 1
-            stats.barriers += 1  # join is an implicit barrier
+            if tr.enabled:
+                tr.count("smp.stage_wall_s", time.perf_counter() - t0,
+                         stage=si, proc=0)
+                if forked:
+                    tr.count("smp.threads_spawned", stage.nprocs - 1,
+                             stage=si)
             src, dst = dst, src
         return src, stats

@@ -1,0 +1,170 @@
+"""Exporters for collected traces.
+
+Three output forms, in increasing order of compression:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome trace-event
+  JSON object format (open in ``chrome://tracing`` or https://ui.perfetto.dev);
+  spans become ``"X"`` complete events, counters are emitted as ``"C"``
+  counter samples at the end of the timeline plus an ``otherData`` summary.
+* :func:`metrics_table` — a flat list of ``{"counter", "attrs", "value"}``
+  rows (the machine-readable per-stage metrics table).
+* :func:`render_counters` — a human-readable text rendering of the same.
+
+:func:`validate_chrome_trace` is the schema check the test suite (and CI)
+runs against every exported file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .tracer import Tracer
+
+#: Chrome trace-event phases this exporter emits
+_EMITTED_PHASES = {"X", "i", "C", "M"}
+
+
+def chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict:
+    """Render a tracer's events and counters as a Chrome trace-event object."""
+    events: list[dict] = [
+        {
+            "name": process_name,
+            "cat": "__metadata",
+            "ph": "M",
+            "ts": 0,
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    end_ts = 0.0
+    for ev in tracer.events:
+        rec = {
+            "name": ev.name,
+            "cat": ev.cat or "default",
+            "ph": ev.ph,
+            "ts": ev.ts,
+            "pid": 0,
+            "tid": ev.tid,
+            "args": ev.args,
+        }
+        if ev.ph == "X":
+            rec["dur"] = ev.dur
+            end_ts = max(end_ts, ev.ts + ev.dur)
+        else:
+            end_ts = max(end_ts, ev.ts)
+        events.append(rec)
+    # counter totals as one terminal "C" sample per counter name
+    for name in tracer.counter_names():
+        events.append(
+            {
+                "name": name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": end_ts,
+                "pid": 0,
+                "tid": 0,
+                "args": {name: tracer.counter_total(name)},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"counters": _counter_summary(tracer)},
+    }
+
+
+def _counter_summary(tracer: Tracer) -> dict:
+    out: dict = {}
+    for name in tracer.counter_names():
+        rows = tracer.counter_items(name)
+        if len(rows) == 1 and not rows[0][0]:
+            out[name] = rows[0][1]
+        else:
+            out[name] = {
+                json.dumps(attrs, sort_keys=True, default=str): value
+                for attrs, value in rows
+            }
+    return out
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: Union[str, Path], process_name: str = "repro"
+) -> Path:
+    """Write the Chrome trace JSON for ``tracer`` to ``path``."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(chrome_trace(tracer, process_name), indent=1, default=str)
+    )
+    return path
+
+
+def validate_chrome_trace(obj: dict) -> list[str]:
+    """Schema-check a Chrome trace-event object; returns problem strings.
+
+    Checks the JSON *object format*: a ``traceEvents`` list whose entries
+    carry ``name``/``ph``/``ts``/``pid``/``tid``, with ``dur`` required on
+    complete (``"X"``) events and all timestamps non-negative microseconds.
+    An empty return value means the file is loadable by ``chrome://tracing``.
+    """
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for req in ("name", "ph", "ts", "pid", "tid"):
+            if req not in ev:
+                problems.append(f"{where}: missing {req!r}")
+        ph = ev.get("ph")
+        if ph not in _EMITTED_PHASES:
+            problems.append(f"{where}: unexpected phase {ph!r}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event with bad dur {dur!r}")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            problems.append(f"{where}: args must be an object")
+    return problems
+
+
+def metrics_table(tracer: Tracer) -> list[dict]:
+    """Flat counter table: one row per (counter name, attribute key)."""
+    rows = []
+    for name in tracer.counter_names():
+        for attrs, value in sorted(
+            tracer.counter_items(name), key=lambda r: sorted(r[0].items())
+        ):
+            rows.append({"counter": name, "attrs": attrs, "value": value})
+    return rows
+
+
+def render_counters(tracer: Tracer) -> str:
+    """Text rendering of all counters, grouped by name."""
+    lines = []
+    for name in tracer.counter_names():
+        rows = tracer.counter_items(name)
+        if len(rows) == 1 and not rows[0][0]:
+            lines.append(f"{name}: {_fmt(rows[0][1])}")
+            continue
+        lines.append(f"{name}:")
+        for attrs, value in sorted(rows, key=lambda r: sorted(r[0].items())):
+            key = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            lines.append(f"  [{key}] {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.6g}"

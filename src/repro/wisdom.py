@@ -22,6 +22,7 @@ from .rewrite.derive import derive_multicore_ct
 from .rewrite.breakdown import expand_dft
 from .search.dp import Objective, dp_search, flop_objective
 from .sigma.lower import lower
+from .trace import get_tracer
 
 
 def _tree_to_json(tree):
@@ -92,18 +93,26 @@ class Wisdom:
         (cheap, deterministic); pass ``measured_objective()`` or
         ``model_objective(spec)`` for tuned plans.
         """
+        tr = get_tracer()
         key = self._key(n, threads, mu)
         if key in self._programs:
+            tr.count("wisdom.hit", 1, kind="program")
             return self._programs[key]
 
         if key not in self._store:
-            res = dp_search(n, objective or flop_objective, leaf_max=leaf_max)
+            tr.count("wisdom.miss", 1)
+            with tr.span("wisdom.search", "search", key=key):
+                res = dp_search(
+                    n, objective or flop_objective, leaf_max=leaf_max
+                )
             self._store[key] = {
                 "tree": _tree_to_json(res.tree),
                 "value": res.value,
                 "evaluations": res.evaluations,
             }
             self._save()
+        else:
+            tr.count("wisdom.hit", 1, kind="store")
         entry = self._store[key]
         tree = _tree_from_json(entry["tree"])
         program = self._build(n, threads, mu, tree, leaf_max)

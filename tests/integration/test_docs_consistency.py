@@ -1,0 +1,130 @@
+"""Docs-vs-CLI consistency: documentation and ``build_parser()`` must agree.
+
+Forward direction: every ``repro <subcommand>`` invocation and every flag
+shown on such a line in README.md / docs/*.md must actually exist in the
+parser.  Reverse direction: every subcommand must be documented in
+README.md, and every long option of every subcommand must appear somewhere
+in README.md or docs/*.md.  This keeps the docs from drifting as commands
+and flags are added.
+"""
+
+import argparse
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = Path(__file__).resolve().parents[2]
+DOC_FILES = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+
+SUBCOMMAND_RE = re.compile(
+    r"(?<!from )(?:python -m )?\brepro[ \t]+(?!import\b)([a-z][a-z0-9_-]*)"
+)
+FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+
+
+def _subparsers(parser: argparse.ArgumentParser) -> dict:
+    """Map subcommand name -> its ArgumentParser."""
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    raise AssertionError("parser has no subcommands")
+
+
+def _options(sub: argparse.ArgumentParser) -> set:
+    """All option strings of a subparser, minus the auto-added help."""
+    out = set()
+    for action in sub._actions:
+        out.update(s for s in action.option_strings if s not in ("-h", "--help"))
+    return out
+
+
+def _code_chunks(text: str):
+    """Fenced code blocks plus inline backtick spans."""
+    for m in re.finditer(r"```.*?```", text, re.DOTALL):
+        yield m.group(0)
+    no_fences = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for m in re.finditer(r"`[^`\n]+`", no_fences):
+        yield m.group(0)
+
+
+def _cli_lines():
+    """Every documented line that invokes ``repro <something>``."""
+    for path in DOC_FILES:
+        for chunk in _code_chunks(path.read_text()):
+            for line in chunk.splitlines():
+                if SUBCOMMAND_RE.search(line):
+                    yield path.name, line
+
+
+@pytest.fixture(scope="module")
+def parser():
+    return build_parser()
+
+
+@pytest.fixture(scope="module")
+def subs(parser):
+    return _subparsers(parser)
+
+
+class TestDocsMatchParser:
+    """Forward: what the docs show must exist."""
+
+    def test_doc_files_exist(self):
+        assert DOC_FILES[0].exists()
+        assert len(DOC_FILES) >= 2, "expected README.md plus docs/*.md"
+
+    def test_documented_subcommands_exist(self, subs):
+        for fname, line in _cli_lines():
+            name = SUBCOMMAND_RE.search(line).group(1)
+            assert name in subs, (
+                f"{fname}: documents 'repro {name}' but build_parser() has "
+                f"no such subcommand (line: {line.strip()!r})"
+            )
+
+    def test_documented_flags_belong_to_their_subcommand(self, subs):
+        for fname, line in _cli_lines():
+            name = SUBCOMMAND_RE.search(line).group(1)
+            valid = _options(subs[name])
+            for flag in FLAG_RE.findall(line):
+                assert flag in valid, (
+                    f"{fname}: shows {flag!r} on 'repro {name}' but that "
+                    f"subcommand only accepts {sorted(valid)} "
+                    f"(line: {line.strip()!r})"
+                )
+
+
+class TestParserIsDocumented:
+    """Reverse: what exists must be documented."""
+
+    def test_every_subcommand_in_readme(self, subs):
+        readme = (REPO / "README.md").read_text()
+        documented = {
+            SUBCOMMAND_RE.search(line).group(1)
+            for _, line in _cli_lines()
+        }
+        for name in subs:
+            assert name in documented and f"repro {name}" in readme, (
+                f"subcommand 'repro {name}' is not documented in README.md"
+            )
+
+    def test_every_flag_documented_somewhere(self, subs):
+        corpus = "\n".join(p.read_text() for p in DOC_FILES)
+        for name, sub in subs.items():
+            for flag in _options(sub):
+                if not flag.startswith("--"):
+                    continue  # short aliases need no separate docs
+                assert flag in corpus, (
+                    f"'repro {name}' accepts {flag!r} but no doc file "
+                    f"mentions it"
+                )
+
+    def test_profile_acceptance_invocation_parses(self, parser):
+        """The documented acceptance command must stay parseable."""
+        args = parser.parse_args(
+            "profile --size 4096 --threads 2 --mu 4 --trace out.json".split()
+        )
+        assert args.size == 4096 and args.threads == 2
+        assert args.mu == 4 and args.trace == "out.json"

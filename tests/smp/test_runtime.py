@@ -20,6 +20,20 @@ def make_plan(n=256, p=2, mu=4, leaf=16):
     return generate(lower(f))
 
 
+def make_mixed_plan(copy_procs=None):
+    """six_step(8, 8) without merging: sequential transpose/twiddle passes."""
+    from repro.rewrite import six_step
+
+    return generate(
+        lower(
+            six_step(8, 8),
+            merge_permutations=False,
+            merge_diagonals=False,
+            copy_procs=copy_procs,
+        )
+    )
+
+
 class TestSequentialRuntime:
     def test_executes_all_proc_shares(self, rng):
         gen = make_plan()
@@ -33,6 +47,15 @@ class TestSequentialRuntime:
         )
         assert stats.parallel_stages == len(gen.stages)
         assert stats.threads_spawned == 0
+
+    def test_no_synchronization_ever(self, rng):
+        """One thread synchronizes with nobody: barriers and spawns are 0."""
+        for gen in (make_plan(), make_mixed_plan(), make_mixed_plan(2)):
+            _, stats = gen.run_with_stats(
+                random_vector(rng, gen.size), SequentialRuntime()
+            )
+            assert stats.barriers == 0
+            assert stats.threads_spawned == 0
 
 
 class TestPThreadsRuntime:
@@ -99,6 +122,33 @@ class TestOpenMPRuntime:
             random_vector(rng, 256), OpenMPRuntime(2)
         )
         assert stats.barriers == len(gen.stages)
+
+    def test_sequential_stages_fork_nothing(self, rng):
+        """A stage that forks no threads joins no threads: an all-sequential
+        plan must report zero barriers and zero spawns (regression for the
+        fork-join accounting that used to charge every stage)."""
+        gen = make_mixed_plan()
+        assert all(not s.parallel for s in gen.stages)
+        x = random_vector(rng, 64)
+        out, stats = gen.run_with_stats(x, OpenMPRuntime(2))
+        np.testing.assert_allclose(out, np.fft.fft(x), atol=1e-7)
+        assert stats.barriers == 0
+        assert stats.threads_spawned == 0
+        assert stats.parallel_stages == 0
+        assert stats.sequential_stages == len(gen.stages)
+
+    def test_mixed_plan_charges_only_forked_stages(self, rng):
+        gen = make_mixed_plan(copy_procs=2)
+        forked = sum(1 for s in gen.stages if s.parallel and s.nprocs > 1)
+        assert 0 < forked < len(gen.stages)  # genuinely mixed
+        x = random_vector(rng, 64)
+        out, stats = gen.run_with_stats(x, OpenMPRuntime(2))
+        np.testing.assert_allclose(out, np.fft.fft(x), atol=1e-7)
+        assert stats.barriers == forked
+        # one extra OS thread per forked stage at p=2
+        assert stats.threads_spawned == forked * 1
+        assert stats.parallel_stages == forked
+        assert stats.sequential_stages == len(gen.stages) - forked
 
 
 class TestCrossRuntimeAgreement:

@@ -1,0 +1,117 @@
+"""Tests for the Chrome trace / metrics-table exporters."""
+
+import json
+
+from repro.trace import (
+    Tracer,
+    chrome_trace,
+    metrics_table,
+    render_counters,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def sample_tracer():
+    tr = Tracer()
+    with tr.span("outer", "pipeline", n=64):
+        with tr.span("inner", "pipeline"):
+            pass
+        tr.instant("marker", "pipeline")
+    tr.count("cache.l1_misses", 10, stage=0)
+    tr.count("cache.l1_misses", 4, stage=1)
+    tr.count("sync.barriers", 3)
+    return tr
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        obj = chrome_trace(sample_tracer(), process_name="unit test")
+        assert isinstance(obj["traceEvents"], list)
+        assert obj["displayTimeUnit"] == "ms"
+        phases = [e["ph"] for e in obj["traceEvents"]]
+        assert phases[0] == "M"  # process-name metadata first
+        assert "X" in phases and "i" in phases and "C" in phases
+
+    def test_span_events_carry_dur_and_args(self):
+        obj = chrome_trace(sample_tracer())
+        outer = [e for e in obj["traceEvents"] if e["name"] == "outer"][0]
+        assert outer["ph"] == "X"
+        assert outer["dur"] >= 0
+        assert outer["args"] == {"n": 64}
+
+    def test_counter_samples_and_summary(self):
+        obj = chrome_trace(sample_tracer())
+        csamples = {e["name"]: e for e in obj["traceEvents"] if e["ph"] == "C"}
+        assert csamples["cache.l1_misses"]["args"] == {"cache.l1_misses": 14}
+        assert obj["otherData"]["counters"]["sync.barriers"] == 3
+        # attributed counter expands into per-key rows
+        by_attr = obj["otherData"]["counters"]["cache.l1_misses"]
+        assert sum(by_attr.values()) == 14
+
+    def test_valid_per_schema(self):
+        assert validate_chrome_trace(chrome_trace(sample_tracer())) == []
+
+    def test_json_serializable(self):
+        json.dumps(chrome_trace(sample_tracer()))
+
+    def test_write_round_trip(self, tmp_path):
+        path = write_chrome_trace(sample_tracer(), tmp_path / "t.json")
+        obj = json.loads(path.read_text())
+        assert validate_chrome_trace(obj) == []
+
+
+class TestValidate:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({"otherData": {}}) != []
+
+    def test_rejects_event_missing_required_keys(self):
+        obj = {"traceEvents": [{"name": "x", "ph": "X", "ts": 0}]}
+        problems = validate_chrome_trace(obj)
+        assert any("pid" in p for p in problems)
+        assert any("tid" in p for p in problems)
+
+    def test_rejects_complete_event_without_dur(self):
+        obj = {
+            "traceEvents": [
+                {"name": "x", "ph": "X", "ts": 0, "pid": 0, "tid": 0}
+            ]
+        }
+        assert any("dur" in p for p in validate_chrome_trace(obj))
+
+    def test_rejects_negative_ts_and_unknown_phase(self):
+        obj = {
+            "traceEvents": [
+                {"name": "a", "ph": "Z", "ts": 1, "pid": 0, "tid": 0},
+                {"name": "b", "ph": "i", "ts": -5, "pid": 0, "tid": 0},
+            ]
+        }
+        problems = validate_chrome_trace(obj)
+        assert any("phase" in p for p in problems)
+        assert any("ts" in p for p in problems)
+
+    def test_accepts_empty_trace(self):
+        assert validate_chrome_trace({"traceEvents": []}) == []
+
+
+class TestTables:
+    def test_metrics_table_rows(self):
+        rows = metrics_table(sample_tracer())
+        by_counter = {}
+        for row in rows:
+            by_counter.setdefault(row["counter"], []).append(row)
+        assert len(by_counter["cache.l1_misses"]) == 2
+        assert by_counter["sync.barriers"][0]["value"] == 3
+        # sorted by attrs within a counter
+        stages = [r["attrs"]["stage"] for r in by_counter["cache.l1_misses"]]
+        assert stages == sorted(stages)
+
+    def test_render_counters_text(self):
+        text = render_counters(sample_tracer())
+        assert "sync.barriers: 3" in text
+        assert "cache.l1_misses:" in text
+        assert "[stage=0] 10" in text
+        assert "[stage=1] 4" in text

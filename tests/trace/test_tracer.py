@@ -1,0 +1,204 @@
+"""Unit tests for the span/counter tracer core."""
+
+import threading
+import tracemalloc
+
+from repro.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+
+class FakeClock:
+    """Deterministic clock: every read advances by ``step`` seconds."""
+
+    def __init__(self, step=0.001):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.t += self.step
+        return self.t
+
+
+class TestSpans:
+    def test_span_records_complete_event(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("work", "cat", n=64):
+            pass
+        assert len(tr.events) == 1
+        ev = tr.events[0]
+        assert ev.name == "work" and ev.cat == "cat" and ev.ph == "X"
+        assert ev.dur > 0 and ev.ts >= 0
+        assert ev.args == {"n": 64}
+
+    def test_span_nesting_depth_and_current(self):
+        tr = Tracer()
+        assert tr.span_depth() == 0 and tr.current_span() is None
+        with tr.span("outer"):
+            assert tr.span_depth() == 1
+            assert tr.current_span().name == "outer"
+            with tr.span("inner"):
+                assert tr.span_depth() == 2
+                assert tr.current_span().name == "inner"
+            assert tr.span_depth() == 1
+        assert tr.span_depth() == 0
+        # inner closed first, so it is recorded first
+        assert [e.name for e in tr.events] == ["inner", "outer"]
+
+    def test_nested_span_durations_are_contained(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        inner, outer = tr.events
+        assert outer.ts <= inner.ts
+        assert inner.ts + inner.dur <= outer.ts + outer.dur
+
+    def test_span_set_attaches_args(self):
+        tr = Tracer()
+        with tr.span("s") as span:
+            span.set(steps=7, rule="smp-product(6)")
+        assert tr.events[0].args == {"steps": 7, "rule": "smp-product(6)"}
+
+    def test_span_tid_override(self):
+        tr = Tracer()
+        with tr.span("s", tid=3):
+            pass
+        assert tr.events[0].tid == 3
+
+    def test_spans_nest_per_thread(self):
+        tr = Tracer()
+        depths = {}
+
+        def worker(name):
+            with tr.span(name):
+                depths[name] = tr.span_depth()
+
+        with tr.span("main-outer"):
+            t = threading.Thread(target=worker, args=("other",))
+            t.start()
+            t.join()
+            # the worker thread saw only its own span on its stack
+            assert depths["other"] == 1
+            assert tr.span_depth() == 1
+
+    def test_instant_event(self):
+        tr = Tracer()
+        tr.instant("marker", "cat", reason="test")
+        assert tr.events[0].ph == "i"
+        assert tr.events[0].args == {"reason": "test"}
+
+
+class TestCounters:
+    def test_counts_aggregate_by_name_and_attrs(self):
+        tr = Tracer()
+        tr.count("hits", 1, stage=0)
+        tr.count("hits", 2, stage=0)
+        tr.count("hits", 5, stage=1)
+        assert tr.counter_total("hits", stage=0) == 3
+        assert tr.counter_total("hits", stage=1) == 5
+        assert tr.counter_total("hits") == 8
+
+    def test_counter_items_and_names(self):
+        tr = Tracer()
+        tr.count("a", 1)
+        tr.count("b", 2, proc=1)
+        assert tr.counter_names() == ["a", "b"]
+        assert tr.counter_items("b") == [({"proc": 1}, 2)]
+
+    def test_counter_total_matches_attr_subset(self):
+        tr = Tracer()
+        tr.count("m", 4, stage=2, proc=0)
+        tr.count("m", 6, stage=2, proc=1)
+        assert tr.counter_total("m", stage=2) == 10
+        assert tr.counter_total("m", proc=1) == 6
+        assert tr.counter_total("m", stage=3) == 0
+
+    def test_threaded_counting_is_atomic(self):
+        tr = Tracer()
+
+        def bump():
+            for _ in range(1000):
+                tr.count("n")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tr.counter_total("n") == 4000
+
+
+class TestActiveTracer:
+    def test_default_is_null(self):
+        assert isinstance(get_tracer(), NullTracer)
+        assert get_tracer() is NULL_TRACER
+
+    def test_tracing_scopes_and_restores(self):
+        before = get_tracer()
+        with tracing() as tr:
+            assert get_tracer() is tr
+            assert tr.enabled
+        assert get_tracer() is before
+
+    def test_set_tracer_none_restores_null(self):
+        prev = set_tracer(Tracer())
+        try:
+            assert get_tracer().enabled
+        finally:
+            set_tracer(None)
+            assert get_tracer() is NULL_TRACER
+            set_tracer(prev)
+
+    def test_nested_tracing_contexts(self):
+        with tracing() as outer:
+            with tracing() as inner:
+                assert get_tracer() is inner
+            assert get_tracer() is outer
+
+
+class TestDisabledOverhead:
+    def test_null_span_is_shared_singleton(self):
+        tr = NULL_TRACER
+        s1 = tr.span("a")
+        s2 = tr.span("b", "cat", tid=1, x=2)
+        assert s1 is s2
+        with s1 as s:
+            assert s is s1
+
+    def test_null_tracer_stores_nothing(self):
+        tr = NULL_TRACER
+        tr.count("c", 5, stage=1)
+        tr.instant("i")
+        with tr.span("s"):
+            pass
+        assert len(tr.events) == 0
+        assert tr.counters == {}
+        assert tr.counter_total("c") == 0
+        assert tr.counter_items("c") == []
+        assert tr.counter_names() == []
+
+    def test_disabled_hot_path_retains_no_allocations(self):
+        """The instrumented hot path must not accumulate memory when off."""
+        tr = NULL_TRACER
+        # warm up interned bits before snapshotting
+        for _ in range(10):
+            tr.count("hot", 1, stage=3)
+            with tr.span("hot"):
+                pass
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        for _ in range(2000):
+            tr.count("hot", 1, stage=3)
+            with tr.span("hot", "cat", proc=1):
+                pass
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        retained = sum(d.size_diff for d in after.compare_to(before, "filename"))
+        # transient call frames aside, nothing may be retained
+        assert retained < 4096, f"disabled tracer retained {retained} bytes"
