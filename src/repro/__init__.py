@@ -28,6 +28,7 @@ from . import (
     machine,
     rewrite,
     search,
+    serve,
     sigma,
     smp,
     spl,
@@ -69,6 +70,7 @@ __all__ = [
     "parallelize",
     "rewrite",
     "search",
+    "serve",
     "sigma",
     "smp",
     "spiral_formula",

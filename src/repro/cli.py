@@ -7,6 +7,8 @@ Commands
 ``bench``     sweep one simulated machine and print the Figure 3 panel rows
 ``search``    autotune a factorization on a simulated machine
 ``profile``   trace one transform end to end and print the per-stage report
+``serve``     run the TCP/JSON FFT service (plan cache + request batching)
+``loadgen``   drive a running server; throughput/latency report + JSON
 
 ``generate``, ``bench``, ``search``, and ``profile`` accept ``--trace PATH``:
 the whole command runs under a :mod:`repro.trace` tracer and the collected
@@ -150,6 +152,68 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import FFTService, ServeConfig
+    from .serve.server import FFTServer
+
+    # Many small runnable threads (handlers, drains, the dispatcher) share
+    # the GIL; the default 5 ms switch interval lets one of them hold it
+    # for a full request's worth of wall time while the rest starve.
+    sys.setswitchinterval(0.0005)
+    config = ServeConfig(
+        threads=args.threads,
+        mu=args.mu,
+        window_s=args.window_ms / 1e3,
+        max_batch=args.max_batch,
+        queue_limit=args.queue_limit,
+        cache_capacity=args.cache_capacity,
+        wisdom_path=args.wisdom,
+    )
+    with _maybe_tracing(args):
+        service = FFTService(config)
+        server = FFTServer((args.host, args.port), service)
+        print(
+            f"# repro serve listening on {args.host}:{server.port} "
+            f"(threads={args.threads}, mu={args.mu}, "
+            f"window={args.window_ms}ms, max-batch={args.max_batch}, "
+            f"queue-limit={args.queue_limit})",
+            file=sys.stderr,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("# shutting down", file=sys.stderr)
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .serve import LoadgenConfig, render_report, run_loadgen
+
+    sys.setswitchinterval(0.0005)  # same rationale as in serve
+    sizes = [int(s) for s in args.sizes.split(",") if s]
+    cfg = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        sizes=sizes,
+        clients=args.clients,
+        requests=args.requests,
+        pipeline=args.pipeline,
+        threads=args.threads,
+        mu=args.mu,
+        baseline_requests=args.baseline_requests,
+        output=args.output,
+    )
+    report = run_loadgen(cfg)
+    print(render_report(report))
+    if args.output:
+        print(f"# report written to {args.output}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -218,6 +282,90 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_trace_flag(pr)
     pr.set_defaults(fn=_cmd_profile)
+
+    sv = sub.add_parser(
+        "serve",
+        help="TCP/JSON FFT service: shared plan cache, request batching, "
+        "backpressure",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=7373)
+    sv.add_argument("--threads", "-p", type=int, default=1)
+    sv.add_argument("--mu", type=int, default=4)
+    sv.add_argument(
+        "--window-ms",
+        type=float,
+        default=0.0,
+        help="max batching wait in milliseconds; 0 (default) batches "
+        "continuously: each execution coalesces whatever queued during "
+        "the previous one",
+    )
+    sv.add_argument(
+        "--max-batch",
+        type=int,
+        default=48,
+        help="max vectors coalesced into one stacked execution",
+    )
+    sv.add_argument(
+        "--queue-limit",
+        type=int,
+        default=512,
+        help="max pending vectors before requests are rejected",
+    )
+    sv.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=64,
+        help="plan-cache entries kept (LRU beyond this)",
+    )
+    sv.add_argument(
+        "--wisdom",
+        metavar="PATH",
+        default=None,
+        help="persist search results to this wisdom JSON file",
+    )
+    add_trace_flag(sv)
+    sv.set_defaults(fn=_cmd_serve)
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="drive a running 'repro serve'; report throughput and latency "
+        "percentiles",
+    )
+    lg.add_argument("--host", default="127.0.0.1")
+    lg.add_argument("--port", type=int, default=7373)
+    lg.add_argument(
+        "--sizes",
+        default="64,128",
+        help="comma-separated transform sizes to cycle through",
+    )
+    lg.add_argument(
+        "--clients", type=int, default=4, help="concurrent closed-loop clients"
+    )
+    lg.add_argument(
+        "--requests", type=int, default=500, help="requests per client"
+    )
+    lg.add_argument(
+        "--pipeline",
+        type=int,
+        default=16,
+        help="in-flight requests each client keeps on its connection",
+    )
+    lg.add_argument("--threads", "-p", type=int, default=None)
+    lg.add_argument("--mu", type=int, default=None)
+    lg.add_argument(
+        "--baseline-requests",
+        type=int,
+        default=400,
+        help="length of the unbatched one-request-at-a-time baseline phase",
+    )
+    lg.add_argument(
+        "--output",
+        metavar="PATH",
+        default="BENCH_serve.json",
+        help="write the JSON report here",
+    )
+    lg.set_defaults(fn=_cmd_loadgen)
     return p
 
 

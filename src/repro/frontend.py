@@ -34,12 +34,15 @@ from .trace import get_tracer
 
 
 def feasible_threads(n: int, p: int, mu: int) -> int:
-    """Largest thread count t <= p with an admissible Eq. (14): (t*mu)^2 | n."""
-    t = p
-    while t > 1:
+    """Largest thread count t <= p with an admissible Eq. (14): (t*mu)^2 | n.
+
+    Every candidate from ``p`` down to 2 is tried: a halving descent would
+    skip feasible counts for non-power-of-two ``p`` (e.g. ``p=6`` would test
+    6 and 3 but never 2).
+    """
+    for t in range(p, 1, -1):
         if n % ((t * mu) * (t * mu)) == 0:
             return t
-        t //= 2
     return 1
 
 

@@ -1,0 +1,55 @@
+"""repro.serve: a concurrent FFT plan-and-execute service.
+
+The serving layer turns the generator pipeline into an end-to-end request
+path (see ``docs/serving.md``):
+
+* :class:`PlanCache` — LRU-bounded plan cache with single-flight planning
+  in front of :class:`repro.wisdom.Wisdom`;
+* :mod:`~repro.serve.batch_exec` — stacked ``(b, n)`` execution of a plan
+  on the persistent SMP runtimes;
+* :class:`FFTService` — request batching, admission control (bounded queue
+  with retry-after backpressure), per-request deadlines;
+* :class:`FFTServer` / :class:`ServeClient` — the TCP/JSON front end
+  behind ``repro serve``;
+* :func:`run_loadgen` — the ``repro loadgen`` engine (throughput, latency
+  percentiles, plan-cache traffic, single-flight verification).
+"""
+
+from .batch_exec import batched_plan, batched_stages, run_batched
+from .client import RemoteError, ServeClient
+from .loadgen import LoadgenConfig, render_report, run_loadgen
+from .plan_cache import CachedPlan, CacheStats, PlanCache, PlanKey
+from .server import FFTServer, serve
+from .service import (
+    DeadlineExceeded,
+    FFTService,
+    FFTTicket,
+    Overloaded,
+    ServeConfig,
+    ServeError,
+    ServiceClosed,
+)
+
+__all__ = [
+    "CachedPlan",
+    "CacheStats",
+    "DeadlineExceeded",
+    "FFTServer",
+    "FFTService",
+    "FFTTicket",
+    "LoadgenConfig",
+    "Overloaded",
+    "PlanCache",
+    "PlanKey",
+    "RemoteError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServiceClosed",
+    "batched_plan",
+    "batched_stages",
+    "render_report",
+    "run_batched",
+    "run_loadgen",
+    "serve",
+]

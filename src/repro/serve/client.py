@@ -1,0 +1,176 @@
+"""TCP client for the ``repro serve`` front end.
+
+One :class:`ServeClient` owns one connection and is intended for one
+thread (the load generator gives each worker its own client).  Arrays
+travel as binary frames (raw ``complex128`` after a JSON header line).
+Remote failures surface as :class:`RemoteError`; ``overloaded``
+rejections carry the server's ``retry_after`` hint so callers can
+implement polite backoff.
+
+``fft`` is the blocking request/response call.  ``fft_pipeline`` keeps a
+whole burst of requests in flight on the connection before reading any
+response — the server handler submits each one to the batcher on
+arrival, so a pipelined burst is what actually fills the service's
+batching window from one client.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Optional
+
+import numpy as np
+
+from .protocol import decode_array, dump_line, read_frame, write_frame
+
+
+class RemoteError(Exception):
+    """A structured failure response from the server."""
+
+    def __init__(self, code: str, detail: str,
+                 retry_after: Optional[float] = None):
+        super().__init__(f"{code}: {detail}")
+        self.code = code
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """Blocking client speaking the framed JSON/binary protocol."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7373,
+                 timeout: float = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+        self._next_id = 0
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _read_response(self) -> tuple[dict, Optional[np.ndarray]]:
+        frame = read_frame(self._rfile)
+        if frame is None:
+            raise ConnectionError("server closed the connection")
+        resp, arr = frame
+        return resp, arr
+
+    @staticmethod
+    def _check(resp: dict) -> dict:
+        if not resp.get("ok", False):
+            raise RemoteError(
+                resp.get("error", "unknown"),
+                resp.get("detail", ""),
+                resp.get("retry_after"),
+            )
+        return resp
+
+    def _fft_header(self, threads, mu, strategy, timeout,
+                    no_batch) -> dict:
+        self._next_id += 1
+        msg = {"op": "fft", "id": self._next_id}
+        if threads is not None:
+            msg["threads"] = threads
+        if mu is not None:
+            msg["mu"] = mu
+        if strategy is not None:
+            msg["strategy"] = strategy
+        if timeout is not None:
+            msg["timeout"] = timeout
+        if no_batch:
+            msg["no_batch"] = True
+        return msg
+
+    # -- public API -----------------------------------------------------------
+
+    def request(self, op: str, **fields) -> dict:
+        """Send one JSON-envelope op and block for its response header."""
+        self._next_id += 1
+        msg = {"op": op, "id": self._next_id}
+        msg.update(fields)
+        self._wfile.write(dump_line(msg))
+        self._wfile.flush()
+        resp, _ = self._read_response()
+        return self._check(resp)
+
+    def fft(
+        self,
+        x: np.ndarray,
+        threads: Optional[int] = None,
+        mu: Optional[int] = None,
+        strategy: Optional[str] = None,
+        timeout: Optional[float] = None,
+        no_batch: bool = False,
+    ) -> np.ndarray:
+        """Transform one vector or a ``(b, n)`` stack on the server."""
+        msg = self._fft_header(threads, mu, strategy, timeout, no_batch)
+        write_frame(self._wfile, msg, np.asarray(x))
+        self._wfile.flush()
+        resp, arr = self._read_response()
+        self._check(resp)
+        return arr if arr is not None else decode_array(resp)
+
+    def fft_pipeline(
+        self,
+        xs: list,
+        threads: Optional[int] = None,
+        mu: Optional[int] = None,
+        strategy: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> list:
+        """Send every request before reading any response.
+
+        Returns one ``(result, latency_s, error)`` triple per input, in
+        input order: ``result`` is the transformed array (None on
+        failure), ``latency_s`` the send-to-receive wall time, and
+        ``error`` a :class:`RemoteError` or None.
+        """
+        sent: list[tuple[int, float]] = []
+        for x in xs:
+            msg = self._fft_header(threads, mu, strategy, timeout, False)
+            write_frame(self._wfile, msg, np.asarray(x))
+            sent.append((msg["id"], time.perf_counter()))
+        self._wfile.flush()
+        by_id: dict = {}
+        for _ in sent:
+            resp, arr = self._read_response()
+            now = time.perf_counter()
+            rid = resp.get("id")
+            if resp.get("ok", False):
+                y = arr if arr is not None else decode_array(resp)
+                by_id[rid] = (y, now, None)
+            else:
+                by_id[rid] = (
+                    None,
+                    now,
+                    RemoteError(resp.get("error", "unknown"),
+                                resp.get("detail", ""),
+                                resp.get("retry_after")),
+                )
+        out = []
+        for rid, t0 in sent:
+            y, t1, err = by_id[rid]
+            out.append((y, t1 - t0, err))
+        return out
+
+    def stats(self) -> dict:
+        return self.request("stats")["stats"]
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def close(self) -> None:
+        try:
+            self._wfile.close()
+        except OSError:
+            pass
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,279 @@
+"""Load generator for ``repro serve``: closed-loop clients + a report.
+
+``run_loadgen`` drives a running server through three phases:
+
+1. **warmup** — one request per configured size, so every plan is searched,
+   generated, and cached exactly once (single-flight makes concurrent
+   warmup equivalent);
+2. **measured** — ``clients`` concurrent closed-loop workers, each its own
+   TCP connection, cycling through the sizes and keeping ``pipeline``
+   single-vector requests in flight at a time (the server submits each
+   on arrival, so the in-flight burst is what fills the batching
+   window); per-request latency is recorded client-side and the
+   plan-cache hit rate over the phase is computed from server stats
+   deltas;
+3. **baseline** — one client, one request at a time (no pipelining), with
+   the server's batching bypassed per-request (``no_batch``): the
+   unbatched one-request-at-a-time reference the batched throughput is
+   compared to.
+
+The report (also written as JSON, default ``BENCH_serve.json``) carries
+throughput, p50/p95/p99 latency, batch occupancy, plan-cache traffic, and
+the single-flight check (plans built == unique plan keys).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .client import RemoteError, ServeClient
+
+
+@dataclass
+class LoadgenConfig:
+    host: str = "127.0.0.1"
+    port: int = 7373
+    sizes: list[int] = field(default_factory=lambda: [64, 128])
+    clients: int = 4
+    requests: int = 500          #: requests per client (measured phase)
+    pipeline: int = 16           #: in-flight requests per client (measured)
+    threads: Optional[int] = None  #: plan hint forwarded to the server
+    mu: Optional[int] = None
+    baseline_requests: int = 400   #: unbatched one-at-a-time phase length
+    output: Optional[str] = "BENCH_serve.json"
+    seed: int = 0
+
+
+def _percentile(sorted_vals: list[float], q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+def _latency_summary(latencies_s: list[float]) -> dict:
+    vals = sorted(latencies_s)
+    return {
+        "p50_ms": _percentile(vals, 0.50) * 1e3,
+        "p95_ms": _percentile(vals, 0.95) * 1e3,
+        "p99_ms": _percentile(vals, 0.99) * 1e3,
+        "mean_ms": (sum(vals) / len(vals) * 1e3) if vals else 0.0,
+        "max_ms": (vals[-1] * 1e3) if vals else 0.0,
+    }
+
+
+def _request_with_backoff(client: ServeClient, x, cfg: LoadgenConfig,
+                          no_batch: bool = False) -> tuple[np.ndarray, int]:
+    """One fft request, sleeping out ``overloaded`` rejections."""
+    retries = 0
+    while True:
+        try:
+            y = client.fft(x, threads=cfg.threads, mu=cfg.mu,
+                           no_batch=no_batch)
+            return y, retries
+        except RemoteError as exc:
+            if exc.code != "overloaded":
+                raise
+            retries += 1
+            time.sleep(exc.retry_after or 0.005)
+
+
+def _worker(wid: int, cfg: LoadgenConfig, start: threading.Event,
+            latencies: list[float], retries: list[int],
+            errors: list[str]) -> None:
+    rng = np.random.default_rng(cfg.seed + wid)
+    try:
+        client = ServeClient(cfg.host, cfg.port)
+    except OSError as exc:
+        errors.append(f"worker {wid}: connect failed: {exc}")
+        return
+    lat: list[float] = []
+    retry_count = 0
+    depth = max(1, cfg.pipeline)
+    # pre-generate every payload so the measured window times the
+    # server, not the client's random number generator
+    payloads = [
+        rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        for i in range(cfg.requests)
+        for n in (cfg.sizes[(wid + i) % len(cfg.sizes)],)
+    ]
+    try:
+        start.wait()
+        verified = False
+        issued = 0
+        while issued < cfg.requests:
+            chunk_n = min(depth, cfg.requests - issued)
+            xs = payloads[issued:issued + chunk_n]
+            issued += chunk_n
+            outcomes = client.fft_pipeline(xs, threads=cfg.threads,
+                                           mu=cfg.mu)
+            for x, (y, dt, err) in zip(xs, outcomes):
+                if err is not None:
+                    if err.code != "overloaded":
+                        raise err
+                    # polite backoff, then the slow path for this one
+                    retry_count += 1
+                    time.sleep(err.retry_after or 0.005)
+                    t0 = time.perf_counter()
+                    y, r = _request_with_backoff(client, x, cfg)
+                    dt = time.perf_counter() - t0
+                    retry_count += r
+                lat.append(dt)
+                if not verified:
+                    verified = True
+                    if not np.allclose(y, np.fft.fft(x), atol=1e-6):
+                        errors.append(
+                            f"worker {wid}: result mismatch for "
+                            f"n={len(x)}"
+                        )
+                        return
+    except (RemoteError, OSError, ConnectionError) as exc:
+        errors.append(f"worker {wid}: {exc}")
+    finally:
+        client.close()
+        latencies.extend(lat)
+        retries.append(retry_count)
+
+
+def run_loadgen(cfg: LoadgenConfig) -> dict:
+    """Drive a running server; returns (and optionally writes) the report."""
+    probe = ServeClient(cfg.host, cfg.port)
+    probe.ping()
+
+    # -- phase 1: warmup (build every plan once) ------------------------------
+    rng = np.random.default_rng(cfg.seed)
+    for n in cfg.sizes:
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        y, _ = _request_with_backoff(probe, x, cfg, no_batch=True)
+        if not np.allclose(y, np.fft.fft(x), atol=1e-6):
+            raise RuntimeError(f"warmup: server result mismatch for n={n}")
+    stats_warm = probe.stats()
+
+    # -- phase 2: measured concurrent load ------------------------------------
+    latencies: list[float] = []
+    retries: list[int] = []
+    errors: list[str] = []
+    start = threading.Event()
+    workers = [
+        threading.Thread(
+            target=_worker,
+            args=(wid, cfg, start, latencies, retries, errors),
+            daemon=True,
+        )
+        for wid in range(cfg.clients)
+    ]
+    for w in workers:
+        w.start()
+    t0 = time.perf_counter()
+    start.set()
+    for w in workers:
+        w.join()
+    wall = time.perf_counter() - t0
+    if errors:
+        raise RuntimeError("loadgen workers failed: " + "; ".join(errors))
+    stats_after = probe.stats()
+
+    # -- phase 3: unbatched one-request-at-a-time baseline --------------------
+    base_payloads = [
+        rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        for i in range(cfg.baseline_requests)
+        for n in (cfg.sizes[i % len(cfg.sizes)],)
+    ]
+    base_lat: list[float] = []
+    b0 = time.perf_counter()
+    for x in base_payloads:
+        t1 = time.perf_counter()
+        _request_with_backoff(probe, x, cfg, no_batch=True)
+        base_lat.append(time.perf_counter() - t1)
+    base_wall = time.perf_counter() - b0
+    stats_final = probe.stats()
+    probe.close()
+
+    cache_warm = stats_warm["plan_cache"]
+    cache_after = stats_after["plan_cache"]
+    measured_hits = cache_after["hits"] - cache_warm["hits"]
+    measured_misses = cache_after["misses"] - cache_warm["misses"]
+    measured_total = measured_hits + measured_misses
+    total_requests = cfg.clients * cfg.requests
+    report = {
+        "config": {
+            "host": cfg.host,
+            "port": cfg.port,
+            "sizes": cfg.sizes,
+            "clients": cfg.clients,
+            "requests_per_client": cfg.requests,
+            "pipeline_depth": cfg.pipeline,
+            "threads": cfg.threads,
+            "mu": cfg.mu,
+            "server": stats_final.get("config", {}),
+        },
+        "measured": {
+            "requests": total_requests,
+            "wall_s": wall,
+            "throughput_rps": total_requests / wall if wall else 0.0,
+            "latency": _latency_summary(latencies),
+            "overload_retries": sum(retries),
+            "plan_cache_hit_rate": (
+                measured_hits / measured_total if measured_total else 1.0
+            ),
+            "avg_batch_occupancy": stats_after["avg_batch_occupancy"],
+        },
+        "baseline_unbatched": {
+            "requests": cfg.baseline_requests,
+            "wall_s": base_wall,
+            "throughput_rps": (
+                cfg.baseline_requests / base_wall if base_wall else 0.0
+            ),
+            "latency": _latency_summary(base_lat),
+        },
+        "single_flight": {
+            "unique_plan_keys": len(set(cfg.sizes)),
+            "plans_built": cache_after["plans_built"],
+            "single_flight_waits": cache_after["single_flight_waits"],
+            "ok": cache_after["plans_built"] == len(set(cfg.sizes)),
+        },
+        "server_stats": stats_final,
+    }
+    base_tp = report["baseline_unbatched"]["throughput_rps"]
+    report["speedup_batched_vs_unbatched"] = (
+        report["measured"]["throughput_rps"] / base_tp if base_tp else 0.0
+    )
+    if cfg.output:
+        with open(cfg.output, "w") as fh:
+            json.dump(report, fh, indent=1)
+    return report
+
+
+def render_report(report: dict) -> str:
+    """Human summary of a loadgen report (the CLI output)."""
+    m = report["measured"]
+    b = report["baseline_unbatched"]
+    sf = report["single_flight"]
+    lines = [
+        f"# repro loadgen: {report['config']['clients']} clients x "
+        f"{report['config']['requests_per_client']} requests "
+        f"(pipeline {report['config'].get('pipeline_depth', 1)}), "
+        f"sizes={report['config']['sizes']}",
+        f"batched:   {m['throughput_rps']:>9.1f} req/s   "
+        f"p50 {m['latency']['p50_ms']:.2f} ms   "
+        f"p99 {m['latency']['p99_ms']:.2f} ms   "
+        f"occupancy {m['avg_batch_occupancy']:.2f}",
+        f"unbatched: {b['throughput_rps']:>9.1f} req/s   "
+        f"p50 {b['latency']['p50_ms']:.2f} ms   "
+        f"p99 {b['latency']['p99_ms']:.2f} ms   (one-at-a-time baseline)",
+        f"speedup:   {report['speedup_batched_vs_unbatched']:.2f}x "
+        f"batched over unbatched",
+        f"plan cache: hit rate {m['plan_cache_hit_rate']:.1%} after warmup; "
+        f"{sf['plans_built']} plans built for {sf['unique_plan_keys']} "
+        f"unique keys (single-flight "
+        f"{'OK' if sf['ok'] else 'VIOLATED'}, "
+        f"{sf['single_flight_waits']} waits)",
+        f"overload retries: {m['overload_retries']}",
+    ]
+    return "\n".join(lines)

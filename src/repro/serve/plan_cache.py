@@ -1,0 +1,197 @@
+"""The serving layer's shared plan cache: LRU + single-flight planning.
+
+Sits in front of :class:`repro.wisdom.Wisdom` (or plain ``generate_fft``)
+and holds *executable* artifacts: the generated per-vector program plus its
+batched stage list (:mod:`repro.serve.batch_exec`), ready to run on a
+persistent runtime.  Three properties matter for a long-lived service:
+
+* **bounded** — an LRU of ``capacity`` plans, with eviction counters;
+* **single-flight** — N concurrent requests for the same
+  ``(n, threads, mu, strategy)`` trigger exactly one search/codegen; the
+  rest block on the in-flight build and share its result (a failed build
+  propagates its exception to every waiter and is *not* cached, so the
+  next request retries);
+* **observable** — hit/miss/eviction/wait counts both as a
+  :class:`CacheStats` snapshot (for ``stats`` endpoints) and as
+  ``serve.plan_cache.*`` counters on the active :mod:`repro.trace` tracer.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, NamedTuple, Optional
+
+from ..codegen.python_backend import GeneratedProgram
+from ..frontend import generate_fft
+from ..smp.runtime import PlanStage
+from ..trace import get_tracer
+from ..wisdom import Wisdom
+from .batch_exec import batched_plan
+
+
+class PlanKey(NamedTuple):
+    """One plan configuration; the cache and the batcher coalesce on this."""
+
+    n: int
+    threads: int = 1
+    mu: int = 4
+    strategy: str = "balanced"
+
+
+@dataclass
+class CachedPlan:
+    """An executable plan: the generated program and its batched stages."""
+
+    key: PlanKey
+    program: GeneratedProgram
+    stages: list[PlanStage]
+
+
+@dataclass
+class CacheStats:
+    """Cumulative plan-cache traffic counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    single_flight_waits: int = 0
+    plans_built: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "single_flight_waits": self.single_flight_waits,
+            "plans_built": self.plans_built,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class _Flight:
+    """An in-progress plan build other threads can wait on."""
+
+    __slots__ = ("event", "plan", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.plan: Optional[CachedPlan] = None
+        self.error: Optional[BaseException] = None
+
+
+def _default_builder(wisdom: Optional[Wisdom]) -> Callable[[PlanKey], CachedPlan]:
+    def build(key: PlanKey) -> CachedPlan:
+        if wisdom is not None and key.strategy == "balanced":
+            program = wisdom.plan(key.n, key.threads, key.mu)
+        else:
+            program = generate_fft(
+                key.n, threads=key.threads, mu=key.mu, strategy=key.strategy
+            )
+        return CachedPlan(key=key, program=program, stages=batched_plan(program))
+
+    return build
+
+
+class PlanCache:
+    """LRU-bounded, single-flight cache of executable plans.
+
+    ``builder`` maps a :class:`PlanKey` to a :class:`CachedPlan`; the
+    default plans through ``wisdom`` when given (so searches persist across
+    processes) and through :func:`repro.frontend.generate_fft` otherwise.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        wisdom: Optional[Wisdom] = None,
+        builder: Optional[Callable[[PlanKey], CachedPlan]] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.wisdom = wisdom
+        self._builder = builder or _default_builder(wisdom)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[PlanKey, CachedPlan] = OrderedDict()
+        self.stats = CacheStats()
+
+        self._inflight: dict[PlanKey, _Flight] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self) -> list[PlanKey]:
+        with self._lock:
+            return list(self._entries)
+
+    def stats_snapshot(self) -> dict:
+        with self._lock:
+            return self.stats.snapshot()
+
+    def get(self, key: PlanKey) -> CachedPlan:
+        """The cached plan for ``key``; builds it (single-flight) on a miss."""
+        tr = get_tracer()
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                tr.count("serve.plan_cache.hit", 1)
+                return plan
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._inflight[key] = flight
+                leader = True
+                self.stats.misses += 1
+                tr.count("serve.plan_cache.miss", 1)
+            else:
+                leader = False
+                self.stats.single_flight_waits += 1
+                tr.count("serve.plan_cache.single_flight_wait", 1)
+
+        if not leader:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.plan  # type: ignore[return-value]
+
+        try:
+            with tr.span("serve.plan_build", "serve", n=key.n,
+                         threads=key.threads, mu=key.mu,
+                         strategy=key.strategy):
+                plan = self._builder(key)
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+            raise
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            self.stats.plans_built += 1
+            while len(self._entries) > self.capacity:
+                evicted, _ = self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                tr.count("serve.plan_cache.eviction", 1)
+            self._inflight.pop(key, None)
+        flight.plan = plan
+        flight.event.set()
+        return plan

@@ -1,0 +1,140 @@
+"""Wire protocol of the TCP front end: JSON envelopes, binary payloads.
+
+Every message is one JSON header line.  Array payloads travel in one of
+three forms, negotiated per message:
+
+* **binary frame** (what :class:`~repro.serve.client.ServeClient` speaks):
+  the header carries ``"shape"`` and ``"nbytes"`` and exactly ``nbytes``
+  of raw little-endian ``complex128`` bytes follow the newline.  This is
+  the fast path — no base64 expansion, no JSON string escaping;
+* ``"data_b64"`` + ``"shape"``: base64 of the same bytes inside the JSON
+  envelope (line-oriented clients, one message per line);
+* ``"data"``: a nested ``[[re, im], ...]`` list (hand-written clients).
+
+Responses mirror the request's form: binary-framed requests get
+binary-framed responses, JSON-only requests get ``data_b64``.
+
+Request ops::
+
+    {"op": "fft", "id": 1, "shape": [b, n], "nbytes": 16384,
+     "threads": 2, "mu": 4, "timeout": 1.0, "no_batch": false}\\n<raw bytes>
+    {"op": "stats", "id": 2}
+    {"op": "ping", "id": 3}
+
+Responses echo ``id`` and carry ``ok``; failures carry ``error`` (a stable
+code: ``overloaded``, ``deadline``, ``closed``, ``bad-request``) plus a
+human ``detail``, and ``overloaded`` adds ``retry_after`` seconds.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Optional
+
+import numpy as np
+
+#: wire dtype for array payloads
+WIRE_DTYPE = "<c16"
+
+#: refuse binary payloads beyond this (corrupt header / abuse guard)
+MAX_PAYLOAD_BYTES = 1 << 28
+
+
+def encode_array(arr: np.ndarray) -> dict:
+    """Fields encoding ``arr`` (complex) for a JSON envelope."""
+    arr = np.ascontiguousarray(np.asarray(arr, dtype=np.complex128))
+    return {
+        "data_b64": base64.b64encode(
+            arr.astype(WIRE_DTYPE, copy=False).tobytes()
+        ).decode("ascii"),
+        "shape": list(arr.shape),
+    }
+
+
+def decode_array(msg: dict) -> np.ndarray:
+    """The complex array carried by a JSON envelope (either form)."""
+    if "data_b64" in msg:
+        buf = base64.b64decode(msg["data_b64"])
+        arr = np.frombuffer(buf, dtype=WIRE_DTYPE).astype(np.complex128)
+        shape = msg.get("shape")
+        if shape is not None:
+            arr = arr.reshape(shape)
+        return arr
+    if "data" in msg:
+        pairs = np.asarray(msg["data"], dtype=np.float64)
+        if pairs.ndim < 2 or pairs.shape[-1] != 2:
+            raise ValueError(
+                f"'data' must nest [re, im] pairs, got shape {pairs.shape}"
+            )
+        return pairs[..., 0] + 1j * pairs[..., 1]
+    raise ValueError("request carries neither 'data_b64' nor 'data'")
+
+
+def dump_line(msg: dict) -> bytes:
+    """One wire line: compact JSON plus the newline terminator."""
+    return json.dumps(msg, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def load_line(line: bytes) -> dict:
+    msg = json.loads(line.decode("utf-8"))
+    if not isinstance(msg, dict):
+        raise ValueError("wire messages must be JSON objects")
+    return msg
+
+
+def write_frame(wfile, msg: dict, arr: Optional[np.ndarray] = None) -> None:
+    """Write one message; ``arr`` travels as a raw binary payload."""
+    if arr is None:
+        wfile.write(dump_line(msg))
+        return
+    arr = np.ascontiguousarray(np.asarray(arr, dtype=np.complex128)).astype(
+        WIRE_DTYPE, copy=False
+    )
+    head = dict(msg)
+    head["shape"] = list(arr.shape)
+    head["nbytes"] = arr.nbytes
+    wfile.write(dump_line(head))
+    wfile.write(arr.tobytes())
+
+
+def read_frame(rfile) -> Optional[tuple[dict, Optional[np.ndarray]]]:
+    """Read one message; returns ``(header, array-or-None)``, None at EOF.
+
+    Raises :class:`ValueError` on a malformed header or an oversized
+    payload declaration; an EOF in the middle of a declared payload is
+    treated as a closed connection (returns None).
+    """
+    while True:
+        line = rfile.readline()
+        if not line:
+            return None
+        line = line.strip()
+        if line:
+            break
+    msg = load_line(line)
+    nbytes = msg.get("nbytes")
+    if nbytes is None:
+        return msg, None
+    nbytes = int(nbytes)
+    if not 0 <= nbytes <= MAX_PAYLOAD_BYTES:
+        raise ValueError(f"unreasonable payload size {nbytes}")
+    buf = rfile.read(nbytes)
+    if len(buf) != nbytes:
+        return None
+    # <c16 is complex128 on little-endian hosts, so this is usually a view
+    arr = np.frombuffer(buf, dtype=WIRE_DTYPE).astype(
+        np.complex128, copy=False
+    )
+    shape = msg.get("shape")
+    if shape is not None:
+        arr = arr.reshape(shape)
+    return msg, arr
+
+
+def error_response(req_id, code: str, detail: str,
+                   retry_after: Optional[float] = None) -> dict:
+    resp = {"id": req_id, "ok": False, "error": code, "detail": detail}
+    if retry_after is not None:
+        resp["retry_after"] = retry_after
+    return resp

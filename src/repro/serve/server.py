@@ -1,0 +1,213 @@
+"""The TCP front end: ``repro serve`` wraps an :class:`FFTService`.
+
+A :class:`FFTServer` is a threading TCP server — one handler thread per
+connection speaking the framed protocol of :mod:`repro.serve.protocol`.
+Connections are **pipelined**: the read loop submits every incoming
+request to the service immediately (it never blocks on a result), and a
+per-connection drain thread writes responses back in request order as
+their tickets resolve.  A client may therefore keep many requests in
+flight on one connection — which is how the service's batching window
+fills even from a single client, and how per-request socket and thread
+wake-up costs amortize across a burst.  Admission control still applies
+at ``submit``: an over-full queue turns into an ``overloaded`` response
+in the normal response stream.
+"""
+
+from __future__ import annotations
+
+import queue
+import socketserver
+import threading
+from typing import Optional
+
+from ..trace import get_tracer
+from .protocol import decode_array, dump_line, encode_array, error_response, \
+    read_frame, write_frame
+from .service import DeadlineExceeded, FFTService, Overloaded, ServiceClosed
+
+_SENTINEL = object()
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    # buffer response writes (header + binary payload leave as one segment,
+    # avoiding a Nagle/delayed-ACK stall) and flush once per response
+    wbufsize = -1
+    disable_nagle_algorithm = True
+
+    def handle(self) -> None:
+        tr = get_tracer()
+        service: FFTService = self.server.service  # type: ignore[attr-defined]
+        pending: queue.Queue = queue.Queue()
+        drain = threading.Thread(
+            target=self._drain, args=(pending,), daemon=True
+        )
+        drain.start()
+        try:
+            while True:
+                try:
+                    frame = read_frame(self.rfile)
+                except ValueError as exc:
+                    pending.put(
+                        ("msg", error_response(None, "bad-json", str(exc)),
+                         None)
+                    )
+                    continue
+                except OSError:
+                    break
+                if frame is None:
+                    break
+                msg, arr = frame
+                req_id = msg.get("id")
+                op = msg.get("op", "fft")
+                binary = "nbytes" in msg
+                tr.count("serve.net_requests", 1, op=op)
+                if op == "ping":
+                    pending.put(
+                        ("msg", {"id": req_id, "ok": True, "pong": True},
+                         None)
+                    )
+                elif op == "stats":
+                    pending.put(
+                        ("msg",
+                         {"id": req_id, "ok": True, "stats": service.stats()},
+                         None)
+                    )
+                elif op == "fft":
+                    self._submit_fft(service, pending, req_id, msg, arr,
+                                     binary)
+                else:
+                    pending.put(
+                        ("msg",
+                         error_response(req_id, "bad-request",
+                                        f"unknown op {op!r}"),
+                         None)
+                    )
+        finally:
+            pending.put(_SENTINEL)
+            drain.join(timeout=60)
+
+    def _submit_fft(self, service: FFTService, pending: queue.Queue,
+                    req_id, msg: dict, arr, binary: bool) -> None:
+        if arr is None:
+            try:
+                arr = decode_array(msg)
+            except (ValueError, TypeError, KeyError) as exc:
+                pending.put(
+                    ("msg", error_response(req_id, "bad-request", str(exc)),
+                     None)
+                )
+                return
+        timeout = msg.get("timeout", service.config.default_timeout_s)
+        try:
+            ticket = service.submit(
+                arr,
+                threads=msg.get("threads"),
+                mu=msg.get("mu"),
+                strategy=msg.get("strategy"),
+                timeout=timeout,
+                no_batch=bool(msg.get("no_batch", False)),
+            )
+        except Overloaded as exc:
+            pending.put(
+                ("msg",
+                 error_response(req_id, "overloaded", str(exc),
+                                retry_after=exc.retry_after),
+                 None)
+            )
+        except ServiceClosed as exc:
+            pending.put(
+                ("msg", error_response(req_id, "closed", str(exc)), None)
+            )
+        except (ValueError, RuntimeError) as exc:
+            pending.put(
+                ("msg", error_response(req_id, "bad-request", str(exc)),
+                 None)
+            )
+        else:
+            pending.put(("ticket", ticket, (req_id, binary, timeout)))
+
+    def _drain(self, pending: queue.Queue) -> None:
+        """Write responses in request order as results become available.
+
+        The flush is deferred while more work is already queued, so the
+        responses to a pipelined burst leave in one flush (one syscall,
+        one TCP segment train) instead of one flush per response.
+        """
+        while True:
+            item = pending.get()
+            if item is _SENTINEL:
+                return
+            kind, payload, meta = item
+            try:
+                if kind == "msg":
+                    self.wfile.write(dump_line(payload))
+                    if pending.empty():
+                        self.wfile.flush()
+                    continue
+                req_id, binary, timeout = meta
+                wait = None if timeout is None else timeout + 1.0
+                try:
+                    y = payload.result(wait)
+                except DeadlineExceeded as exc:
+                    self.wfile.write(
+                        dump_line(error_response(req_id, "deadline",
+                                                 str(exc)))
+                    )
+                except Overloaded as exc:
+                    self.wfile.write(
+                        dump_line(error_response(
+                            req_id, "overloaded", str(exc),
+                            retry_after=exc.retry_after))
+                    )
+                except ServiceClosed as exc:
+                    self.wfile.write(
+                        dump_line(error_response(req_id, "closed", str(exc)))
+                    )
+                except (ValueError, RuntimeError) as exc:
+                    self.wfile.write(
+                        dump_line(error_response(req_id, "bad-request",
+                                                 str(exc)))
+                    )
+                else:
+                    resp = {"id": req_id, "ok": True}
+                    if binary:
+                        write_frame(self.wfile, resp, y)
+                    else:
+                        resp.update(encode_array(y))
+                        self.wfile.write(dump_line(resp))
+                if pending.empty():
+                    self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                return
+
+
+class FFTServer(socketserver.ThreadingTCPServer):
+    """Threading TCP server bound to one shared :class:`FFTService`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: FFTService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def serve_background(self) -> threading.Thread:
+        """Start ``serve_forever`` on a daemon thread (tests, loadgen)."""
+        t = threading.Thread(
+            target=self.serve_forever, name="fft-serve-tcp", daemon=True
+        )
+        t.start()
+        return t
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 7373,
+    service: Optional[FFTService] = None,
+) -> FFTServer:
+    """Bind an :class:`FFTServer`; caller runs ``serve_forever()``."""
+    return FFTServer((host, port), service or FFTService())

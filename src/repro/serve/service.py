@@ -1,0 +1,406 @@
+"""`FFTService`: the in-process plan-and-execute engine behind ``repro serve``.
+
+One long-lived service owns the whole serving pipeline:
+
+* a :class:`~repro.serve.plan_cache.PlanCache` (LRU + single-flight) in
+  front of :class:`~repro.wisdom.Wisdom`;
+* a **request batcher**: a dispatcher thread coalesces requests for the
+  same :class:`~repro.serve.plan_cache.PlanKey` that arrive within
+  ``window_s`` (or until ``max_batch`` vectors are pending) into one
+  stacked ``(b, n)`` execution (:mod:`repro.serve.batch_exec`);
+* **persistent runtimes**: one :class:`~repro.smp.runtime.PThreadsRuntime`
+  pool per thread count, created lazily, reused across every request, and
+  closed exactly once on shutdown;
+* **admission control**: a bounded queue (``queue_limit`` pending vectors);
+  an over-full queue rejects with :class:`Overloaded` carrying a
+  ``retry_after`` hint, and each request carries a deadline — requests
+  whose deadline passes while queued fail with :class:`DeadlineExceeded`
+  instead of wasting an execution slot.
+
+Every stage emits ``repro.trace`` spans/counters (``serve.*``) when a
+tracer is active, and the service keeps its own always-on metrics for the
+``stats`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..frontend import feasible_threads
+from ..smp.runtime import PThreadsRuntime, Runtime, SequentialRuntime
+from ..trace import get_tracer
+from ..wisdom import Wisdom
+from .batch_exec import run_batched
+from .plan_cache import PlanCache, PlanKey
+
+
+class ServeError(Exception):
+    """Base class for serving-layer failures."""
+
+
+class ServiceClosed(ServeError):
+    """The service is shutting down; no new requests are admitted."""
+
+
+class Overloaded(ServeError):
+    """Admission control rejected the request; retry after ``retry_after``."""
+
+    def __init__(self, retry_after: float, pending: int):
+        super().__init__(
+            f"queue full ({pending} vectors pending); "
+            f"retry after {retry_after * 1e3:.1f} ms"
+        )
+        self.retry_after = retry_after
+        self.pending = pending
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline passed before a result was produced."""
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one :class:`FFTService`."""
+
+    threads: int = 1          #: default plan thread count
+    mu: int = 4               #: default cache-line size (complex elements)
+    strategy: str = "balanced"
+    window_s: float = 0.0     #: max batching wait; 0 = continuous batching
+    max_batch: int = 48       #: max vectors per stacked execution
+    queue_limit: int = 512    #: max pending vectors (admission control)
+    cache_capacity: int = 64  #: plan-cache entries (LRU beyond this)
+    default_timeout_s: Optional[float] = 30.0  #: per-request deadline
+    wisdom_path: Optional[str] = None  #: persist searches across processes
+
+
+class FFTTicket:
+    """A pending request's future; ``result()`` blocks for the answer."""
+
+    __slots__ = ("_event", "_result", "_error")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._result: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def _resolve(self, result=None, error=None) -> None:
+        self._result = result
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        if not self._event.wait(timeout):
+            raise DeadlineExceeded("timed out waiting for result")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class _Request:
+    __slots__ = ("key", "x", "rows", "arrival", "deadline", "no_batch",
+                 "squeeze", "ticket")
+
+    def __init__(self, key, x, deadline, no_batch, squeeze=False):
+        self.key = key
+        self.x = x
+        self.rows = int(x.shape[0])
+        self.squeeze = squeeze
+        self.arrival = time.monotonic()
+        self.deadline = deadline
+        self.no_batch = no_batch
+        self.ticket = FFTTicket()
+
+
+class FFTService:
+    """Concurrent FFT plan-and-execute service (in-process API).
+
+    ::
+
+        with FFTService(ServeConfig(threads=2, window_s=0.002)) as svc:
+            y = svc.transform(x)            # blocking convenience
+            t = svc.submit(x)               # or a ticket ...
+            y = t.result(timeout=1.0)       # ... resolved by the batcher
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        wisdom = (
+            Wisdom(self.config.wisdom_path)
+            if self.config.wisdom_path
+            else None
+        )
+        self.plans = PlanCache(
+            capacity=self.config.cache_capacity, wisdom=wisdom
+        )
+        self._cond = threading.Condition()
+        self._queue: list[_Request] = []
+        self._pending_vectors = 0
+        self._closing = False
+        self._runtimes: dict[int, Runtime] = {}
+        self._runtime_lock = threading.Lock()
+        self._metrics_lock = threading.Lock()
+        self._metrics = {
+            "requests": 0,
+            "vectors": 0,
+            "batches": 0,
+            "batched_vectors": 0,
+            "rejected": 0,
+            "deadline_misses": 0,
+            "failures": 0,
+            "max_queue_depth": 0,
+            "request_wall_s": 0.0,
+        }
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="fft-serve-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- public API ----------------------------------------------------------
+
+    def submit(
+        self,
+        x: np.ndarray,
+        threads: Optional[int] = None,
+        mu: Optional[int] = None,
+        strategy: Optional[str] = None,
+        timeout: Optional[float] = None,
+        no_batch: bool = False,
+    ) -> FFTTicket:
+        """Enqueue a request (one vector or a ``(b, n)`` stack); returns a ticket.
+
+        Raises :class:`Overloaded` when the queue is full and
+        :class:`ServiceClosed` during shutdown.  ``no_batch=True`` flushes
+        the request immediately instead of waiting out the batching window
+        (the one-request-at-a-time baseline path).
+        """
+        x = np.asarray(x, dtype=np.complex128)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[np.newaxis, :]
+        if x.ndim != 2 or x.shape[1] < 2:
+            raise ValueError(f"expected (batch, n) input, got shape {x.shape}")
+        n = int(x.shape[1])
+        key = self._plan_key(n, threads, mu, strategy)
+        if timeout is None:
+            timeout = self.config.default_timeout_s
+        deadline = None if timeout is None else time.monotonic() + timeout
+        req = _Request(key, x, deadline, no_batch, squeeze=squeeze)
+
+        tr = get_tracer()
+        with self._cond:
+            if self._closing:
+                raise ServiceClosed("service is shutting down")
+            if self._pending_vectors + req.rows > self.config.queue_limit:
+                retry = self._retry_after_locked()
+                with self._metrics_lock:
+                    self._metrics["rejected"] += 1
+                tr.count("serve.rejected", 1)
+                raise Overloaded(retry, self._pending_vectors)
+            self._queue.append(req)
+            self._pending_vectors += req.rows
+            depth = self._pending_vectors
+            self._cond.notify_all()
+        tr.count("serve.requests", 1)
+        tr.sample("serve.queue_depth", depth)
+        with self._metrics_lock:
+            self._metrics["requests"] += 1
+            self._metrics["vectors"] += req.rows
+            if depth > self._metrics["max_queue_depth"]:
+                self._metrics["max_queue_depth"] = depth
+        return req.ticket
+
+    def transform(self, x: np.ndarray, **kw) -> np.ndarray:
+        """Blocking convenience: ``submit(...).result()``."""
+        timeout = kw.get("timeout", self.config.default_timeout_s)
+        # grace so queue-side deadline handling (not the ticket wait) decides
+        wait = None if timeout is None else timeout + 1.0
+        return self.submit(x, **kw).result(wait)
+
+    def stats(self) -> dict:
+        """A JSON-able snapshot of service and plan-cache metrics."""
+        with self._metrics_lock:
+            m = dict(self._metrics)
+        m["avg_batch_occupancy"] = (
+            m["batched_vectors"] / m["batches"] if m["batches"] else 0.0
+        )
+        m["avg_request_wall_s"] = (
+            m["request_wall_s"] / m["vectors"] if m["vectors"] else 0.0
+        )
+        with self._cond:
+            m["queue_depth"] = self._pending_vectors
+        m["plan_cache"] = self.plans.stats_snapshot()
+        m["plans_cached"] = len(self.plans)
+        m["config"] = {
+            "threads": self.config.threads,
+            "mu": self.config.mu,
+            "window_ms": self.config.window_s * 1e3,
+            "max_batch": self.config.max_batch,
+            "queue_limit": self.config.queue_limit,
+            "cache_capacity": self.config.cache_capacity,
+        }
+        return m
+
+    def close(self) -> None:
+        """Flush in-flight work, fail queued requests, stop the runtimes."""
+        with self._cond:
+            if self._closing:
+                return
+            self._closing = True
+            self._cond.notify_all()
+        self._dispatcher.join(timeout=10)
+        with self._cond:
+            leftovers = list(self._queue)
+            self._queue.clear()
+            self._pending_vectors = 0
+        for req in leftovers:
+            req.ticket._resolve(error=ServiceClosed("service closed"))
+        with self._runtime_lock:
+            for rt in self._runtimes.values():
+                rt.close()
+            self._runtimes.clear()
+
+    def __enter__(self) -> "FFTService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _plan_key(self, n, threads, mu, strategy) -> PlanKey:
+        threads = self.config.threads if threads is None else threads
+        mu = self.config.mu if mu is None else mu
+        strategy = strategy or self.config.strategy
+        t = feasible_threads(n, threads, mu) if threads > 1 else 1
+        return PlanKey(n=n, threads=t, mu=mu, strategy=strategy)
+
+    def _retry_after_locked(self) -> float:
+        """Backpressure hint: roughly the time to drain the current backlog."""
+        backlog_batches = 1 + self._pending_vectors // max(
+            1, self.config.max_batch
+        )
+        return max(self.config.window_s, 0.001) * backlog_batches
+
+    def _runtime_for(self, threads: int) -> Runtime:
+        with self._runtime_lock:
+            rt = self._runtimes.get(threads)
+            if rt is None:
+                rt = (
+                    PThreadsRuntime(threads)
+                    if threads > 1
+                    else SequentialRuntime()
+                )
+                self._runtimes[threads] = rt
+            return rt
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closing:
+                    self._cond.wait()
+                if not self._queue and self._closing:
+                    return
+                head = self._queue[0]
+                key = head.key
+                window = 0.0 if head.no_batch else self.config.window_s
+                flush_at = head.arrival + window
+                # the window is a *maximum* wait: once the queue goes
+                # quiescent (no arrival within a fraction of the window)
+                # the batch flushes early, so closed-loop clients never
+                # pay the full window once all their requests are in
+                quiescence = max(window / 8.0, 0.0002)
+                prev_vectors = -1
+                quiet_deadline = 0.0
+                while not self._closing:
+                    group = [r for r in self._queue if r.key == key]
+                    vectors = sum(r.rows for r in group)
+                    now = time.monotonic()
+                    if (
+                        vectors >= self.config.max_batch
+                        or now >= flush_at
+                        or any(r.no_batch for r in group)
+                    ):
+                        break
+                    if vectors != prev_vectors:  # group grew: restart timer
+                        prev_vectors = vectors
+                        quiet_deadline = now + quiescence
+                    elif now >= quiet_deadline:
+                        break  # quiescent: this key saw no new arrivals
+                    self._cond.wait(
+                        timeout=min(flush_at, quiet_deadline) - now
+                    )
+                group = [r for r in self._queue if r.key == key]
+                take: list[_Request] = []
+                total = 0
+                for r in group:
+                    if take and total + r.rows > self.config.max_batch:
+                        break
+                    take.append(r)
+                    total += r.rows
+                for r in take:
+                    self._queue.remove(r)
+                self._pending_vectors -= total
+            self._execute_batch(key, take)
+
+    def _execute_batch(self, key: PlanKey, batch: list[_Request]) -> None:
+        tr = get_tracer()
+        now = time.monotonic()
+        live: list[_Request] = []
+        for req in batch:
+            if req.deadline is not None and now > req.deadline:
+                req.ticket._resolve(
+                    error=DeadlineExceeded(
+                        f"deadline passed while queued "
+                        f"(waited {now - req.arrival:.3f}s)"
+                    )
+                )
+                with self._metrics_lock:
+                    self._metrics["deadline_misses"] += 1
+                tr.count("serve.deadline_misses", 1)
+            else:
+                live.append(req)
+        if not live:
+            return
+        try:
+            plan = self.plans.get(key)
+            runtime = self._runtime_for(key.threads)
+            X = (
+                live[0].x
+                if len(live) == 1
+                else np.vstack([r.x for r in live])
+            )
+            with tr.span("serve.execute", "serve", n=key.n,
+                         threads=key.threads, vectors=int(X.shape[0]),
+                         requests=len(live)):
+                Y, _ = run_batched(plan.stages, key.n, X, runtime)
+        except BaseException as exc:
+            for req in live:
+                req.ticket._resolve(error=exc)
+            with self._metrics_lock:
+                self._metrics["failures"] += len(live)
+            tr.count("serve.failures", len(live))
+            return
+        done = time.monotonic()
+        row = 0
+        for req in live:
+            result = Y[row] if req.squeeze else Y[row:row + req.rows]
+            req.ticket._resolve(result=result)
+            row += req.rows
+            tr.count("serve.request_wall_s", done - req.arrival)
+        with self._metrics_lock:
+            self._metrics["batches"] += 1
+            self._metrics["batched_vectors"] += int(Y.shape[0])
+            self._metrics["request_wall_s"] += sum(
+                done - r.arrival for r in live
+            )
+        tr.count("serve.batches", 1)
+        tr.count("serve.batched_vectors", int(Y.shape[0]))
+        tr.sample("serve.batch_occupancy", int(Y.shape[0]))

@@ -155,6 +155,7 @@ class PThreadsRuntime(Runtime):
         # rendezvous of the master and the p-1 pool workers after each job
         self._done = threading.Barrier(p)
         self._shutdown = False
+        self._closed = False
         self._errors: list[BaseException] = []
         self._threads = [
             threading.Thread(target=self._worker, args=(i,), daemon=True)
@@ -221,6 +222,10 @@ class PThreadsRuntime(Runtime):
     # -- master API ---------------------------------------------------------
 
     def execute(self, stages, x, size):
+        if self._closed:
+            raise RuntimeError(
+                "PThreadsRuntime is closed; worker pool no longer exists"
+            )
         for st in stages:
             if st.nprocs > self.p:
                 raise ValueError(
@@ -253,6 +258,10 @@ class PThreadsRuntime(Runtime):
         return final, stats
 
     def close(self) -> None:
+        """Shut the pool down; idempotent (long-lived holders may race)."""
+        if self._closed:
+            return
+        self._closed = True
         with self._job_ready:
             self._shutdown = True
             self._job_ready.notify_all()

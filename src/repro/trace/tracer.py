@@ -162,6 +162,24 @@ class Tracer:
             )
         )
 
+    def sample(self, name: str, value: float, cat: str = "") -> None:
+        """Record a timeline *sample* of a gauge (Chrome ``"C"`` counter event).
+
+        Unlike :meth:`count`, which aggregates, a sample lands on the
+        timeline at the current timestamp — queue depths and batch occupancy
+        plotted over time in ``chrome://tracing``.
+        """
+        self._record(
+            TraceEvent(
+                name=name,
+                cat=cat or "counter",
+                ph="C",
+                ts=self._now_us(),
+                tid=0,
+                args={name: value},
+            )
+        )
+
     # -- counters ------------------------------------------------------------
 
     def count(self, name: str, value: float = 1, **attrs) -> None:
@@ -236,6 +254,9 @@ class NullTracer(Tracer):
         return _NULL_SPAN
 
     def instant(self, name, cat="", **args) -> None:
+        pass
+
+    def sample(self, name, value, cat="") -> None:
         pass
 
     def count(self, name, value=1, **attrs) -> None:

@@ -8,11 +8,22 @@ play.
 
     wisdom = Wisdom("wisdom.json")
     fft = wisdom.plan(4096, threads=2)   # searches once, cached afterwards
+
+A :class:`Wisdom` instance is safe for concurrent use: the store and the
+program cache are lock-guarded, ``plan()`` is *single-flight* per
+configuration (N threads racing on the same key trigger exactly one search;
+the rest wait for its result), and saves are atomic (written to a temporary
+file in the same directory, then ``os.replace``\\ d over the target) so
+parallel planners can neither corrupt nor torn-read a wisdom file.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
+import tempfile
+import threading
 from pathlib import Path
 from typing import Optional
 
@@ -44,8 +55,11 @@ class Wisdom:
 
     def __init__(self, path: Optional[str | Path] = None):
         self.path = Path(path) if path is not None else None
+        self._lock = threading.RLock()
         self._store: dict = {}
         self._programs: dict = {}
+        # per-key planning locks: the single-flight mechanism
+        self._planning: dict[str, threading.Lock] = {}
         if self.path is not None and self.path.exists():
             try:
                 self._store = json.loads(self.path.read_text())
@@ -55,25 +69,42 @@ class Wisdom:
     # -- persistence -----------------------------------------------------------
 
     def _save(self) -> None:
-        if self.path is not None:
-            self.path.write_text(json.dumps(self._store, indent=1))
+        """Atomically persist the store (temp file + ``os.replace``)."""
+        with self._lock:
+            if self.path is None:
+                return
+            payload = json.dumps(self._store, indent=1)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(payload)
+                os.replace(tmp, self.path)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
+                raise
 
     @staticmethod
     def _key(n: int, threads: int, mu: int) -> str:
         return f"dft:{n}:p{threads}:mu{mu}"
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def __contains__(self, key: tuple) -> bool:
         n, threads, mu = key
-        return self._key(n, threads, mu) in self._store
+        with self._lock:
+            return self._key(n, threads, mu) in self._store
 
     def forget(self) -> None:
         """Drop all stored plans (in memory and on disk)."""
-        self._store = {}
-        self._programs = {}
-        self._save()
+        with self._lock:
+            self._store = {}
+            self._programs = {}
+            self._save()
 
     # -- planning ----------------------------------------------------------------
 
@@ -92,32 +123,48 @@ class Wisdom:
         factorizations.  The search objective defaults to arithmetic count
         (cheap, deterministic); pass ``measured_objective()`` or
         ``model_objective(spec)`` for tuned plans.
+
+        Concurrent callers racing on the same configuration are coalesced:
+        exactly one performs the search (``wisdom.miss`` counts 1), the rest
+        block on the per-key planning lock and return the same program.
         """
         tr = get_tracer()
         key = self._key(n, threads, mu)
-        if key in self._programs:
-            tr.count("wisdom.hit", 1, kind="program")
-            return self._programs[key]
-
-        if key not in self._store:
-            tr.count("wisdom.miss", 1)
-            with tr.span("wisdom.search", "search", key=key):
-                res = dp_search(
-                    n, objective or flop_objective, leaf_max=leaf_max
-                )
-            self._store[key] = {
-                "tree": _tree_to_json(res.tree),
-                "value": res.value,
-                "evaluations": res.evaluations,
-            }
-            self._save()
-        else:
-            tr.count("wisdom.hit", 1, kind="store")
-        entry = self._store[key]
-        tree = _tree_from_json(entry["tree"])
-        program = self._build(n, threads, mu, tree, leaf_max)
-        self._programs[key] = program
-        return program
+        with self._lock:
+            program = self._programs.get(key)
+            if program is not None:
+                tr.count("wisdom.hit", 1, kind="program")
+                return program
+            keylock = self._planning.setdefault(key, threading.Lock())
+        with keylock:
+            # single-flight: late arrivals find the leader's program here
+            with self._lock:
+                program = self._programs.get(key)
+                if program is not None:
+                    tr.count("wisdom.hit", 1, kind="program")
+                    return program
+                entry = self._store.get(key)
+            if entry is None:
+                tr.count("wisdom.miss", 1)
+                with tr.span("wisdom.search", "search", key=key):
+                    res = dp_search(
+                        n, objective or flop_objective, leaf_max=leaf_max
+                    )
+                entry = {
+                    "tree": _tree_to_json(res.tree),
+                    "value": res.value,
+                    "evaluations": res.evaluations,
+                }
+                with self._lock:
+                    self._store[key] = entry
+                    self._save()
+            else:
+                tr.count("wisdom.hit", 1, kind="store")
+            tree = _tree_from_json(entry["tree"])
+            program = self._build(n, threads, mu, tree, leaf_max)
+            with self._lock:
+                self._programs[key] = program
+            return program
 
     def _build(self, n, threads, mu, tree, leaf_max) -> GeneratedProgram:
         if threads > 1:
@@ -134,4 +181,5 @@ class Wisdom:
 
     def entry(self, n: int, threads: int = 1, mu: int = 4) -> Optional[dict]:
         """The stored search record (tree, objective value, evaluations)."""
-        return self._store.get(self._key(n, threads, mu))
+        with self._lock:
+            return self._store.get(self._key(n, threads, mu))

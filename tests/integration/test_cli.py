@@ -58,6 +58,35 @@ class TestSearch:
         assert "tree:" in out and "modeled cycles:" in out
 
 
+class TestServeParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1" and args.port == 7373
+        assert args.threads == 1 and args.mu == 4
+        assert args.window_ms == pytest.approx(0.0)
+        assert args.max_batch == 48 and args.queue_limit == 512
+        assert args.cache_capacity == 64 and args.wisdom is None
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--host", "0.0.0.0", "--port", "9000", "-p", "2",
+                "--window-ms", "5", "--max-batch", "8", "--queue-limit", "64",
+                "--cache-capacity", "16", "--wisdom", "w.json",
+            ]
+        )
+        assert args.port == 9000 and args.threads == 2
+        assert args.window_ms == pytest.approx(5.0)
+        assert args.max_batch == 8 and args.wisdom == "w.json"
+
+    def test_loadgen_defaults_and_sizes(self):
+        args = build_parser().parse_args(["loadgen", "--sizes", "64,256"])
+        assert args.sizes == "64,256"
+        assert args.clients == 4 and args.requests == 500
+        assert args.pipeline == 16
+        assert args.output == "BENCH_serve.json"
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

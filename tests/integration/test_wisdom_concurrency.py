@@ -1,0 +1,105 @@
+"""Wisdom under concurrency: JSON round-trip, atomic save, single-flight."""
+
+import json
+import threading
+
+import numpy as np
+
+from repro.trace import Tracer, tracing
+from repro.wisdom import Wisdom
+
+
+def _vec(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        w1 = Wisdom(path)
+        p1 = w1.plan(256, threads=2, mu=4)
+
+        # the file is valid JSON holding the stored tree
+        stored = json.loads(path.read_text())
+        assert "dft:256:p2:mu4" in stored
+        assert "tree" in stored["dft:256:p2:mu4"]
+
+        # a fresh instance reloads the entry and rebuilds the same program
+        w2 = Wisdom(path)
+        assert (256, 2, 4) in w2
+        with tracing(Tracer()) as tr:
+            p2 = w2.plan(256, threads=2, mu=4)
+        assert tr.counter_total("wisdom.miss") == 0, "reload must not search"
+        x = _vec(256)
+        np.testing.assert_allclose(p1.run(x), p2.run(x), atol=1e-10)
+
+    def test_save_leaves_no_temp_residue(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        w = Wisdom(path)
+        w.plan(64)
+        w.plan(128)
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "wisdom.json"]
+        assert leftovers == [], f"temp files left behind: {leftovers}"
+        json.loads(path.read_text())  # and the final file is complete JSON
+
+
+class TestSingleFlight:
+    def test_concurrent_same_config_searches_once(self, tmp_path):
+        w = Wisdom(tmp_path / "wisdom.json")
+        m = 8
+        programs = [None] * m
+        barrier = threading.Barrier(m)
+
+        def worker(i):
+            barrier.wait()
+            programs[i] = w.plan(1024, threads=2, mu=4)
+
+        with tracing(Tracer()) as tr:
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(m)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        # exactly one search ran ...
+        assert tr.counter_total("wisdom.miss") == 1
+        searches = [e for e in tr.events if e.name == "wisdom.search"]
+        assert len(searches) == 1
+        # ... and everyone got the same (numerically identical) program
+        assert all(p is not None for p in programs)
+        x = _vec(1024)
+        ref = programs[0].run(x)
+        for p in programs[1:]:
+            np.testing.assert_array_equal(p.run(x), ref)
+        np.testing.assert_allclose(ref, np.fft.fft(x), atol=1e-6)
+
+    def test_concurrent_distinct_configs(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        w = Wisdom(path)
+        sizes = [64, 128, 256, 512]
+        barrier = threading.Barrier(len(sizes))
+        errors = []
+
+        def worker(n):
+            barrier.wait()
+            try:
+                p = w.plan(n)
+                x = _vec(n, seed=n)
+                np.testing.assert_allclose(p.run(x), np.fft.fft(x), atol=1e-6)
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append((n, exc))
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in sizes]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        assert len(w) == len(sizes)
+        # the persisted store survived the concurrent saves intact
+        assert set(json.loads(path.read_text())) == {
+            f"dft:{n}:p1:mu4" for n in sizes
+        }

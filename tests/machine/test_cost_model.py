@@ -156,3 +156,11 @@ class TestPaperClaimMechanisms:
         assert feasible_threads(256, 4, 4) == 4
         assert feasible_threads(64, 4, 4) == 2  # 16^2 does not divide 64
         assert feasible_threads(32, 4, 4) == 1
+
+    def test_feasible_threads_non_power_of_two_p(self):
+        # p=6, mu=4: t=6 and t=5 are infeasible for n=256, but t=4 is;
+        # a halving descent (6 -> 3 -> give up) would wrongly return 1
+        assert feasible_threads(256, 6, 4) == 4
+        assert feasible_threads(64, 6, 4) == 2
+        # t=3, mu=2: (3*2)^2 = 36 divides 144
+        assert feasible_threads(144, 3, 2) == 3

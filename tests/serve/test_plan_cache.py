@@ -1,0 +1,139 @@
+"""Plan cache: LRU bounds, counters, and single-flight planning."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.plan_cache import CachedPlan, PlanCache, PlanKey
+from repro.trace import Tracer, tracing
+
+
+def _slow_builder(calls, delay=0.02):
+    def build(key):
+        calls.append(key)
+        time.sleep(delay)
+        return CachedPlan(key=key, program=None, stages=[])
+
+    return build
+
+
+class TestLRU:
+    def test_hit_miss_counters(self):
+        calls = []
+        cache = PlanCache(capacity=4, builder=_slow_builder(calls, delay=0))
+        k = PlanKey(64, 1, 4)
+        cache.get(k)
+        cache.get(k)
+        cache.get(k)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 2
+        assert cache.stats.plans_built == 1
+        assert calls == [k]
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_eviction_is_lru(self):
+        calls = []
+        cache = PlanCache(capacity=2, builder=_slow_builder(calls, delay=0))
+        k1, k2, k3 = (PlanKey(n, 1, 4) for n in (64, 128, 256))
+        cache.get(k1)
+        cache.get(k2)
+        cache.get(k1)  # refresh k1 -> k2 is now least recent
+        cache.get(k3)  # evicts k2
+        assert cache.stats.evictions == 1
+        assert k2 not in cache
+        assert k1 in cache and k3 in cache
+        # k2 must be rebuilt
+        cache.get(k2)
+        assert calls.count(k2) == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_real_builder_produces_runnable_plan(self):
+        cache = PlanCache(capacity=4)
+        plan = cache.get(PlanKey(64, 2, 2))
+        x = np.random.default_rng(0).standard_normal(64) + 0j
+        np.testing.assert_allclose(
+            plan.program.run(x), np.fft.fft(x), atol=1e-6
+        )
+        assert plan.stages, "batched stages must be prebuilt"
+
+
+class TestSingleFlight:
+    def test_concurrent_same_key_builds_once(self):
+        calls = []
+        cache = PlanCache(capacity=4, builder=_slow_builder(calls, delay=0.05))
+        key = PlanKey(1024, 2, 4)
+        results = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            results.append(cache.get(key))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1, "single-flight must coalesce the build"
+        assert all(r is results[0] for r in results)
+        assert cache.stats.misses == 1
+        assert cache.stats.single_flight_waits == 7
+        assert cache.stats.plans_built == 1
+
+    def test_trace_counters_record_traffic(self):
+        calls = []
+        cache = PlanCache(capacity=4, builder=_slow_builder(calls, delay=0))
+        with tracing(Tracer()) as tr:
+            cache.get(PlanKey(64, 1, 4))
+            cache.get(PlanKey(64, 1, 4))
+        assert tr.counter_total("serve.plan_cache.miss") == 1
+        assert tr.counter_total("serve.plan_cache.hit") == 1
+
+    def test_failed_build_propagates_and_is_not_cached(self):
+        attempts = []
+
+        def flaky(key):
+            attempts.append(key)
+            if len(attempts) == 1:
+                raise RuntimeError("planner exploded")
+            return CachedPlan(key=key, program=None, stages=[])
+
+        cache = PlanCache(capacity=4, builder=flaky)
+        key = PlanKey(64, 1, 4)
+        with pytest.raises(RuntimeError, match="planner exploded"):
+            cache.get(key)
+        assert key not in cache
+        # the next request retries and succeeds
+        assert cache.get(key).key == key
+        assert len(attempts) == 2
+
+    def test_failed_build_wakes_waiters_with_error(self):
+        release = threading.Event()
+
+        def blocking_fail(key):
+            release.wait(1.0)
+            raise RuntimeError("boom")
+
+        cache = PlanCache(capacity=4, builder=blocking_fail)
+        key = PlanKey(64, 1, 4)
+        errors = []
+
+        def worker():
+            try:
+                cache.get(key)
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)  # let all three enter (1 leader + 2 waiters)
+        release.set()
+        for t in threads:
+            t.join()
+        assert errors == ["boom"] * 3

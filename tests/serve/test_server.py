@@ -1,0 +1,110 @@
+"""TCP front end + client + loadgen, on an ephemeral port."""
+
+import json
+import socket
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    FFTService,
+    LoadgenConfig,
+    RemoteError,
+    ServeClient,
+    ServeConfig,
+    run_loadgen,
+)
+from repro.serve.protocol import decode_array, dump_line, encode_array
+from repro.serve.server import FFTServer
+
+
+@pytest.fixture()
+def server():
+    service = FFTService(ServeConfig(window_s=0.001, max_batch=16))
+    srv = FFTServer(("127.0.0.1", 0), service)
+    srv.serve_background()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    service.close()
+
+
+def _vec(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+class TestProtocol:
+    def test_array_roundtrip_base64(self):
+        X = _vec(16).reshape(2, 8)
+        np.testing.assert_array_equal(decode_array(encode_array(X)), X)
+
+    def test_nested_list_form(self):
+        x = _vec(4)
+        msg = {"data": [[float(v.real), float(v.imag)] for v in x]}
+        np.testing.assert_allclose(decode_array(msg), x)
+
+    def test_missing_payload_rejected(self):
+        with pytest.raises(ValueError):
+            decode_array({"op": "fft"})
+
+
+class TestServer:
+    def test_fft_roundtrip(self, server):
+        with ServeClient("127.0.0.1", server.port) as client:
+            assert client.ping()
+            x = _vec(64)
+            y = client.fft(x)
+            np.testing.assert_allclose(y, np.fft.fft(x), atol=1e-6)
+
+    def test_stacked_fft_and_stats(self, server):
+        with ServeClient("127.0.0.1", server.port) as client:
+            X = np.stack([_vec(64, s) for s in range(3)])
+            Y = client.fft(X)
+            np.testing.assert_allclose(Y, np.fft.fft(X, axis=-1), atol=1e-6)
+            stats = client.stats()
+            assert stats["vectors"] >= 3
+            assert stats["plan_cache"]["plans_built"] >= 1
+
+    def test_bad_json_line_reports_error(self, server):
+        with socket.create_connection(("127.0.0.1", server.port)) as sock:
+            sock.sendall(b"this is not json\n")
+            resp = json.loads(sock.makefile("rb").readline())
+            assert resp["ok"] is False
+            assert resp["error"] == "bad-json"
+
+    def test_unknown_op_reports_error(self, server):
+        with socket.create_connection(("127.0.0.1", server.port)) as sock:
+            sock.sendall(dump_line({"op": "frobnicate", "id": 9}))
+            resp = json.loads(sock.makefile("rb").readline())
+            assert resp["ok"] is False and resp["id"] == 9
+            assert resp["error"] == "bad-request"
+
+    def test_remote_error_surfaces_in_client(self, server):
+        with ServeClient("127.0.0.1", server.port) as client:
+            with pytest.raises(RemoteError) as exc_info:
+                client.request("fft", data="nope")
+            assert exc_info.value.code == "bad-request"
+
+
+class TestLoadgen:
+    def test_mini_loadgen_run(self, server, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        cfg = LoadgenConfig(
+            host="127.0.0.1",
+            port=server.port,
+            sizes=[64, 128],
+            clients=3,
+            requests=6,
+            baseline_requests=4,
+            output=str(out),
+        )
+        report = run_loadgen(cfg)
+        assert report["measured"]["requests"] == 18
+        assert report["measured"]["throughput_rps"] > 0
+        assert report["baseline_unbatched"]["requests"] == 4
+        assert report["single_flight"]["ok"], report["single_flight"]
+        lat = report["measured"]["latency"]
+        assert lat["p50_ms"] <= lat["p99_ms"] <= lat["max_ms"] + 1e-9
+        saved = json.loads(out.read_text())
+        assert saved["single_flight"]["plans_built"] == 2

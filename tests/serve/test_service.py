@@ -1,0 +1,167 @@
+"""FFTService: batching, admission control, deadlines, lifecycle."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    DeadlineExceeded,
+    FFTService,
+    Overloaded,
+    ServeConfig,
+    ServiceClosed,
+)
+
+
+def _vec(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+class TestTransform:
+    def test_single_vector_roundtrip(self):
+        with FFTService(ServeConfig(window_s=0.0)) as svc:
+            x = _vec(64)
+            y = svc.transform(x)
+            np.testing.assert_allclose(y, np.fft.fft(x), atol=1e-6)
+            assert y.shape == x.shape
+
+    def test_stacked_request(self):
+        with FFTService(ServeConfig(window_s=0.0)) as svc:
+            X = np.stack([_vec(128, s) for s in range(4)])
+            Y = svc.transform(X)
+            np.testing.assert_allclose(Y, np.fft.fft(X, axis=-1), atol=1e-6)
+
+    def test_threads_hint_respects_feasibility(self):
+        # threads=4, mu=4 is infeasible for n=64 ((4*4)^2 > 64): the plan
+        # key must clamp via feasible_threads instead of failing
+        with FFTService(ServeConfig(threads=4, mu=4, window_s=0.0)) as svc:
+            x = _vec(64)
+            y = svc.transform(x)
+            np.testing.assert_allclose(y, np.fft.fft(x), atol=1e-6)
+            keys = svc.plans.keys()
+            assert len(keys) == 1 and keys[0].threads in (1, 2)
+
+    def test_multicore_plan(self):
+        with FFTService(ServeConfig(threads=2, mu=4, window_s=0.0)) as svc:
+            x = _vec(256)
+            np.testing.assert_allclose(
+                svc.transform(x), np.fft.fft(x), atol=1e-6
+            )
+            assert svc.plans.keys()[0].threads == 2
+
+
+class TestBatching:
+    def test_window_coalesces_concurrent_requests(self):
+        cfg = ServeConfig(window_s=0.2, max_batch=8)
+        with FFTService(cfg) as svc:
+            tickets = [svc.submit(_vec(64, s)) for s in range(4)]
+            results = [t.result(2.0) for t in tickets]
+            for s, y in enumerate(results):
+                np.testing.assert_allclose(
+                    y, np.fft.fft(_vec(64, s)), atol=1e-6
+                )
+            stats = svc.stats()
+            # all four submits landed within the 200ms window -> one batch
+            assert stats["batches"] == 1
+            assert stats["batched_vectors"] == 4
+            assert stats["avg_batch_occupancy"] == pytest.approx(4.0)
+
+    def test_max_batch_flushes_early(self):
+        cfg = ServeConfig(window_s=10.0, max_batch=4)
+        with FFTService(cfg) as svc:
+            t0 = time.perf_counter()
+            tickets = [svc.submit(_vec(64, s)) for s in range(4)]
+            for t in tickets:
+                t.result(2.0)
+            elapsed = time.perf_counter() - t0
+            assert elapsed < 5.0, "full batch must not wait out the window"
+            assert svc.stats()["batches"] == 1
+
+    def test_no_batch_skips_window(self):
+        cfg = ServeConfig(window_s=10.0)
+        with FFTService(cfg) as svc:
+            t0 = time.perf_counter()
+            y = svc.transform(_vec(64), no_batch=True)
+            assert time.perf_counter() - t0 < 5.0
+            np.testing.assert_allclose(y, np.fft.fft(_vec(64)), atol=1e-6)
+
+    def test_different_sizes_do_not_share_batches(self):
+        cfg = ServeConfig(window_s=0.1, max_batch=8)
+        with FFTService(cfg) as svc:
+            ta = svc.submit(_vec(64))
+            tb = svc.submit(_vec(128))
+            ta.result(2.0)
+            tb.result(2.0)
+            stats = svc.stats()
+            assert stats["batches"] == 2
+            assert len(svc.plans) == 2
+
+
+class TestAdmissionControl:
+    def test_overload_rejects_with_retry_after(self):
+        # tiny queue, long window so requests stay pending
+        cfg = ServeConfig(window_s=5.0, max_batch=64, queue_limit=2)
+        svc = FFTService(cfg)
+        try:
+            svc.submit(_vec(64, 1))
+            svc.submit(_vec(64, 2))
+            with pytest.raises(Overloaded) as exc_info:
+                svc.submit(_vec(64, 3))
+            assert exc_info.value.retry_after > 0
+            assert svc.stats()["rejected"] == 1
+        finally:
+            svc.close()
+
+    def test_queue_limit_counts_vectors_not_requests(self):
+        cfg = ServeConfig(window_s=5.0, max_batch=64, queue_limit=4)
+        svc = FFTService(cfg)
+        try:
+            svc.submit(np.stack([_vec(64, s) for s in range(3)]))
+            with pytest.raises(Overloaded):
+                svc.submit(np.stack([_vec(64, s) for s in range(2)]))
+        finally:
+            svc.close()
+
+    def test_deadline_exceeded_while_queued(self):
+        cfg = ServeConfig(window_s=0.3, max_batch=64)
+        with FFTService(cfg) as svc:
+            ticket = svc.submit(_vec(64), timeout=0.01)
+            with pytest.raises(DeadlineExceeded):
+                ticket.result(5.0)
+            assert svc.stats()["deadline_misses"] == 1
+
+
+class TestLifecycle:
+    def test_close_rejects_new_requests(self):
+        svc = FFTService(ServeConfig(window_s=0.0))
+        svc.transform(_vec(64))
+        svc.close()
+        with pytest.raises(ServiceClosed):
+            svc.submit(_vec(64))
+
+    def test_close_is_idempotent(self):
+        svc = FFTService(ServeConfig(window_s=0.0))
+        svc.close()
+        svc.close()
+
+    def test_runtime_pool_reused_across_requests(self):
+        with FFTService(ServeConfig(threads=2, window_s=0.0)) as svc:
+            for s in range(3):
+                svc.transform(_vec(256, s))
+            assert len(svc._runtimes) == 1
+
+    def test_stats_shape(self):
+        with FFTService(ServeConfig(window_s=0.0)) as svc:
+            svc.transform(_vec(64))
+            stats = svc.stats()
+            for key in (
+                "requests", "vectors", "batches", "batched_vectors",
+                "rejected", "deadline_misses", "max_queue_depth",
+                "avg_batch_occupancy", "plan_cache", "queue_depth", "config",
+            ):
+                assert key in stats
+            assert stats["requests"] == 1
+            assert stats["plan_cache"]["plans_built"] == 1

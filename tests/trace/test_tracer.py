@@ -94,6 +94,25 @@ class TestSpans:
         assert tr.events[0].args == {"reason": "test"}
 
 
+class TestSamples:
+    def test_sample_records_timeline_counter_event(self):
+        tr = Tracer()
+        tr.sample("queue_depth", 3)
+        tr.sample("queue_depth", 7, cat="serve")
+        events = [e for e in tr.events if e.ph == "C"]
+        assert [e.args for e in events] == [
+            {"queue_depth": 3},
+            {"queue_depth": 7},
+        ]
+        assert events[1].cat == "serve"
+        # samples are timeline events, not aggregated counters
+        assert tr.counter_total("queue_depth") == 0
+
+    def test_null_tracer_sample_is_noop(self):
+        NULL_TRACER.sample("queue_depth", 3)
+        assert len(NULL_TRACER.events) == 0
+
+
 class TestCounters:
     def test_counts_aggregate_by_name_and_attrs(self):
         tr = Tracer()
