@@ -169,6 +169,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_capacity,
         wisdom_path=args.wisdom,
     )
+    if args.chaos:
+        from .faults import parse_chaos_spec, set_fault_plan
+
+        plan = parse_chaos_spec(args.chaos, seed=args.chaos_seed)
+        set_fault_plan(plan)
+        print(
+            f"# chaos mode: {args.chaos} (seed={args.chaos_seed})",
+            file=sys.stderr,
+        )
     with _maybe_tracing(args):
         service = FFTService(config)
         server = FFTServer((args.host, args.port), service)
@@ -206,7 +215,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         mu=args.mu,
         baseline_requests=args.baseline_requests,
         output=args.output,
+        verify=args.verify,
     )
+    if args.seed is not None:
+        cfg.seed = args.seed
     report = run_loadgen(cfg)
     print(render_report(report))
     if args.output:
@@ -324,6 +336,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persist search results to this wisdom JSON file",
     )
+    sv.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="inject faults: comma-separated 'point:rate[:delay_ms]' "
+        "(e.g. 'runtime.worker_crash:0.1,net.conn_reset:0.05'); see "
+        "docs/serving.md for the injection points",
+    )
+    sv.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the chaos fault plan's random stream",
+    )
     add_trace_flag(sv)
     sv.set_defaults(fn=_cmd_serve)
 
@@ -364,6 +390,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default="BENCH_serve.json",
         help="write the JSON report here",
+    )
+    lg.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="payload-generator seed (default: $REPRO_SEED, else 0)",
+    )
+    lg.add_argument(
+        "--verify",
+        choices=["first", "all", "none"],
+        default="first",
+        help="check results against numpy: one per worker (first, "
+        "default), every result (all), or skip (none)",
     )
     lg.set_defaults(fn=_cmd_loadgen)
     return p

@@ -14,11 +14,12 @@ parallel costs with barriers) and exhaustive search is too large.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..rewrite.breakdown import expand_from_tree, factor_pairs
+from ..seeding import default_seed
 from ..trace import get_tracer
 from .dp import Objective, SearchResult
 
@@ -89,7 +90,8 @@ class StochasticConfig:
     iterations: int = 40
     restarts: int = 3
     leaf_max: int = 64
-    seed: int = 0
+    #: seeded from $REPRO_SEED (see repro.seeding); 0 when unset
+    seed: int = field(default_factory=default_seed)
 
 
 def stochastic_search(

@@ -8,15 +8,22 @@ path (see ``docs/serving.md``):
 * :mod:`~repro.serve.batch_exec` — stacked ``(b, n)`` execution of a plan
   on the persistent SMP runtimes;
 * :class:`FFTService` — request batching, admission control (bounded queue
-  with retry-after backpressure), per-request deadlines;
+  with retry-after backpressure), per-request deadlines, and self-healing:
+  a supervisor restarts dead dispatchers, rebuilds broken worker pools,
+  and degrades to sequential execution when rebuilds keep failing;
 * :class:`FFTServer` / :class:`ServeClient` — the TCP/JSON front end
-  behind ``repro serve``;
+  behind ``repro serve``; the client retries retryable failures with
+  seeded exponential backoff (:class:`RetryPolicy`) and reconnects after
+  resets;
 * :func:`run_loadgen` — the ``repro loadgen`` engine (throughput, latency
   percentiles, plan-cache traffic, single-flight verification).
+
+Fault injection for all of the above lives in :mod:`repro.faults` and is
+activated by ``repro serve --chaos`` or a test's ``fault_plan(...)`` scope.
 """
 
 from .batch_exec import batched_plan, batched_stages, run_batched
-from .client import RemoteError, ServeClient
+from .client import RemoteError, RetryPolicy, ServeClient
 from .loadgen import LoadgenConfig, render_report, run_loadgen
 from .plan_cache import CachedPlan, CacheStats, PlanCache, PlanKey
 from .server import FFTServer, serve
@@ -42,6 +49,7 @@ __all__ = [
     "PlanCache",
     "PlanKey",
     "RemoteError",
+    "RetryPolicy",
     "ServeClient",
     "ServeConfig",
     "ServeError",

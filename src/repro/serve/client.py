@@ -12,17 +12,27 @@ whole burst of requests in flight on the connection before reading any
 response — the server handler submits each one to the batcher on
 arrival, so a pipelined burst is what actually fills the service's
 batching window from one client.
+
+``fft_retry`` wraps ``fft`` with the fault-tolerant policy
+(:class:`RetryPolicy`): exponential backoff with jitter, honoring the
+server's ``retry_after`` hint on ``overloaded``, retrying typed
+``internal`` faults, and transparently reconnecting after a connection
+reset.  Resending after a reset is safe because the FFT op is
+idempotent and side-effect free.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from .protocol import decode_array, dump_line, read_frame, write_frame
+from .protocol import RETRYABLE_CODES, decode_array, dump_line, read_frame, \
+    write_frame
 
 
 class RemoteError(Exception):
@@ -35,18 +45,66 @@ class RemoteError(Exception):
         self.retry_after = retry_after
 
 
+@dataclass
+class RetryPolicy:
+    """Backoff/retry tunables for :meth:`ServeClient.fft_retry`.
+
+    The k-th retry sleeps ``base_s * multiplier**k`` (capped at ``max_s``),
+    raised to the server's ``retry_after`` hint when one was sent, then
+    stretched by up to ``jitter`` (multiplicative, seeded — so a fleet of
+    backed-off clients doesn't thundering-herd the queue on the same tick).
+    """
+
+    attempts: int = 5
+    base_s: float = 0.005
+    multiplier: float = 2.0
+    max_s: float = 0.25
+    jitter: float = 0.5
+    retry_codes: tuple = RETRYABLE_CODES
+    reconnect: bool = True
+    seed: Optional[int] = None
+
+    def backoff_s(self, attempt: int, retry_after: Optional[float],
+                  rng: random.Random) -> float:
+        delay = min(self.max_s, self.base_s * self.multiplier ** attempt)
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        return delay * (1.0 + self.jitter * rng.random())
+
+
 class ServeClient:
     """Blocking client speaking the framed JSON/binary protocol."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7373,
-                 timeout: float = 60.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+                 timeout: float = 60.0,
+                 retry: Optional[RetryPolicy] = None):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.retry_policy = retry or RetryPolicy()
+        self._rng = random.Random(self.retry_policy.seed)
+        self._next_id = 0
+        self.retries_total = 0
+        self.reconnects_total = 0
+        self._connect()
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _connect(self) -> None:
+        self._connected = False
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._rfile = self._sock.makefile("rb")
         self._wfile = self._sock.makefile("wb")
-        self._next_id = 0
+        self._connected = True
 
-    # -- plumbing -------------------------------------------------------------
+    def reconnect(self) -> None:
+        """Drop the (possibly reset) connection and dial a fresh one."""
+        self.close()
+        self._connect()
+        self.reconnects_total += 1
 
     def _read_response(self) -> tuple[dict, Optional[np.ndarray]]:
         frame = read_frame(self._rfile)
@@ -110,6 +168,46 @@ class ServeClient:
         self._check(resp)
         return arr if arr is not None else decode_array(resp)
 
+    def fft_retry(
+        self,
+        x: np.ndarray,
+        threads: Optional[int] = None,
+        mu: Optional[int] = None,
+        strategy: Optional[str] = None,
+        timeout: Optional[float] = None,
+        no_batch: bool = False,
+        policy: Optional[RetryPolicy] = None,
+    ) -> np.ndarray:
+        """``fft`` with retry: backoff + jitter, reconnect on resets.
+
+        Retries typed ``overloaded``/``internal`` responses (honoring the
+        ``retry_after`` hint) and connection failures (after redialing).
+        Non-retryable errors — ``bad-request``, ``deadline``, ``closed`` —
+        raise immediately.
+        """
+        pol = policy or self.retry_policy
+        last: Exception = RemoteError("unknown", "no attempt made")
+        for attempt in range(max(1, pol.attempts)):
+            try:
+                if not self._connected:
+                    self.reconnect()  # a failed redial lands below
+                return self.fft(x, threads=threads, mu=mu, strategy=strategy,
+                                timeout=timeout, no_batch=no_batch)
+            except RemoteError as exc:
+                if exc.code not in pol.retry_codes:
+                    raise
+                last = exc
+                self.retries_total += 1
+                time.sleep(pol.backoff_s(attempt, exc.retry_after, self._rng))
+            except (ConnectionError, OSError) as exc:
+                if not pol.reconnect:
+                    raise
+                last = exc
+                self.retries_total += 1
+                self._connected = False
+                time.sleep(pol.backoff_s(attempt, None, self._rng))
+        raise last
+
     def fft_pipeline(
         self,
         xs: list,
@@ -153,13 +251,31 @@ class ServeClient:
             out.append((y, t1 - t0, err))
         return out
 
+    def _request_reconnecting(self, op: str) -> dict:
+        """One envelope op, redialing after resets (a few attempts)."""
+        last: Exception = ConnectionError("no attempt made")
+        for _ in range(4):
+            try:
+                if not self._connected:
+                    self.reconnect()
+                return self.request(op)
+            except (ConnectionError, OSError) as exc:
+                last = exc
+                self._connected = False
+        raise last
+
     def stats(self) -> dict:
-        return self.request("stats")["stats"]
+        return self._request_reconnecting("stats")["stats"]
+
+    def health(self) -> dict:
+        """The server's liveness/degradation snapshot (``health`` op)."""
+        return self._request_reconnecting("health")["health"]
 
     def ping(self) -> bool:
-        return bool(self.request("ping").get("pong"))
+        return bool(self._request_reconnecting("ping").get("pong"))
 
     def close(self) -> None:
+        self._connected = False
         try:
             self._wfile.close()
         except OSError:

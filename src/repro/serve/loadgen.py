@@ -32,7 +32,8 @@ from typing import Optional
 
 import numpy as np
 
-from .client import RemoteError, ServeClient
+from ..seeding import default_seed, derive_seed
+from .client import RemoteError, RetryPolicy, ServeClient
 
 
 @dataclass
@@ -47,7 +48,11 @@ class LoadgenConfig:
     mu: Optional[int] = None
     baseline_requests: int = 400   #: unbatched one-at-a-time phase length
     output: Optional[str] = "BENCH_serve.json"
-    seed: int = 0
+    #: payload-generator seed; defaults from $REPRO_SEED (repro.seeding)
+    seed: int = field(default_factory=default_seed)
+    #: "first" checks one result per worker against numpy, "all" checks
+    #: every result (the chaos suite's zero-wrong-answers mode), "none" skips
+    verify: str = "first"
 
 
 def _percentile(sorted_vals: list[float], q: float) -> float:
@@ -68,28 +73,31 @@ def _latency_summary(latencies_s: list[float]) -> dict:
     }
 
 
+#: generous policy for load tests: ride out bursts, resets, and faults
+_LOADGEN_RETRY = RetryPolicy(attempts=10, base_s=0.005, max_s=0.25)
+
+
 def _request_with_backoff(client: ServeClient, x, cfg: LoadgenConfig,
                           no_batch: bool = False) -> tuple[np.ndarray, int]:
-    """One fft request, sleeping out ``overloaded`` rejections."""
-    retries = 0
-    while True:
-        try:
-            y = client.fft(x, threads=cfg.threads, mu=cfg.mu,
-                           no_batch=no_batch)
-            return y, retries
-        except RemoteError as exc:
-            if exc.code != "overloaded":
-                raise
-            retries += 1
-            time.sleep(exc.retry_after or 0.005)
+    """One fft request, retrying rejections, faults, and resets."""
+    before = client.retries_total
+    y = client.fft_retry(x, threads=cfg.threads, mu=cfg.mu,
+                         no_batch=no_batch, policy=_LOADGEN_RETRY)
+    return y, client.retries_total - before
 
 
 def _worker(wid: int, cfg: LoadgenConfig, start: threading.Event,
             latencies: list[float], retries: list[int],
-            errors: list[str]) -> None:
-    rng = np.random.default_rng(cfg.seed + wid)
+            reconnects: list[int], errors: list[str]) -> None:
+    rng = np.random.default_rng(derive_seed(cfg.seed, "loadgen", wid))
     try:
-        client = ServeClient(cfg.host, cfg.port)
+        client = ServeClient(
+            cfg.host, cfg.port,
+            retry=RetryPolicy(
+                attempts=_LOADGEN_RETRY.attempts,
+                seed=derive_seed(cfg.seed, "retry-jitter", wid),
+            ),
+        )
     except OSError as exc:
         errors.append(f"worker {wid}: connect failed: {exc}")
         return
@@ -103,6 +111,13 @@ def _worker(wid: int, cfg: LoadgenConfig, start: threading.Event,
         for i in range(cfg.requests)
         for n in (cfg.sizes[(wid + i) % len(cfg.sizes)],)
     ]
+
+    def check(x, y) -> bool:
+        if np.allclose(y, np.fft.fft(x), atol=1e-6):
+            return True
+        errors.append(f"worker {wid}: result mismatch for n={len(x)}")
+        return False
+
     try:
         start.wait()
         verified = False
@@ -111,11 +126,23 @@ def _worker(wid: int, cfg: LoadgenConfig, start: threading.Event,
             chunk_n = min(depth, cfg.requests - issued)
             xs = payloads[issued:issued + chunk_n]
             issued += chunk_n
-            outcomes = client.fft_pipeline(xs, threads=cfg.threads,
-                                           mu=cfg.mu)
+            try:
+                outcomes = client.fft_pipeline(xs, threads=cfg.threads,
+                                               mu=cfg.mu)
+            except (ConnectionError, OSError):
+                # the connection died mid-burst (e.g. an injected reset);
+                # redial and replay this chunk one request at a time —
+                # fft is idempotent, so resending cannot corrupt anything
+                retry_count += 1
+                outcomes = []
+                for x in xs:
+                    t0 = time.perf_counter()
+                    y, r = _request_with_backoff(client, x, cfg)
+                    outcomes.append((y, time.perf_counter() - t0, None))
+                    retry_count += r
             for x, (y, dt, err) in zip(xs, outcomes):
                 if err is not None:
-                    if err.code != "overloaded":
+                    if err.code not in _LOADGEN_RETRY.retry_codes:
                         raise err
                     # polite backoff, then the slow path for this one
                     retry_count += 1
@@ -125,13 +152,10 @@ def _worker(wid: int, cfg: LoadgenConfig, start: threading.Event,
                     dt = time.perf_counter() - t0
                     retry_count += r
                 lat.append(dt)
-                if not verified:
+                if cfg.verify == "all" or (cfg.verify == "first"
+                                           and not verified):
                     verified = True
-                    if not np.allclose(y, np.fft.fft(x), atol=1e-6):
-                        errors.append(
-                            f"worker {wid}: result mismatch for "
-                            f"n={len(x)}"
-                        )
+                    if not check(x, y):
                         return
     except (RemoteError, OSError, ConnectionError) as exc:
         errors.append(f"worker {wid}: {exc}")
@@ -139,6 +163,7 @@ def _worker(wid: int, cfg: LoadgenConfig, start: threading.Event,
         client.close()
         latencies.extend(lat)
         retries.append(retry_count)
+        reconnects.append(client.reconnects_total)
 
 
 def run_loadgen(cfg: LoadgenConfig) -> dict:
@@ -158,12 +183,13 @@ def run_loadgen(cfg: LoadgenConfig) -> dict:
     # -- phase 2: measured concurrent load ------------------------------------
     latencies: list[float] = []
     retries: list[int] = []
+    reconnects: list[int] = []
     errors: list[str] = []
     start = threading.Event()
     workers = [
         threading.Thread(
             target=_worker,
-            args=(wid, cfg, start, latencies, retries, errors),
+            args=(wid, cfg, start, latencies, retries, reconnects, errors),
             daemon=True,
         )
         for wid in range(cfg.clients)
@@ -219,6 +245,7 @@ def run_loadgen(cfg: LoadgenConfig) -> dict:
             "throughput_rps": total_requests / wall if wall else 0.0,
             "latency": _latency_summary(latencies),
             "overload_retries": sum(retries),
+            "reconnects": sum(reconnects),
             "plan_cache_hit_rate": (
                 measured_hits / measured_total if measured_total else 1.0
             ),
@@ -274,6 +301,16 @@ def render_report(report: dict) -> str:
         f"unique keys (single-flight "
         f"{'OK' if sf['ok'] else 'VIOLATED'}, "
         f"{sf['single_flight_waits']} waits)",
-        f"overload retries: {m['overload_retries']}",
+        f"retries: {m['overload_retries']} "
+        f"(reconnects: {m.get('reconnects', 0)})",
     ]
+    health = report.get("server_stats", {}).get("health")
+    if health is not None:
+        lines.append(
+            f"server health: {health['status']} "
+            f"(rebuilds {health['counters']['pool_rebuilds']}, "
+            f"failovers {health['counters']['failovers']}, "
+            f"dispatcher restarts "
+            f"{health['counters']['dispatcher_restarts']})"
+        )
     return "\n".join(lines)

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, NamedTuple, Optional
 
 from ..codegen.python_backend import GeneratedProgram
+from ..faults import get_fault_plan
 from ..frontend import generate_fft
 from ..smp.runtime import PlanStage
 from ..trace import get_tracer
@@ -176,6 +177,9 @@ class PlanCache:
             with tr.span("serve.plan_build", "serve", n=key.n,
                          threads=key.threads, mu=key.mu,
                          strategy=key.strategy):
+                # chaos: a "slow planner" stalls the build (and, via
+                # single-flight, every waiter) without changing its result
+                get_fault_plan().stall("plan.slow")
                 plan = self._builder(key)
         except BaseException as exc:
             flight.error = exc

@@ -20,10 +20,17 @@ Request ops::
      "threads": 2, "mu": 4, "timeout": 1.0, "no_batch": false}\\n<raw bytes>
     {"op": "stats", "id": 2}
     {"op": "ping", "id": 3}
+    {"op": "health", "id": 4}
 
 Responses echo ``id`` and carry ``ok``; failures carry ``error`` (a stable
-code: ``overloaded``, ``deadline``, ``closed``, ``bad-request``) plus a
-human ``detail``, and ``overloaded`` adds ``retry_after`` seconds.
+code from :data:`ERROR_CODES`) plus a human ``detail``, and ``overloaded``
+adds ``retry_after`` seconds.  ``deadline`` is *typed*: a request whose
+deadline passes while queued fails with it at expiry time.  ``internal``
+marks transient server-side trouble (a broken worker pool, an injected
+fault) and is safe to retry; ``bad-request``/``deadline``/``closed`` are
+not.  The ``health`` op returns the service's liveness snapshot — queue
+depth, per-pool status, degradation and fault counters (see
+``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -36,6 +43,13 @@ import numpy as np
 
 #: wire dtype for array payloads
 WIRE_DTYPE = "<c16"
+
+#: every stable error code a response can carry; ``RETRYABLE_CODES`` are
+#: the ones a client may safely resend after backing off
+ERROR_CODES = (
+    "overloaded", "deadline", "closed", "bad-request", "bad-json", "internal",
+)
+RETRYABLE_CODES = ("overloaded", "internal")
 
 #: refuse binary payloads beyond this (corrupt header / abuse guard)
 MAX_PAYLOAD_BYTES = 1 << 28

@@ -16,10 +16,14 @@ in the normal response stream.
 from __future__ import annotations
 
 import queue
+import socket
 import socketserver
+import struct
 import threading
 from typing import Optional
 
+from ..faults import FaultInjected, get_fault_plan
+from ..smp.runtime import WorkerPoolBroken
 from ..trace import get_tracer
 from .protocol import decode_array, dump_line, encode_array, error_response, \
     read_frame, write_frame
@@ -61,6 +65,12 @@ class _Handler(socketserver.StreamRequestHandler):
                 op = msg.get("op", "fft")
                 binary = "nbytes" in msg
                 tr.count("serve.net_requests", 1, op=op)
+                fp = get_fault_plan()
+                if fp.enabled and fp.fired("net.conn_reset"):
+                    # chaos: hard-reset the connection mid-conversation;
+                    # clients must reconnect and resend (FFT is idempotent)
+                    self._reset_connection()
+                    break
                 if op == "ping":
                     pending.put(
                         ("msg", {"id": req_id, "ok": True, "pong": True},
@@ -70,6 +80,13 @@ class _Handler(socketserver.StreamRequestHandler):
                     pending.put(
                         ("msg",
                          {"id": req_id, "ok": True, "stats": service.stats()},
+                         None)
+                    )
+                elif op == "health":
+                    pending.put(
+                        ("msg",
+                         {"id": req_id, "ok": True,
+                          "health": service.health()},
                          None)
                     )
                 elif op == "fft":
@@ -86,8 +103,33 @@ class _Handler(socketserver.StreamRequestHandler):
             pending.put(_SENTINEL)
             drain.join(timeout=60)
 
+    def _reset_connection(self) -> None:
+        """Abort the TCP connection (RST, not FIN) — the chaos reset."""
+        try:
+            self.connection.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+        except OSError:
+            pass
+        try:
+            self.connection.close()
+        except OSError:
+            pass
+
     def _submit_fft(self, service: FFTService, pending: queue.Queue,
                     req_id, msg: dict, arr, binary: bool) -> None:
+        fp = get_fault_plan()
+        if fp.enabled and fp.fired("net.poison_payload"):
+            # chaos: this payload is "poisoned" — it must surface as a
+            # typed, retryable error, never as a silently wrong answer
+            pending.put(
+                ("msg",
+                 error_response(req_id, "internal",
+                                "injected fault: poisoned payload"),
+                 None)
+            )
+            return
         if arr is None:
             try:
                 arr = decode_array(msg)
@@ -163,9 +205,22 @@ class _Handler(socketserver.StreamRequestHandler):
                     self.wfile.write(
                         dump_line(error_response(req_id, "closed", str(exc)))
                     )
-                except (ValueError, RuntimeError) as exc:
+                except (FaultInjected, WorkerPoolBroken) as exc:
+                    # transient server-side trouble: typed and retryable
+                    self.wfile.write(
+                        dump_line(error_response(req_id, "internal",
+                                                 str(exc)))
+                    )
+                except (ValueError, TypeError) as exc:
                     self.wfile.write(
                         dump_line(error_response(req_id, "bad-request",
+                                                 str(exc)))
+                    )
+                except Exception as exc:
+                    # anything else is a server bug, but one request's
+                    # failure must not wedge the connection's drain
+                    self.wfile.write(
+                        dump_line(error_response(req_id, "internal",
                                                  str(exc)))
                     )
                 else:

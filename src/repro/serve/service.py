@@ -14,8 +14,15 @@ One long-lived service owns the whole serving pipeline:
 * **admission control**: a bounded queue (``queue_limit`` pending vectors);
   an over-full queue rejects with :class:`Overloaded` carrying a
   ``retry_after`` hint, and each request carries a deadline — requests
-  whose deadline passes while queued fail with :class:`DeadlineExceeded`
-  instead of wasting an execution slot.
+  whose deadline passes while queued fail *at expiry time* with a typed
+  :class:`DeadlineExceeded` instead of wasting an execution slot;
+* **self-healing**: a supervisor thread restarts a dead dispatcher and
+  rebuilds broken :class:`~repro.smp.runtime.PThreadsRuntime` pools; a
+  batch whose pool dies mid-plan fails over to the sequential runtime,
+  and a thread count that keeps failing is *degraded* to sequential
+  execution until it has been quiet for ``degrade_cooldown_s`` (the
+  ``health()`` snapshot / wire op reports all of this).  Failure seams
+  are exercised deterministically through :mod:`repro.faults`.
 
 Every stage emits ``repro.trace`` spans/counters (``serve.*``) when a
 tracer is active, and the service keeps its own always-on metrics for the
@@ -31,8 +38,14 @@ from typing import Optional
 
 import numpy as np
 
+from ..faults import get_fault_plan
 from ..frontend import feasible_threads
-from ..smp.runtime import PThreadsRuntime, Runtime, SequentialRuntime
+from ..smp.runtime import (
+    PThreadsRuntime,
+    Runtime,
+    SequentialRuntime,
+    WorkerPoolBroken,
+)
 from ..trace import get_tracer
 from ..wisdom import Wisdom
 from .batch_exec import run_batched
@@ -76,6 +89,9 @@ class ServeConfig:
     cache_capacity: int = 64  #: plan-cache entries (LRU beyond this)
     default_timeout_s: Optional[float] = 30.0  #: per-request deadline
     wisdom_path: Optional[str] = None  #: persist searches across processes
+    supervise_interval_s: float = 0.05  #: supervisor health-check period
+    max_pool_rebuilds: int = 2  #: pool failures tolerated before degrading
+    degrade_cooldown_s: float = 1.0  #: quiet time before re-promoting a pool
 
 
 class FFTTicket:
@@ -146,6 +162,10 @@ class FFTService:
         self._closing = False
         self._runtimes: dict[int, Runtime] = {}
         self._runtime_lock = threading.Lock()
+        #: per-thread-count pool health bookkeeping (guarded by _runtime_lock)
+        self._pool_state: dict[int, dict] = {}
+        #: the always-safe execution fallback degraded pools route through
+        self._fallback = SequentialRuntime()
         self._metrics_lock = threading.Lock()
         self._metrics = {
             "requests": 0,
@@ -157,11 +177,21 @@ class FFTService:
             "failures": 0,
             "max_queue_depth": 0,
             "request_wall_s": 0.0,
+            "failovers": 0,
+            "pool_rebuilds": 0,
+            "dispatcher_restarts": 0,
+            "degraded_executions": 0,
         }
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="fft-serve-dispatch", daemon=True
         )
         self._dispatcher.start()
+        self._stop_supervisor = threading.Event()
+        self._supervisor = threading.Thread(
+            target=self._supervise_loop, name="fft-serve-supervise",
+            daemon=True,
+        )
+        self._supervisor.start()
 
     # -- public API ----------------------------------------------------------
 
@@ -195,10 +225,16 @@ class FFTService:
         req = _Request(key, x, deadline, no_batch, squeeze=squeeze)
 
         tr = get_tracer()
+        fp = get_fault_plan()
         with self._cond:
             if self._closing:
                 raise ServiceClosed("service is shutting down")
-            if self._pending_vectors + req.rows > self.config.queue_limit:
+            # chaos: a queue-full burst rejects admissions regardless of the
+            # real backlog, exercising the client's retry-after handling
+            burst = fp.enabled and fp.fired("serve.queue_burst")
+            if burst or (
+                self._pending_vectors + req.rows > self.config.queue_limit
+            ):
                 retry = self._retry_after_locked()
                 with self._metrics_lock:
                     self._metrics["rejected"] += 1
@@ -238,6 +274,7 @@ class FFTService:
             m["queue_depth"] = self._pending_vectors
         m["plan_cache"] = self.plans.stats_snapshot()
         m["plans_cached"] = len(self.plans)
+        m["health"] = self.health()
         m["config"] = {
             "threads": self.config.threads,
             "mu": self.config.mu,
@@ -248,6 +285,68 @@ class FFTService:
         }
         return m
 
+    def health(self) -> dict:
+        """Liveness/degradation snapshot (the wire protocol's ``health`` op).
+
+        ``status`` is ``"ok"`` only while the dispatcher is alive, no pool
+        is degraded, and every existing worker pool is healthy; chaos tests
+        poll this until the service reports recovery after faults stop.
+        """
+        with self._runtime_lock:
+            pools = {}
+            for t, st in self._pool_state.items():
+                rt = self._runtimes.get(t)
+                pools[str(t)] = {
+                    "workers": t,
+                    "healthy": bool(getattr(rt, "healthy", True))
+                    if rt is not None
+                    else None,  # dropped; rebuilt on next use
+                    "degraded": st["degraded"],
+                    "rebuilds": st["rebuilds"],
+                }
+            for t, rt in self._runtimes.items():
+                pools.setdefault(
+                    str(t),
+                    {
+                        "workers": t,
+                        "healthy": bool(getattr(rt, "healthy", True)),
+                        "degraded": False,
+                        "rebuilds": 0,
+                    },
+                )
+        dispatcher_alive = self._dispatcher.is_alive()
+        degraded = any(p["degraded"] for p in pools.values())
+        unhealthy = any(p["healthy"] is False for p in pools.values())
+        if self._closing:
+            status = "closed"
+        elif dispatcher_alive and not degraded and not unhealthy:
+            status = "ok"
+        else:
+            status = "degraded"
+        with self._metrics_lock:
+            counters = {
+                k: self._metrics[k]
+                for k in (
+                    "failovers",
+                    "pool_rebuilds",
+                    "dispatcher_restarts",
+                    "degraded_executions",
+                    "deadline_misses",
+                    "failures",
+                    "rejected",
+                )
+            }
+        with self._cond:
+            depth = self._pending_vectors
+        return {
+            "status": status,
+            "dispatcher_alive": dispatcher_alive,
+            "queue_depth": depth,
+            "pools": pools,
+            "counters": counters,
+            "faults": get_fault_plan().snapshot(),
+        }
+
     def close(self) -> None:
         """Flush in-flight work, fail queued requests, stop the runtimes."""
         with self._cond:
@@ -255,6 +354,10 @@ class FFTService:
                 return
             self._closing = True
             self._cond.notify_all()
+        # stop the supervisor first so it cannot resurrect the dispatcher
+        # (or rebuild pools) underneath the shutdown sequence
+        self._stop_supervisor.set()
+        self._supervisor.join(timeout=10)
         self._dispatcher.join(timeout=10)
         with self._cond:
             leftovers = list(self._queue)
@@ -289,23 +392,155 @@ class FFTService:
         )
         return max(self.config.window_s, 0.001) * backlog_batches
 
+    def _pool_state_for(self, threads: int) -> dict:
+        """This thread-count's health record (``_runtime_lock`` held)."""
+        return self._pool_state.setdefault(
+            threads,
+            {"rebuilds": 0, "degraded": False, "last_failure": 0.0},
+        )
+
+    def _retire_pool_locked(self, threads: int, rt: Runtime) -> dict:
+        """Drop a broken pool and record the failure (``_runtime_lock`` held).
+
+        After ``max_pool_rebuilds`` failures the thread count is *degraded*:
+        execution falls back to the sequential runtime until the pool has
+        been failure-free for ``degrade_cooldown_s``.
+        """
+        self._runtimes.pop(threads, None)
+        rt.close()
+        st = self._pool_state_for(threads)
+        st["rebuilds"] += 1
+        st["last_failure"] = time.monotonic()
+        if st["rebuilds"] > self.config.max_pool_rebuilds and not st["degraded"]:
+            st["degraded"] = True
+            get_tracer().count("serve.pool_degraded", 1, threads=threads)
+        return st
+
     def _runtime_for(self, threads: int) -> Runtime:
+        if threads <= 1:
+            return self._fallback
+        tr = get_tracer()
+        with self._runtime_lock:
+            st = self._pool_state_for(threads)
+            if st["degraded"]:
+                since = time.monotonic() - st["last_failure"]
+                if since < self.config.degrade_cooldown_s:
+                    tr.count("serve.degraded_executions", 1, threads=threads)
+                    with self._metrics_lock:
+                        self._metrics["degraded_executions"] += 1
+                    return self._fallback
+                # failure-free cooldown passed: promote back to a real pool
+                st["degraded"] = False
+                st["rebuilds"] = 0
+            rt = self._runtimes.get(threads)
+            if rt is not None and not getattr(rt, "healthy", True):
+                st = self._retire_pool_locked(threads, rt)
+                if st["degraded"]:
+                    tr.count("serve.degraded_executions", 1, threads=threads)
+                    with self._metrics_lock:
+                        self._metrics["degraded_executions"] += 1
+                    return self._fallback
+                rt = None
+            if rt is None:
+                rt = PThreadsRuntime(threads)
+                self._runtimes[threads] = rt
+                if st["rebuilds"] > 0:
+                    with self._metrics_lock:
+                        self._metrics["pool_rebuilds"] += 1
+                    tr.count("serve.pool_rebuilds", 1, threads=threads)
+            return rt
+
+    def _note_pool_failure(self, threads: int) -> None:
+        """A pool broke mid-execution: retire it so the next use rebuilds."""
         with self._runtime_lock:
             rt = self._runtimes.get(threads)
-            if rt is None:
-                rt = (
-                    PThreadsRuntime(threads)
-                    if threads > 1
-                    else SequentialRuntime()
+            if rt is not None and not getattr(rt, "healthy", True):
+                self._retire_pool_locked(threads, rt)
+
+    def _supervise_loop(self) -> None:
+        """Self-healing: restart a dead dispatcher, rebuild broken pools.
+
+        Runs every ``supervise_interval_s``.  Broken pools of a
+        non-degraded thread count are rebuilt eagerly (so ``health``
+        recovers without waiting for traffic); degraded thread counts are
+        promoted back once they have been quiet for ``degrade_cooldown_s``.
+        """
+        tr = get_tracer()
+        while not self._stop_supervisor.wait(self.config.supervise_interval_s):
+            if self._closing:
+                return
+            if not self._dispatcher.is_alive():
+                self._dispatcher = threading.Thread(
+                    target=self._dispatch_loop,
+                    name="fft-serve-dispatch",
+                    daemon=True,
                 )
-                self._runtimes[threads] = rt
-            return rt
+                self._dispatcher.start()
+                with self._metrics_lock:
+                    self._metrics["dispatcher_restarts"] += 1
+                tr.count("serve.dispatcher_restarts", 1)
+            now = time.monotonic()
+            with self._runtime_lock:
+                for t, rt in list(self._runtimes.items()):
+                    if not getattr(rt, "healthy", True):
+                        st = self._retire_pool_locked(t, rt)
+                        if not st["degraded"]:
+                            self._runtimes[t] = PThreadsRuntime(t)
+                            with self._metrics_lock:
+                                self._metrics["pool_rebuilds"] += 1
+                            tr.count("serve.pool_rebuilds", 1, threads=t)
+                for t, st in self._pool_state.items():
+                    if (
+                        st["degraded"]
+                        and now - st["last_failure"]
+                        >= self.config.degrade_cooldown_s
+                    ):
+                        st["degraded"] = False
+                        st["rebuilds"] = 0
+                        tr.count("serve.pool_promoted", 1, threads=t)
+
+    def _sweep_expired_locked(self) -> None:
+        """Fail queued requests whose deadline has passed (``_cond`` held).
+
+        Resolving at expiry time — not when the batch eventually flushes —
+        is what turns a missed deadline into a *typed* ``DeadlineExceeded``
+        for the client instead of a late generic timeout.
+        """
+        if not self._queue:
+            return
+        now = time.monotonic()
+        expired = [
+            r
+            for r in self._queue
+            if r.deadline is not None and now > r.deadline
+        ]
+        if not expired:
+            return
+        for r in expired:
+            self._queue.remove(r)
+            self._pending_vectors -= r.rows
+            r.ticket._resolve(
+                error=DeadlineExceeded(
+                    f"deadline passed while queued "
+                    f"(waited {now - r.arrival:.3f}s)"
+                )
+            )
+        with self._metrics_lock:
+            self._metrics["deadline_misses"] += len(expired)
+        get_tracer().count("serve.deadline_misses", len(expired))
 
     def _dispatch_loop(self) -> None:
         while True:
+            fp = get_fault_plan()  # re-read: chaos may start/stop mid-run
+            if fp.enabled:
+                # chaos: the dispatcher dies here; the supervisor restarts
+                # it without losing anything already queued
+                fp.raise_if("serve.dispatcher_crash")
             with self._cond:
+                self._sweep_expired_locked()
                 while not self._queue and not self._closing:
                     self._cond.wait()
+                    self._sweep_expired_locked()
                 if not self._queue and self._closing:
                     return
                 head = self._queue[0]
@@ -320,7 +555,10 @@ class FFTService:
                 prev_vectors = -1
                 quiet_deadline = 0.0
                 while not self._closing:
+                    self._sweep_expired_locked()
                     group = [r for r in self._queue if r.key == key]
+                    if not group:
+                        break  # the whole key expired while queued
                     vectors = sum(r.rows for r in group)
                     now = time.monotonic()
                     if (
@@ -334,9 +572,12 @@ class FFTService:
                         quiet_deadline = now + quiescence
                     elif now >= quiet_deadline:
                         break  # quiescent: this key saw no new arrivals
-                    self._cond.wait(
-                        timeout=min(flush_at, quiet_deadline) - now
-                    )
+                    # never sleep past the earliest queued deadline
+                    wake_at = min(flush_at, quiet_deadline)
+                    for r in self._queue:
+                        if r.deadline is not None and r.deadline < wake_at:
+                            wake_at = r.deadline
+                    self._cond.wait(timeout=max(wake_at - now, 0.0001))
                 group = [r for r in self._queue if r.key == key]
                 take: list[_Request] = []
                 total = 0
@@ -348,7 +589,8 @@ class FFTService:
                 for r in take:
                     self._queue.remove(r)
                 self._pending_vectors -= total
-            self._execute_batch(key, take)
+            if take:
+                self._execute_batch(key, take)
 
     def _execute_batch(self, key: PlanKey, batch: list[_Request]) -> None:
         tr = get_tracer()
@@ -380,7 +622,17 @@ class FFTService:
             with tr.span("serve.execute", "serve", n=key.n,
                          threads=key.threads, vectors=int(X.shape[0]),
                          requests=len(live)):
-                Y, _ = run_batched(plan.stages, key.n, X, runtime)
+                try:
+                    Y, _ = run_batched(plan.stages, key.n, X, runtime)
+                except WorkerPoolBroken:
+                    # the pool died under this batch; the input stack is
+                    # untouched (execute copies it), so re-run on the
+                    # sequential fallback rather than failing the tickets
+                    self._note_pool_failure(key.threads)
+                    with self._metrics_lock:
+                        self._metrics["failovers"] += 1
+                    tr.count("serve.failovers", 1, threads=key.threads)
+                    Y, _ = run_batched(plan.stages, key.n, X, self._fallback)
         except BaseException as exc:
             for req in live:
                 req.ticket._resolve(error=exc)

@@ -14,7 +14,13 @@ import threading
 
 
 class SenseReversingBarrier:
-    """Reusable barrier for a fixed party count."""
+    """Reusable barrier for a fixed party count.
+
+    :meth:`abort` breaks the barrier: every current and future ``wait``
+    raises :class:`threading.BrokenBarrierError`.  A party that dies
+    between barriers (a crashed worker thread) must abort on its way out,
+    or the surviving parties would wait for an arrival that never comes.
+    """
 
     def __init__(self, parties: int):
         if parties < 1:
@@ -22,6 +28,7 @@ class SenseReversingBarrier:
         self.parties = parties
         self._count = parties
         self._sense = False
+        self._broken = False
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._local = threading.local()
@@ -31,6 +38,8 @@ class SenseReversingBarrier:
         local_sense = not getattr(self._local, "sense", False)
         self._local.sense = local_sense
         with self._cond:
+            if self._broken:
+                raise threading.BrokenBarrierError
             self.wait_count += 1
             self._count -= 1
             if self._count == 0:
@@ -39,7 +48,22 @@ class SenseReversingBarrier:
                 self._sense = local_sense
                 self._cond.notify_all()
             else:
-                self._cond.wait_for(lambda: self._sense == local_sense)
+                self._cond.wait_for(
+                    lambda: self._broken or self._sense == local_sense
+                )
+                if self._broken:
+                    raise threading.BrokenBarrierError
+
+    def abort(self) -> None:
+        """Break the barrier, waking every waiter with an error."""
+        with self._cond:
+            self._broken = True
+            self._cond.notify_all()
+
+    @property
+    def broken(self) -> bool:
+        with self._lock:
+            return self._broken
 
     def reset_accounting(self) -> None:
         self.wait_count = 0

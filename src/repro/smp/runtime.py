@@ -30,10 +30,22 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from ..faults import FaultInjected, get_fault_plan
 from ..trace import get_tracer
 from .barrier import SenseReversingBarrier
 
 StageWork = Callable[[int, np.ndarray, np.ndarray], None]
+
+
+class WorkerPoolBroken(RuntimeError):
+    """A pool worker died mid-plan; the pool can no longer run lockstep.
+
+    Raised by :meth:`PThreadsRuntime.execute` instead of hanging when a
+    worker thread disappears (crash, injected fault).  The pool is
+    permanently broken afterwards (``healthy`` is False); holders are
+    expected to ``close()`` it and build a replacement — which is exactly
+    what the serving supervisor does.
+    """
 
 
 @dataclass
@@ -156,6 +168,7 @@ class PThreadsRuntime(Runtime):
         self._done = threading.Barrier(p)
         self._shutdown = False
         self._closed = False
+        self._broken = False
         self._errors: list[BaseException] = []
         self._threads = [
             threading.Thread(target=self._worker, args=(i,), daemon=True)
@@ -168,23 +181,43 @@ class PThreadsRuntime(Runtime):
 
     def _worker(self, proc: int) -> None:
         seen = 0
-        while True:
-            with self._job_ready:
-                self._job_ready.wait_for(
-                    lambda: self._shutdown or self._job_seq > seen
-                )
-                if self._shutdown:
-                    return
-                seen = self._job_seq
-                job = self._job
-            try:
-                self._run_stages(proc, *job)
-            except BaseException as exc:  # propagate to master
-                self._errors.append(exc)
-            self._done.wait()
+        try:
+            while True:
+                with self._job_ready:
+                    self._job_ready.wait_for(
+                        lambda: self._shutdown or self._job_seq > seen
+                    )
+                    if self._shutdown:
+                        return
+                    seen = self._job_seq
+                    job = self._job
+                # a fired worker-crash fault escapes the except below and
+                # kills this thread through the abort path — the pool must
+                # then *fail fast*, not hang at the next barrier
+                get_fault_plan().raise_if("runtime.worker_crash")
+                try:
+                    self._run_stages(proc, *job)
+                except (FaultInjected, threading.BrokenBarrierError):
+                    raise
+                except BaseException as exc:  # propagate to master
+                    self._errors.append(exc)
+                    # this worker skipped its remaining barriers; break the
+                    # lockstep so peers fail fast instead of waiting forever
+                    self._barrier.abort()
+                self._done.wait()
+        except BaseException:
+            # dying outside clean shutdown strands everyone still waiting
+            # at a barrier; break both so master and peers unblock with an
+            # error instead of deadlocking
+            if not self._shutdown:
+                self._barrier.abort()
+                self._done.abort()
 
     def _run_stages(self, proc: int, stages, src, dst, stats) -> None:
         tr = get_tracer()
+        fp = get_fault_plan()
+        if fp.enabled:
+            fp.stall("runtime.worker_stall")
         for si, stage in enumerate(stages):
             if stage.needs_barrier or not stage.parallel:
                 self._wait_barrier(tr, proc)
@@ -221,10 +254,24 @@ class PThreadsRuntime(Runtime):
 
     # -- master API ---------------------------------------------------------
 
+    @property
+    def healthy(self) -> bool:
+        """True while every pool worker is alive and no job broke down."""
+        return (
+            not self._closed
+            and not self._broken
+            and not self._barrier.broken
+            and all(t.is_alive() for t in self._threads)
+        )
+
     def execute(self, stages, x, size):
         if self._closed:
             raise RuntimeError(
                 "PThreadsRuntime is closed; worker pool no longer exists"
+            )
+        if self._broken:
+            raise WorkerPoolBroken(
+                f"pool of {self.p} lost a worker; rebuild the runtime"
             )
         for st in stages:
             if st.nprocs > self.p:
@@ -241,14 +288,32 @@ class PThreadsRuntime(Runtime):
             self._job = (list(stages), src, dst, stats)
             self._job_seq += 1
             self._job_ready.notify_all()
-        # master participates as processor 0
+        # master participates as processor 0; a BrokenBarrierError on either
+        # barrier means a worker died mid-job — surface WorkerPoolBroken
+        # instead of deadlocking or leaking a half-synchronized pool
+        master_exc: Optional[BaseException] = None
         try:
             self._run_stages(0, list(stages), src, dst, stats)
-        finally:
-            if self.p > 1:
+        except threading.BrokenBarrierError:
+            self._broken = True
+        except BaseException as exc:
+            master_exc = exc
+            self._barrier.abort()  # unstick workers waiting on the master
+        if self.p > 1 and not self._broken:
+            try:
                 self._done.wait()
+            except threading.BrokenBarrierError:
+                self._broken = True
+        # a real work exception outranks the secondary barrier breakage it
+        # causes; pure breakage (a worker died) surfaces as WorkerPoolBroken
+        if master_exc is not None:
+            raise master_exc
         if self._errors:
             raise self._errors[0]
+        if self._broken:
+            raise WorkerPoolBroken(
+                f"pool of {self.p} lost a worker mid-plan"
+            )
         stats.barriers = self._barrier.wait_count // self.p
         stats.parallel_stages = sum(1 for s in stages if s.parallel)
         stats.sequential_stages = sum(1 for s in stages if not s.parallel)

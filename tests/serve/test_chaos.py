@@ -1,0 +1,236 @@
+"""Chaos suite: the serve stack under injected faults.
+
+Invariants asserted under every fault plan:
+
+1. **zero wrong answers** — every result that comes back matches
+   ``np.fft.fft`` (faults may slow or fail requests, never corrupt them);
+2. **bounded failure** — clients riding the documented retry policy
+   complete their workload despite the faults;
+3. **recovery** — once the plan's ``stop()`` switch flips, the service
+   reports ``health == "ok"`` again within five seconds.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, fault_plan
+from repro.serve import (
+    FFTService,
+    LoadgenConfig,
+    Overloaded,
+    ServeClient,
+    ServeConfig,
+    run_loadgen,
+)
+from repro.serve.server import FFTServer
+
+RECOVERY_S = 5.0
+
+
+def _vec(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+def wait_healthy(service: FFTService, timeout: float = RECOVERY_S) -> dict:
+    """Poll ``health`` until ``status == "ok"``; the last snapshot."""
+    deadline = time.monotonic() + timeout
+    snap = service.health()
+    while snap["status"] != "ok" and time.monotonic() < deadline:
+        time.sleep(0.05)
+        snap = service.health()
+    return snap
+
+
+@pytest.fixture()
+def chaos_server():
+    """A served FFTService with 2-thread pools (so pool faults matter)."""
+    service = FFTService(
+        ServeConfig(threads=2, window_s=0.001, max_batch=16,
+                    degrade_cooldown_s=0.3)
+    )
+    srv = FFTServer(("127.0.0.1", 0), service)
+    srv.serve_background()
+    yield srv, service
+    srv.shutdown()
+    srv.server_close()
+    service.close()
+
+
+def _small_load(port: int, seed: int = 0) -> dict:
+    """A bounded loadgen run that checks every single result."""
+    return run_loadgen(
+        LoadgenConfig(
+            port=port,
+            sizes=[64, 128],
+            clients=2,
+            requests=24,
+            pipeline=4,
+            baseline_requests=0,
+            output=None,
+            seed=seed,
+            verify="all",
+        )
+    )
+
+
+class TestWorkerCrashAndReset:
+    def test_acceptance_scenario(self, chaos_server):
+        """Worker crashes and connection resets at 10%: loadgen finishes
+        with zero wrong answers and health recovers once faults stop."""
+        srv, service = chaos_server
+        plan = FaultPlan(
+            [
+                FaultSpec("runtime.worker_crash", rate=0.1, max_fires=6),
+                FaultSpec("net.conn_reset", rate=0.1, max_fires=6),
+            ],
+            seed=42,
+        )
+        with fault_plan(plan):
+            report = _small_load(srv.port, seed=1)
+            plan.stop()
+            snap = wait_healthy(service)
+        # verify="all" checked every result inside the workers; reaching
+        # here means zero mismatches and every client finished its quota
+        assert report["measured"]["requests"] == 48
+        assert snap["status"] == "ok", snap
+        assert snap["dispatcher_alive"]
+        # the plan actually did something (crashes and/or resets fired)
+        fired = sum(p["fires"] for p in plan.snapshot().values())
+        assert fired > 0
+        # crashes that fired were absorbed: failover + rebuild, not failure
+        if plan.fires("runtime.worker_crash"):
+            c = snap["counters"]
+            assert c["failovers"] + c["pool_rebuilds"] > 0
+        if plan.fires("net.conn_reset"):
+            assert report["measured"]["reconnects"] > 0
+
+
+class TestQueueBurst:
+    def test_burst_rejections_are_retryable(self, chaos_server):
+        srv, service = chaos_server
+        plan = FaultPlan([FaultSpec("serve.queue_burst", max_fires=3)])
+        with fault_plan(plan):
+            with ServeClient("127.0.0.1", srv.port) as client:
+                x = _vec(64)
+                # rate 1.0: the first three admissions are rejected, so a
+                # plain fft sees the typed overloaded error...
+                from repro.serve import RemoteError
+
+                with pytest.raises(RemoteError) as ei:
+                    client.fft(x)
+                assert ei.value.code == "overloaded"
+                assert ei.value.retry_after is not None
+                # ...and the retrying client rides it out
+                y = client.fft_retry(x)
+                np.testing.assert_allclose(y, np.fft.fft(x), atol=1e-6)
+                assert client.retries_total > 0
+            plan.stop()
+            snap = wait_healthy(service)
+        assert snap["status"] == "ok"
+        assert snap["counters"]["rejected"] >= 3
+
+    def test_service_level_burst(self):
+        with FFTService(ServeConfig(window_s=0.001)) as svc:
+            plan = FaultPlan([FaultSpec("serve.queue_burst", max_fires=1)])
+            with fault_plan(plan):
+                with pytest.raises(Overloaded):
+                    svc.submit(_vec(64))
+                y = svc.transform(_vec(64))  # next admission is clean
+                np.testing.assert_allclose(
+                    y, np.fft.fft(_vec(64)), atol=1e-6
+                )
+
+
+class TestDispatcherCrash:
+    # the injected crash kills the dispatcher thread with a raise — that
+    # unhandled-thread-exception is the point of the test
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_supervisor_restarts_dispatcher(self):
+        svc = FFTService(
+            ServeConfig(window_s=0.001, supervise_interval_s=0.02)
+        )
+        try:
+            plan = FaultPlan(
+                [FaultSpec("serve.dispatcher_crash", max_fires=2)]
+            )
+            with fault_plan(plan):
+                # each submission may find the dispatcher dead; the
+                # supervisor revives it and nothing queued is lost
+                for seed in range(6):
+                    x = _vec(64, seed=seed)
+                    y = svc.transform(x, timeout=10.0)
+                    np.testing.assert_allclose(y, np.fft.fft(x), atol=1e-6)
+                plan.stop()
+                snap = wait_healthy(svc)
+            assert snap["status"] == "ok"
+            assert snap["dispatcher_alive"]
+            assert (
+                svc.stats()["dispatcher_restarts"]
+                == plan.fires("serve.dispatcher_crash")
+                == 2
+            )
+        finally:
+            svc.close()
+
+
+class TestSlowPlan:
+    def test_slow_plan_build_only_delays(self, chaos_server):
+        srv, service = chaos_server
+        plan = FaultPlan([FaultSpec("plan.slow", delay_s=0.05, max_fires=1)])
+        with fault_plan(plan):
+            with ServeClient("127.0.0.1", srv.port) as client:
+                x = _vec(64)
+                t0 = time.perf_counter()
+                y = client.fft(x)
+                first = time.perf_counter() - t0
+                np.testing.assert_allclose(y, np.fft.fft(x), atol=1e-6)
+                assert first >= 0.05  # the leader slept out the fault
+                y2 = client.fft(_vec(64, seed=1))  # cached: no new build
+                assert y2 is not None
+            plan.stop()
+            snap = wait_healthy(service)
+        assert snap["status"] == "ok"
+        assert plan.fires("plan.slow") == 1
+
+
+class TestPoisonedPayload:
+    def test_poison_is_typed_retryable_never_wrong(self, chaos_server):
+        srv, service = chaos_server
+        plan = FaultPlan([FaultSpec("net.poison_payload", max_fires=2)])
+        with fault_plan(plan):
+            with ServeClient("127.0.0.1", srv.port) as client:
+                x = _vec(64)
+                # the poisoned requests come back as typed internal errors
+                # (never a silently-wrong array), and retry rides past them
+                y = client.fft_retry(x)
+                np.testing.assert_allclose(y, np.fft.fft(x), atol=1e-6)
+                assert client.retries_total == 2
+            plan.stop()
+            snap = wait_healthy(service)
+        assert snap["status"] == "ok"
+
+
+class TestHealthReporting:
+    def test_health_embeds_fault_snapshot(self, chaos_server):
+        srv, service = chaos_server
+        plan = FaultPlan([FaultSpec("serve.queue_burst", rate=0.0)])
+        with fault_plan(plan):
+            with ServeClient("127.0.0.1", srv.port) as client:
+                snap = client.health()
+        assert snap["status"] in ("ok", "degraded")
+        assert "serve.queue_burst" in snap["faults"]
+        assert "queue_depth" in snap and "pools" in snap
+
+    def test_health_without_chaos_is_ok(self, chaos_server):
+        srv, service = chaos_server
+        with ServeClient("127.0.0.1", srv.port) as client:
+            x = _vec(64)
+            client.fft(x)
+            snap = client.health()
+        assert snap["status"] == "ok"
+        assert snap["faults"] == {}

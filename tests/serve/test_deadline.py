@@ -1,0 +1,89 @@
+"""Typed deadline handling: expiry while queued surfaces as ``deadline``.
+
+The regression this guards: with a long batching window, a request whose
+deadline passed while it sat in the queue used to surface only when the
+window flushed (or as a generic failure).  The dispatcher now sweeps
+queued requests against their deadlines and resolves them with
+:class:`DeadlineExceeded` *at expiry time* — and the wire protocol
+carries the typed ``deadline`` error code.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    DeadlineExceeded,
+    FFTService,
+    RemoteError,
+    ServeClient,
+    ServeConfig,
+)
+from repro.serve.server import FFTServer
+
+
+def _vec(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+class TestServiceDeadline:
+    def test_queued_expiry_is_typed_and_prompt(self):
+        # a half-second batching window, so an unswept request would sit
+        # queued long past its 30 ms deadline
+        with FFTService(ServeConfig(window_s=0.5, max_batch=64)) as svc:
+            x = _vec(64)
+            svc.transform(x, no_batch=True)  # warm the plan cache
+            t0 = time.monotonic()
+            ticket = svc.submit(_vec(64, seed=1), timeout=0.03)
+            with pytest.raises(DeadlineExceeded) as ei:
+                ticket.result(2.0)
+            waited = time.monotonic() - t0
+            # resolved at expiry, not at window flush
+            assert waited < 0.4, f"deadline surfaced only after {waited:.3f}s"
+            assert "queued" in str(ei.value)
+            assert svc.stats()["deadline_misses"] >= 1
+
+    def test_fresh_requests_unaffected(self):
+        with FFTService(ServeConfig(window_s=0.001)) as svc:
+            x = _vec(64)
+            y = svc.transform(x, timeout=30.0)
+            np.testing.assert_allclose(y, np.fft.fft(x), atol=1e-6)
+
+
+class TestWireDeadline:
+    def test_deadline_code_over_the_wire(self):
+        service = FFTService(ServeConfig(window_s=0.5, max_batch=64))
+        srv = FFTServer(("127.0.0.1", 0), service)
+        srv.serve_background()
+        try:
+            with ServeClient("127.0.0.1", srv.port) as client:
+                x = _vec(64)
+                client.fft(x, no_batch=True)  # warm the plan cache
+                t0 = time.monotonic()
+                with pytest.raises(RemoteError) as ei:
+                    client.fft(_vec(64, seed=1), timeout=0.03)
+                assert ei.value.code == "deadline"
+                assert time.monotonic() - t0 < 0.4
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            service.close()
+
+    def test_deadline_is_not_retryable(self):
+        """fft_retry must raise a deadline error immediately, not resend."""
+        service = FFTService(ServeConfig(window_s=0.5, max_batch=64))
+        srv = FFTServer(("127.0.0.1", 0), service)
+        srv.serve_background()
+        try:
+            with ServeClient("127.0.0.1", srv.port) as client:
+                client.fft(_vec(64), no_batch=True)
+                with pytest.raises(RemoteError) as ei:
+                    client.fft_retry(_vec(64, seed=1), timeout=0.03)
+                assert ei.value.code == "deadline"
+                assert client.retries_total == 0
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            service.close()

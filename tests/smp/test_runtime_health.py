@@ -1,0 +1,103 @@
+"""Fault-injected failure modes of the PThreads worker pool.
+
+A worker thread dying mid-plan must not deadlock its peers at the
+barriers: the pool aborts, the master surfaces a typed
+:class:`WorkerPoolBroken`, and ``healthy`` turns False so supervisors
+(:mod:`repro.serve.service`) know to rebuild.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, fault_plan
+from repro.smp import PThreadsRuntime, SequentialRuntime
+from repro.smp.runtime import WorkerPoolBroken
+from tests.conftest import random_vector
+from tests.smp.test_runtime import make_plan
+
+
+class TestWorkerCrash:
+    def test_crash_surfaces_as_pool_broken_not_deadlock(self, rng):
+        gen = make_plan(n=256, p=2)
+        rt = PThreadsRuntime(2)
+        try:
+            plan = FaultPlan([FaultSpec("runtime.worker_crash", max_fires=1)])
+            with fault_plan(plan):
+                with pytest.raises(WorkerPoolBroken):
+                    rt.execute(gen.stages, random_vector(rng, 256), 256)
+            assert plan.fires("runtime.worker_crash") == 1
+            assert not rt.healthy
+        finally:
+            rt.close()
+
+    def test_broken_pool_rejects_further_work(self, rng):
+        gen = make_plan(n=256, p=2)
+        rt = PThreadsRuntime(2)
+        try:
+            with fault_plan(
+                FaultPlan([FaultSpec("runtime.worker_crash", max_fires=1)])
+            ):
+                with pytest.raises(WorkerPoolBroken):
+                    rt.execute(gen.stages, random_vector(rng, 256), 256)
+            # faults are over, but the pool lost a thread: it must keep
+            # failing fast instead of hanging at a 2-party barrier
+            with pytest.raises(WorkerPoolBroken):
+                rt.execute(gen.stages, random_vector(rng, 256), 256)
+        finally:
+            rt.close()
+
+    def test_healthy_pool_reports_healthy(self):
+        rt = PThreadsRuntime(2)
+        try:
+            assert rt.healthy
+        finally:
+            rt.close()
+        assert not rt.healthy  # closed pools are not healthy
+
+    def test_crash_then_fresh_pool_recovers(self, rng):
+        """The supervisor's rebuild recipe: drop the pool, make a new one."""
+        gen = make_plan(n=256, p=2)
+        x = random_vector(rng, 256)
+        rt = PThreadsRuntime(2)
+        with fault_plan(
+            FaultPlan([FaultSpec("runtime.worker_crash", max_fires=1)])
+        ):
+            with pytest.raises(WorkerPoolBroken):
+                rt.execute(gen.stages, x.copy(), 256)
+        rt.close()
+        rt = PThreadsRuntime(2)
+        try:
+            y, _ = rt.execute(gen.stages, x.copy(), 256)
+            np.testing.assert_allclose(y, np.fft.fft(x), atol=1e-7)
+        finally:
+            rt.close()
+
+
+class TestWorkerStall:
+    def test_stall_preserves_correctness(self, rng):
+        """A stalled worker slows the plan down but never corrupts it."""
+        gen = make_plan(n=256, p=2)
+        x = random_vector(rng, 256)
+        rt = PThreadsRuntime(2)
+        try:
+            plan = FaultPlan(
+                [FaultSpec("runtime.worker_stall", delay_s=0.01,
+                           max_fires=2)]
+            )
+            with fault_plan(plan):
+                y, _ = rt.execute(gen.stages, x.copy(), 256)
+            np.testing.assert_allclose(y, np.fft.fft(x), atol=1e-7)
+            assert rt.healthy
+            assert plan.fires("runtime.worker_stall") == 2
+        finally:
+            rt.close()
+
+
+class TestSequentialImmunity:
+    def test_sequential_runtime_ignores_worker_faults(self, rng):
+        """The degradation fallback must not consult pool-only points."""
+        gen = make_plan(n=256, p=1)
+        x = random_vector(rng, 256)
+        with fault_plan(FaultPlan([FaultSpec("runtime.worker_crash")])):
+            y, _ = SequentialRuntime().execute(gen.stages, x.copy(), 256)
+        np.testing.assert_allclose(y, np.fft.fft(x), atol=1e-7)
