@@ -4,7 +4,8 @@ Commands
 --------
 ``derive``    print the multicore Cooley-Tukey formula for (n, p, mu)
 ``generate``  generate a program and verify it; ``--emit-c`` writes C source
-``bench``     sweep one simulated machine and print the Figure 3 panel rows
+``bench``     sweep one simulated machine and print the Figure 3 panel rows,
+              or measure real multiprocess speedup (``--runtime process``)
 ``search``    autotune a factorization on a simulated machine
 ``profile``   trace one transform end to end and print the per-stage report
 ``serve``     run the TCP/JSON FFT service (plan cache + request batching)
@@ -89,6 +90,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.runtime == "process":
+        return _cmd_bench_process(args)
+    if args.machine is None:
+        print(
+            "error: a machine name is required for the simulated-machine "
+            "panel (or pass --runtime process for a measured benchmark)",
+            file=sys.stderr,
+        )
+        return 2
     from .baselines import FFTWModel
     from .frontend import SpiralSMP
     from .machine import SyncProfile, machine
@@ -112,6 +122,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"{fftw.cost_sequential(n).pseudo_mflops(spec):.0f},"
                 f"{plan.pseudo_mflops(spec):.0f},{plan.threads}"
             )
+    return 0
+
+
+def _cmd_bench_process(args: argparse.Namespace) -> int:
+    """Measured wall-clock benchmark of the multiprocess runtime."""
+    import json
+
+    from .mp import render_mp_bench, run_mp_bench
+
+    with _maybe_tracing(args):
+        result = run_mp_bench(
+            kmin=args.kmin,
+            kmax=args.kmax,
+            threads=args.threads,
+            batch=args.batch,
+            repeats=args.repeats,
+        )
+    print(render_mp_bench(result))
+    with open(args.output, "w") as f:
+        json.dump(result, f, indent=2)
+    print(f"# report written to {args.output}", file=sys.stderr)
     return 0
 
 
@@ -156,10 +187,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import FFTService, ServeConfig
     from .serve.server import FFTServer
 
-    # Many small runnable threads (handlers, drains, the dispatcher) share
-    # the GIL; the default 5 ms switch interval lets one of them hold it
-    # for a full request's worth of wall time while the rest starve.
-    sys.setswitchinterval(0.0005)
     config = ServeConfig(
         threads=args.threads,
         mu=args.mu,
@@ -168,6 +195,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         cache_capacity=args.cache_capacity,
         wisdom_path=args.wisdom,
+        runtime=args.runtime,
     )
     if args.chaos:
         from .faults import parse_chaos_spec, set_fault_plan
@@ -183,9 +211,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server = FFTServer((args.host, args.port), service)
         print(
             f"# repro serve listening on {args.host}:{server.port} "
-            f"(threads={args.threads}, mu={args.mu}, "
-            f"window={args.window_ms}ms, max-batch={args.max_batch}, "
-            f"queue-limit={args.queue_limit})",
+            f"(runtime={args.runtime}, threads={args.threads}, "
+            f"mu={args.mu}, window={args.window_ms}ms, "
+            f"max-batch={args.max_batch}, queue-limit={args.queue_limit})",
             file=sys.stderr,
         )
         try:
@@ -262,13 +290,54 @@ def build_parser() -> argparse.ArgumentParser:
     add_trace_flag(g)
     g.set_defaults(fn=_cmd_generate)
 
-    b = sub.add_parser("bench", help="sweep a simulated machine")
+    b = sub.add_parser(
+        "bench",
+        help="sweep a simulated machine, or measure the process runtime "
+        "(--runtime process)",
+    )
     b.add_argument(
         "machine",
+        nargs="?",
+        default=None,
         choices=["core_duo", "pentium_d", "opteron", "xeon_mp", "cmp8"],
+        help="simulated machine for the model panel (omit with "
+        "--runtime process)",
     )
     b.add_argument("--kmin", type=int, default=6)
     b.add_argument("--kmax", type=int, default=14)
+    b.add_argument(
+        "--runtime",
+        choices=["model", "process"],
+        default="model",
+        help="model: the simulated-machine Figure 3 panel (default); "
+        "process: measured wall-clock speedup of the multiprocess "
+        "runtime on this host",
+    )
+    b.add_argument(
+        "--threads",
+        "-p",
+        type=int,
+        default=2,
+        help="worker processes for --runtime process",
+    )
+    b.add_argument(
+        "--batch",
+        type=int,
+        default=8,
+        help="stacked vectors per timed execution (--runtime process)",
+    )
+    b.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="timing repeats, best-of (--runtime process)",
+    )
+    b.add_argument(
+        "--output",
+        metavar="PATH",
+        default="BENCH_mp.json",
+        help="JSON report path for --runtime process",
+    )
     add_trace_flag(b)
     b.set_defaults(fn=_cmd_bench)
 
@@ -335,6 +404,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="persist search results to this wisdom JSON file",
+    )
+    sv.add_argument(
+        "--runtime",
+        choices=["threads", "process"],
+        default="threads",
+        help="worker pool kind: GIL-bound threads (default) or the "
+        "multiprocess shared-memory runtime (real parallel speedup; "
+        "see docs/parallel.md)",
     )
     sv.add_argument(
         "--chaos",

@@ -39,6 +39,7 @@ class FaultInjected(RuntimeError):
 INJECTION_POINTS: dict[str, str] = {
     "runtime.worker_stall": "PThreadsRuntime worker sleeps before its stages",
     "runtime.worker_crash": "PThreadsRuntime worker thread dies mid-job",
+    "mp.worker_crash": "ProcessPoolRuntime worker process is killed mid-job",
     "plan.slow": "PlanCache leader sleeps before building a plan",
     "serve.queue_burst": "FFTService admission pretends the queue is full",
     "serve.dispatcher_crash": "FFTService dispatcher thread dies",

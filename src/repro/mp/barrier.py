@@ -1,0 +1,99 @@
+"""A sense-reversing barrier for processes, built on shared semaphores.
+
+The process analogue of :class:`repro.smp.barrier.SenseReversingBarrier`:
+each party flips its *local* sense on arrival; the last arrival releases
+the waiters of that sense.  One semaphore per sense replaces the condition
+variable — senses strictly alternate, so a sense's semaphore is fully
+drained before any party can reach the episode after next, making the
+barrier reusable with exactly two semaphores and one shared counter.
+
+Crash handling matches the thread barrier's contract: :meth:`abort` breaks
+the barrier (every current and future :meth:`wait` raises
+:class:`threading.BrokenBarrierError` — the same exception class
+:mod:`multiprocessing`'s own barrier uses), and waiters poll a shared
+``broken`` flag plus an optional liveness ``check`` callback so a party
+that died *without* aborting (a SIGKILLed worker) still unsticks everyone.
+"""
+
+from __future__ import annotations
+
+from threading import BrokenBarrierError
+from typing import Callable, Optional
+
+#: shared-state slots in the control array
+_COUNT, _BROKEN, _WAITS = 0, 1, 2
+
+
+class SharedSenseBarrier:
+    """Reusable cross-process barrier for a fixed party count.
+
+    Built from context primitives so it is inherited by pool workers under
+    both ``fork`` and ``spawn`` start methods (pass it in the ``Process``
+    args).  Each process's copy keeps its own local sense.
+    """
+
+    def __init__(self, parties: int, ctx):
+        if parties < 1:
+            raise ValueError(f"barrier needs >= 1 parties, got {parties}")
+        self.parties = parties
+        # [count-remaining, broken-flag, total-wait-count]
+        self._state = ctx.Array("q", [parties, 0, 0])
+        self._sems = (ctx.Semaphore(0), ctx.Semaphore(0))
+        self._sense = 0  # local; each process flips its own copy
+
+    def wait(self, poll: float = 0.05,
+             check: Optional[Callable[[], bool]] = None) -> None:
+        """Block until all parties arrive.
+
+        ``check`` is polled every ``poll`` seconds while waiting; returning
+        False means a peer is known dead — the barrier is aborted and
+        :class:`BrokenBarrierError` raised instead of waiting forever.
+        """
+        self._sense = 1 - self._sense
+        sem = self._sems[self._sense]
+        with self._state.get_lock():
+            if self._state[_BROKEN]:
+                raise BrokenBarrierError
+            self._state[_WAITS] += 1
+            self._state[_COUNT] -= 1
+            last = self._state[_COUNT] == 0
+            if last:
+                self._state[_COUNT] = self.parties
+        if last:
+            for _ in range(self.parties - 1):
+                sem.release()
+            return
+        while not sem.acquire(timeout=poll):
+            with self._state.get_lock():
+                broken = bool(self._state[_BROKEN])
+            if broken:
+                raise BrokenBarrierError
+            if check is not None and not check():
+                self.abort()
+                raise BrokenBarrierError
+        with self._state.get_lock():
+            if self._state[_BROKEN]:
+                raise BrokenBarrierError
+
+    def abort(self) -> None:
+        """Break the barrier, waking every current and future waiter."""
+        with self._state.get_lock():
+            self._state[_BROKEN] = 1
+        for sem in self._sems:
+            for _ in range(self.parties):
+                sem.release()
+
+    @property
+    def broken(self) -> bool:
+        with self._state.get_lock():
+            return bool(self._state[_BROKEN])
+
+    @property
+    def wait_count(self) -> int:
+        """Total ``wait`` arrivals since the last :meth:`reset_accounting`."""
+        with self._state.get_lock():
+            return int(self._state[_WAITS])
+
+    def reset_accounting(self) -> None:
+        with self._state.get_lock():
+            self._state[_WAITS] = 0

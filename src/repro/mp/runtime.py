@@ -1,0 +1,358 @@
+"""`ProcessPoolRuntime`: a persistent SPMD process pool with real speedup.
+
+The process analogue of :class:`repro.smp.runtime.PThreadsRuntime`: ``p``
+parties (the master counts as processor 0, plus ``p - 1`` persistent worker
+processes) execute a generated stage plan in lockstep over shared-memory
+double buffers, synchronizing through a sense-reversing barrier built on
+shared semaphores and *skipping* the barrier for stages the generator
+proved processor-local — the paper's minimal-synchronization execution
+model, with OS processes supplying the parallelism CPython threads cannot.
+
+Plans cross the process boundary as :class:`~repro.mp.spec.PlanSpec`
+values: each worker compiles the spec locally into the identical stage plan
+(deterministic pipeline) and caches it, so the per-plan compile cost is
+paid once per process and amortized over the pool's lifetime — closures
+never get pickled.  Consequently :meth:`execute` (the closure-based
+:class:`~repro.smp.runtime.Runtime` entry point) is unsupported here;
+callers use :meth:`execute_spec`.
+
+Failure contract (identical to the thread pool, so the serving
+supervisor's self-healing applies unchanged): a worker death mid-plan
+surfaces as a typed :class:`~repro.smp.runtime.WorkerPoolBroken` instead
+of a hang, ``healthy`` turns False, and the holder is expected to
+``close()`` the pool and build a replacement.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from collections import OrderedDict
+from queue import Empty
+from threading import BrokenBarrierError
+from typing import Optional
+
+import numpy as np
+
+from ..faults import get_fault_plan
+from ..smp.runtime import ExecutionStats, Runtime, WorkerPoolBroken
+from ..spl.expr import COMPLEX
+from ..trace import get_tracer
+from ..trace.merge import merge_span_reports
+from .arena import SharedArena, SharedBuffer
+from .barrier import SharedSenseBarrier
+from .spec import CompiledSpec, PlanSpec, compile_spec
+from .worker import run_plan, worker_main
+
+#: environment override for the start method (CI runs both fork and spawn)
+START_METHOD_ENV = "REPRO_MP_START"
+
+#: distinct buffer sizes kept mapped between calls (LRU beyond this)
+BUFFER_CACHE_MAX = 8
+
+
+def _ensure_resource_tracker() -> None:
+    """Start the resource tracker before any worker is forked.
+
+    The tracker launches lazily on first registration; our first segment is
+    allocated *after* the workers fork, so without this a fork worker would
+    inherit ``_fd=None`` and its first attach would launch a second tracker
+    that receives the attach-side registrations but never the master's
+    unregisters — warning about phantom "leaked" segments at worker exit
+    (spawn is immune: the tracker fd is passed explicitly).
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except (ImportError, AttributeError):  # pragma: no cover - non-POSIX
+        pass
+
+
+def default_start_method() -> str:
+    """``$REPRO_MP_START`` if set, else ``fork`` where available (cheap,
+    inherits the warm interpreter), else ``spawn``."""
+    env = os.environ.get(START_METHOD_ENV)
+    if env:
+        return env
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class RemoteWorkerError(RuntimeError):
+    """A worker process raised during plan execution; carries its traceback.
+
+    The cross-process counterpart of the thread pool re-raising a worker's
+    exception object: the original object cannot travel, so the formatted
+    traceback does.  The pool is broken afterwards (the failing worker
+    aborted the barrier).
+    """
+
+    def __init__(self, proc: int, tb: str):
+        super().__init__(f"pool worker {proc} failed:\n{tb}")
+        self.proc = proc
+        self.tb = tb
+
+
+class ProcessPoolRuntime(Runtime):
+    """Persistent SPMD worker pool over ``multiprocessing.shared_memory``.
+
+    ::
+
+        with ProcessPoolRuntime(2) as pool:
+            spec = PlanSpec.for_request(4096, threads=2)
+            y, stats = pool.execute_spec(spec, x)
+
+    ``start_method`` picks ``fork``/``spawn``/``forkserver`` (default: see
+    :func:`default_start_method`; fork-vs-spawn caveats in
+    ``docs/parallel.md``).  Input may be one length-``n`` vector or a
+    ``(b, n)`` stack; shared double buffers are pooled per distinct size.
+    """
+
+    def __init__(
+        self,
+        p: int,
+        start_method: Optional[str] = None,
+        poll_s: float = 0.05,
+    ):
+        if p < 1:
+            raise ValueError(f"need p >= 1 workers, got {p}")
+        self.p = p
+        self.start_method = start_method or default_start_method()
+        self._ctx = multiprocessing.get_context(self.start_method)
+        self._poll = poll_s
+        self._arena = SharedArena(prefix="repro-mp")
+        self._buffers: OrderedDict[int, tuple[SharedBuffer, SharedBuffer]] = (
+            OrderedDict()
+        )
+        self._seq = 0
+        self._closed = False
+        self._broken = False
+        # one execution at a time: the pool runs jobs in lockstep, and the
+        # serving dispatcher is single-threaded anyway
+        self._exec_lock = threading.Lock()
+        if p > 1:
+            _ensure_resource_tracker()
+            self._barrier = SharedSenseBarrier(p, self._ctx)
+            self._cmd_qs = [self._ctx.Queue() for _ in range(p - 1)]
+            self._res_q = self._ctx.Queue()
+            self._procs = [
+                self._ctx.Process(
+                    target=worker_main,
+                    # untrack=False: pool children share the master's
+                    # resource tracker under every start method (the
+                    # tracker fd is inherited/passed), so attach-side
+                    # registration is an idempotent set-add and the
+                    # master's single unregister at unlink is correct
+                    args=(i, p, self._cmd_qs[i - 1], self._res_q,
+                          self._barrier, poll_s, False),
+                    name=f"repro-mp-worker-{i}",
+                    daemon=True,
+                )
+                for i in range(1, p)
+            ]
+            for pr in self._procs:
+                pr.start()
+        else:
+            self._barrier = None
+            self._cmd_qs = []
+            self._res_q = None
+            self._procs = []
+
+    # -- health ---------------------------------------------------------------
+
+    @property
+    def healthy(self) -> bool:
+        """True while every pool worker is alive and no job broke down."""
+        return (
+            not self._closed
+            and not self._broken
+            and (self._barrier is None or not self._barrier.broken)
+            and all(pr.is_alive() for pr in self._procs)
+        )
+
+    def _workers_alive(self) -> bool:
+        return all(pr.is_alive() for pr in self._procs)
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self, stages, x, size):
+        raise TypeError(
+            "ProcessPoolRuntime cannot execute closure-based stage lists "
+            "(PlanStage.work does not pickle); build a PlanSpec and call "
+            "execute_spec(spec, x) — each worker compiles the identical "
+            "plan locally"
+        )
+
+    def execute_spec(
+        self, spec: PlanSpec, x: np.ndarray
+    ) -> tuple[np.ndarray, ExecutionStats]:
+        """Run ``spec``'s plan on ``x`` (``(n,)`` or ``(b, n)``) in parallel."""
+        with self._exec_lock:
+            return self._execute_locked(spec, x)
+
+    def _execute_locked(self, spec, x):
+        if self._closed:
+            raise RuntimeError(
+                "ProcessPoolRuntime is closed; worker pool no longer exists"
+            )
+        if self._broken:
+            raise WorkerPoolBroken(
+                f"pool of {self.p} lost a worker; rebuild the runtime"
+            )
+        if spec.threads > self.p:
+            raise ValueError(
+                f"plan spec wants {spec.threads} processors, pool has {self.p}"
+            )
+        compiled: CompiledSpec = compile_spec(spec)
+        X = np.asarray(x, dtype=COMPLEX)
+        squeeze = X.ndim == 1
+        if squeeze:
+            X = X[np.newaxis, :]
+        if X.ndim != 2 or X.shape[1] != spec.n:
+            raise ValueError(
+                f"expected (batch, {spec.n}) input, got shape "
+                f"{np.asarray(x).shape}"
+            )
+        tr = get_tracer()
+        collect = tr.enabled
+        stages = compiled.stages
+        stats = ExecutionStats()
+        src, dst = self._buffers_for(X.size)
+        src.array[:] = X.reshape(-1)
+
+        self._seq += 1
+        seq = self._seq
+        if self.p > 1:
+            fp = get_fault_plan()
+            if fp.enabled and fp.fired("mp.worker_crash"):
+                # deterministic chaos: the last worker dies before this job
+                self._cmd_qs[-1].put(("crash",))
+            self._barrier.reset_accounting()
+            payload = ("run", seq, spec, src.name, dst.name, X.size, collect)
+            for q in self._cmd_qs:
+                q.put(payload)
+
+        master_exc: Optional[BaseException] = None
+        master_reports = None
+        with tr.span("mp.execute", "mp", n=spec.n, threads=spec.threads,
+                     vectors=int(X.shape[0]), procs=self.p):
+            try:
+                master_reports = run_plan(
+                    0, stages, src.array, dst.array, self._master_wait,
+                    collect,
+                )
+            except BrokenBarrierError:
+                self._broken = True
+            except BaseException as exc:
+                master_exc = exc
+                if self._barrier is not None:
+                    self._barrier.abort()  # unstick workers
+                self._broken = True
+            worker_error = self._collect(seq, tr) if self.p > 1 else None
+
+        # a real exception outranks the secondary barrier breakage it causes
+        if master_exc is not None:
+            raise master_exc
+        if worker_error is not None:
+            self._broken = True
+            raise RemoteWorkerError(*worker_error)
+        if self._broken:
+            raise WorkerPoolBroken(
+                f"pool of {self.p} lost a worker mid-plan"
+            )
+        if collect and master_reports:
+            merge_span_reports(tr, master_reports)
+        stats.barriers = (
+            self._barrier.wait_count // self.p if self.p > 1 else 0
+        )
+        stats.parallel_stages = sum(1 for s in stages if s.parallel)
+        stats.sequential_stages = sum(1 for s in stages if not s.parallel)
+        # run_plan swaps its buffer locals each stage; recover the final
+        # buffer by parity, copy out so pooled buffers can be reused
+        final = src.array if len(stages) % 2 == 0 else dst.array
+        out = np.array(final, copy=True).reshape(X.shape)
+        if squeeze:
+            out = out[0]
+        return out, stats
+
+    def _master_wait(self) -> None:
+        if self._barrier is not None:
+            self._barrier.wait(poll=self._poll, check=self._workers_alive)
+
+    def _collect(self, seq: int, tr):
+        """Wait for every worker's job-``seq`` report; track deaths.
+
+        Returns ``(proc, traceback)`` for the first real worker error, or
+        None.  Workers that died without reporting are detected by liveness
+        polling and flip the pool to broken instead of hanging the master.
+        """
+        needed = set(range(1, self.p))
+        error = None
+        while needed:
+            try:
+                msg = self._res_q.get(timeout=self._poll)
+            except Empty:
+                for proc in list(needed):
+                    if not self._procs[proc - 1].is_alive():
+                        needed.discard(proc)
+                        self._broken = True
+                continue
+            kind, proc, mseq, payload = msg
+            if mseq != seq:
+                continue  # stale report from an aborted earlier job
+            needed.discard(proc)
+            if kind == "error" and error is None:
+                error = (proc, payload)
+            elif kind == "broken":
+                self._broken = True
+            elif kind == "done" and payload and tr.enabled:
+                merge_span_reports(tr, payload)
+        return error
+
+    # -- buffers --------------------------------------------------------------
+
+    def _buffers_for(self, nelems: int) -> tuple[SharedBuffer, SharedBuffer]:
+        """The pooled (src, dst) shared buffers for this flat size."""
+        pair = self._buffers.get(nelems)
+        if pair is None:
+            pair = (self._arena.allocate(nelems), self._arena.allocate(nelems))
+            self._buffers[nelems] = pair
+            while len(self._buffers) > BUFFER_CACHE_MAX:
+                _, (s, d) = self._buffers.popitem(last=False)
+                s.release()
+                d.release()
+        else:
+            self._buffers.move_to_end(nelems)
+        return pair
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared segment; idempotent."""
+        with self._exec_lock:
+            if self._closed:
+                return
+            self._closed = True
+            for q in self._cmd_qs:
+                try:
+                    q.put(("exit",))
+                except Exception:  # pragma: no cover - queue already dead
+                    pass
+            for pr in self._procs:
+                pr.join(timeout=5)
+            for pr in self._procs:
+                if pr.is_alive():  # pragma: no cover - stuck worker
+                    pr.terminate()
+                    pr.join(timeout=1)
+            for q in self._cmd_qs + ([self._res_q] if self._res_q else []):
+                q.cancel_join_thread()
+                q.close()
+            self._buffers.clear()
+            self._arena.close()
+
+    @property
+    def segments_active(self) -> int:
+        """Live shared segments this pool owns (leak accounting)."""
+        return self._arena.active

@@ -1,0 +1,114 @@
+"""Picklable plan specifications for cross-process execution.
+
+A generated stage plan is a list of closures over index tables and codelet
+matrices — it cannot cross a process boundary.  What *can* cross is the
+input to the generator: the whole rewrite → Σ-SPL → codegen pipeline is
+deterministic, so a small :class:`PlanSpec` (transform size, thread count,
+µ, breakdown strategy) compiled independently in every process yields the
+*identical* stage plan.  Pool workers therefore receive specs, compile them
+locally on first use, and cache the result for the pool's lifetime — the
+compile cost is amortized exactly like the master's plan cache.
+
+:func:`compile_spec` builds the *batched* stage list
+(:func:`repro.serve.batch_exec.batched_stages`), so one compiled spec
+serves single vectors and ``(b, n)`` request stacks alike.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+#: process-local compile cache: spec -> CompiledSpec
+_CACHE_LOCK = threading.Lock()
+_CACHE: "OrderedDict[PlanSpec, CompiledSpec]" = OrderedDict()
+_CACHE_MAX = 32
+
+
+@dataclass(frozen=True)
+class PlanSpec:
+    """Everything a process needs to regenerate one stage plan.
+
+    Hashable and picklable; equality is plan identity (two equal specs
+    compile to byte-identical generated source in any process).
+    """
+
+    n: int
+    threads: int = 1
+    mu: int = 4
+    strategy: str = "balanced"
+    min_leaf: int = 32
+    codelet_max: int = 32
+
+    def __post_init__(self):
+        if self.n < 2:
+            raise ValueError(f"need a transform size >= 2, got {self.n}")
+        if self.threads < 1:
+            raise ValueError(f"need threads >= 1, got {self.threads}")
+
+    @classmethod
+    def for_request(cls, n: int, threads: int = 1, mu: int = 4,
+                    strategy: str = "balanced") -> "PlanSpec":
+        """A spec with the thread count clamped to an admissible Eq. (14)."""
+        from ..frontend import feasible_threads
+
+        t = feasible_threads(n, threads, mu) if threads > 1 else 1
+        return cls(n=n, threads=t, mu=mu, strategy=strategy)
+
+    @classmethod
+    def from_plan_key(cls, key) -> "PlanSpec":
+        """From a serving-layer :class:`repro.serve.plan_cache.PlanKey`."""
+        return cls(n=key.n, threads=key.threads, mu=key.mu,
+                   strategy=key.strategy)
+
+
+@dataclass
+class CompiledSpec:
+    """A locally compiled spec: generated program + batched stage plan."""
+
+    spec: PlanSpec
+    program: object  # GeneratedProgram
+    stages: list
+
+
+def compile_spec(spec: PlanSpec) -> CompiledSpec:
+    """Compile ``spec`` through the generator pipeline (process-local LRU).
+
+    Deterministic: every process compiling the same spec produces the same
+    stage structure, index tables, and constants — the invariant the SPMD
+    process pool relies on for lockstep execution.
+    """
+    with _CACHE_LOCK:
+        hit = _CACHE.get(spec)
+        if hit is not None:
+            _CACHE.move_to_end(spec)
+            return hit
+    # imports deferred: keep `import repro.mp` light and cycle-free
+    from ..frontend import generate_fft
+    from ..serve.batch_exec import batched_stages
+
+    gen = generate_fft(
+        spec.n,
+        threads=spec.threads,
+        mu=spec.mu,
+        strategy=spec.strategy,
+        min_leaf=spec.min_leaf,
+    )
+    compiled = CompiledSpec(
+        spec=spec,
+        program=gen,
+        stages=batched_stages(gen.program, spec.codelet_max),
+    )
+    with _CACHE_LOCK:
+        _CACHE[spec] = compiled
+        _CACHE.move_to_end(spec)
+        while len(_CACHE) > _CACHE_MAX:
+            _CACHE.popitem(last=False)
+    return compiled
+
+
+def clear_spec_cache() -> None:
+    """Drop every process-locally compiled plan (tests, memory pressure)."""
+    with _CACHE_LOCK:
+        _CACHE.clear()

@@ -10,7 +10,11 @@ from .dp import (
     random_search,
 )
 from .stochastic import StochasticConfig, mutate, stochastic_search
-from .timer import pseudo_mflops_from_seconds, time_callable
+from .timer import (
+    pseudo_mflops_from_seconds,
+    time_batched_callable,
+    time_callable,
+)
 
 __all__ = [
     "SearchResult",
@@ -24,5 +28,6 @@ __all__ = [
     "mutate",
     "random_search",
     "stochastic_search",
+    "time_batched_callable",
     "time_callable",
 ]

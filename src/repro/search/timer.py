@@ -34,6 +34,38 @@ def time_callable(
     return best
 
 
+def time_batched_callable(
+    fn: Callable[[np.ndarray], np.ndarray],
+    n: int,
+    batch: int = 1,
+    repeats: int = 5,
+    warmup: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Best-of-``repeats`` seconds for one ``(batch, n)`` stacked application.
+
+    The measured-benchmark counterpart of :func:`time_callable`: serving
+    and the process pool execute stacked request batches, so their
+    throughput is timed on the same ``(b, n)`` shape they run in
+    production.  Returns total seconds per application (divide by
+    ``batch`` for per-vector time).
+    """
+    if batch < 1:
+        raise ValueError(f"need batch >= 1, got {batch}")
+    rng = rng or np.random.default_rng(0)
+    x = (
+        rng.standard_normal((batch, n)) + 1j * rng.standard_normal((batch, n))
+    ).astype(COMPLEX)
+    for _ in range(warmup):
+        fn(x)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(x)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
 def pseudo_mflops_from_seconds(n: int, seconds: float) -> float:
     """The paper's metric for measured runtimes."""
     if seconds <= 0:

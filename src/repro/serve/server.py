@@ -19,6 +19,7 @@ import queue
 import socket
 import socketserver
 import struct
+import sys
 import threading
 from typing import Optional
 
@@ -243,6 +244,12 @@ class FFTServer(socketserver.ThreadingTCPServer):
     daemon_threads = True
 
     def __init__(self, address: tuple[str, int], service: FFTService):
+        # Many small runnable threads (handlers, drains, the dispatcher)
+        # share the GIL; the default 5 ms switch interval lets one of them
+        # hold it for a full request's worth of wall time while the rest
+        # starve.  Set it here so every embedder of the server benefits,
+        # not just the CLI.
+        sys.setswitchinterval(0.0005)
         super().__init__(address, _Handler)
         self.service = service
 

@@ -8,9 +8,11 @@ One long-lived service owns the whole serving pipeline:
   same :class:`~repro.serve.plan_cache.PlanKey` that arrive within
   ``window_s`` (or until ``max_batch`` vectors are pending) into one
   stacked ``(b, n)`` execution (:mod:`repro.serve.batch_exec`);
-* **persistent runtimes**: one :class:`~repro.smp.runtime.PThreadsRuntime`
-  pool per thread count, created lazily, reused across every request, and
-  closed exactly once on shutdown;
+* **persistent runtimes**: one worker pool per thread count — a
+  :class:`~repro.smp.runtime.PThreadsRuntime` by default, or a
+  :class:`~repro.mp.ProcessPoolRuntime` with ``ServeConfig(runtime=
+  "process")`` for true parallel speedup — created lazily, reused across
+  every request, and closed exactly once on shutdown;
 * **admission control**: a bounded queue (``queue_limit`` pending vectors);
   an over-full queue rejects with :class:`Overloaded` carrying a
   ``retry_after`` hint, and each request carries a deadline — requests
@@ -83,6 +85,7 @@ class ServeConfig:
     threads: int = 1          #: default plan thread count
     mu: int = 4               #: default cache-line size (complex elements)
     strategy: str = "balanced"
+    runtime: str = "threads"  #: worker pool kind: "threads" or "process"
     window_s: float = 0.0     #: max batching wait; 0 = continuous batching
     max_batch: int = 48       #: max vectors per stacked execution
     queue_limit: int = 512    #: max pending vectors (admission control)
@@ -148,6 +151,11 @@ class FFTService:
 
     def __init__(self, config: Optional[ServeConfig] = None):
         self.config = config or ServeConfig()
+        if self.config.runtime not in ("threads", "process"):
+            raise ValueError(
+                f"unknown runtime {self.config.runtime!r}; "
+                "expected 'threads' or 'process'"
+            )
         wisdom = (
             Wisdom(self.config.wisdom_path)
             if self.config.wisdom_path
@@ -442,13 +450,27 @@ class FFTService:
                     return self._fallback
                 rt = None
             if rt is None:
-                rt = PThreadsRuntime(threads)
+                rt = self._make_pool(threads)
                 self._runtimes[threads] = rt
                 if st["rebuilds"] > 0:
                     with self._metrics_lock:
                         self._metrics["pool_rebuilds"] += 1
                     tr.count("serve.pool_rebuilds", 1, threads=threads)
             return rt
+
+    def _make_pool(self, threads: int) -> Runtime:
+        """Build a fresh worker pool of the configured kind.
+
+        ``runtime="process"`` pools are :class:`repro.mp.ProcessPoolRuntime`
+        instances (true parallelism across OS processes); they share the
+        thread pool's health contract, so everything else in this service —
+        retirement, rebuild, degradation — applies unchanged.
+        """
+        if self.config.runtime == "process":
+            from ..mp import ProcessPoolRuntime
+
+            return ProcessPoolRuntime(threads)
+        return PThreadsRuntime(threads)
 
     def _note_pool_failure(self, threads: int) -> None:
         """A pool broke mid-execution: retire it so the next use rebuilds."""
@@ -485,7 +507,7 @@ class FFTService:
                     if not getattr(rt, "healthy", True):
                         st = self._retire_pool_locked(t, rt)
                         if not st["degraded"]:
-                            self._runtimes[t] = PThreadsRuntime(t)
+                            self._runtimes[t] = self._make_pool(t)
                             with self._metrics_lock:
                                 self._metrics["pool_rebuilds"] += 1
                             tr.count("serve.pool_rebuilds", 1, threads=t)
@@ -592,6 +614,23 @@ class FFTService:
             if take:
                 self._execute_batch(key, take)
 
+    def _run_on(self, runtime: Runtime, key: PlanKey, X) -> np.ndarray:
+        """Run one stacked batch on ``runtime``.
+
+        Process pools execute from a picklable :class:`~repro.mp.spec.PlanSpec`
+        (each worker compiles the identical plan locally), so they bypass
+        this service's closure-based plan cache; every other runtime goes
+        through :class:`PlanCache` + :func:`run_batched` as before.
+        """
+        if hasattr(runtime, "execute_spec"):
+            from ..mp import PlanSpec
+
+            Y, _ = runtime.execute_spec(PlanSpec.from_plan_key(key), X)
+            return Y
+        plan = self.plans.get(key)
+        Y, _ = run_batched(plan.stages, key.n, X, runtime)
+        return Y
+
     def _execute_batch(self, key: PlanKey, batch: list[_Request]) -> None:
         tr = get_tracer()
         now = time.monotonic()
@@ -612,7 +651,6 @@ class FFTService:
         if not live:
             return
         try:
-            plan = self.plans.get(key)
             runtime = self._runtime_for(key.threads)
             X = (
                 live[0].x
@@ -623,7 +661,7 @@ class FFTService:
                          threads=key.threads, vectors=int(X.shape[0]),
                          requests=len(live)):
                 try:
-                    Y, _ = run_batched(plan.stages, key.n, X, runtime)
+                    Y = self._run_on(runtime, key, X)
                 except WorkerPoolBroken:
                     # the pool died under this batch; the input stack is
                     # untouched (execute copies it), so re-run on the
@@ -632,7 +670,7 @@ class FFTService:
                     with self._metrics_lock:
                         self._metrics["failovers"] += 1
                     tr.count("serve.failovers", 1, threads=key.threads)
-                    Y, _ = run_batched(plan.stages, key.n, X, self._fallback)
+                    Y = self._run_on(self._fallback, key, X)
         except BaseException as exc:
             for req in live:
                 req.ticket._resolve(error=exc)

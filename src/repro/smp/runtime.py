@@ -15,10 +15,13 @@ plans, mirroring the paper's backends:
 * :class:`SequentialRuntime` — single-processor reference.
 
 CPython's GIL prevents actual speedup here (NumPy kernels release it only
-partially); wall-clock parallel scaling is measured on the simulated machine
-instead (``repro.machine``).  These runtimes establish *correctness* of the
-generated multithreaded schedules: every thread executes exactly the loops
-the formula assigned to its processor.
+partially); these runtimes establish *correctness* of the generated
+multithreaded schedules — every thread executes exactly the loops the
+formula assigned to its processor.  For measured wall-clock scaling there
+are two complements: the simulated machines (``repro.machine``) model the
+paper's platforms, and :class:`repro.mp.ProcessPoolRuntime` executes the
+same plans across OS processes over shared memory for real parallelism
+(``repro bench --runtime process``).
 """
 
 from __future__ import annotations

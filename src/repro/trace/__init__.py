@@ -34,6 +34,7 @@ from .export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from .merge import merge_span_reports
 from .tracer import (
     NULL_TRACER,
     NullTracer,
@@ -69,6 +70,7 @@ __all__ = [
     "Tracer",
     "chrome_trace",
     "get_tracer",
+    "merge_span_reports",
     "metrics_table",
     "profile_transform",
     "render_counters",

@@ -2,9 +2,9 @@
 
 A seeded random sweep over the whole configuration space — size, thread
 count (including non-powers-of-two, clamped by ``feasible_threads``),
-vector length µ, breakdown strategy, batch shape — executed on both the
-sequential and pthreads runtimes and compared against numpy to 1e-10
-absolute (measured headroom is ~2e-12 at n=512).
+vector length µ, breakdown strategy, batch shape — executed on the
+sequential, pthreads, and multiprocess runtimes and compared against
+numpy to 1e-10 absolute (measured headroom is ~2e-12 at n=512).
 
 ``REPRO_SEED`` reseeds the sweep; the default (0) makes it a fixed
 regression battery.  See ``repro.seeding``.
@@ -14,6 +14,7 @@ import numpy as np
 import pytest
 
 from repro.frontend import feasible_threads, generate_fft
+from repro.mp import PlanSpec, ProcessPoolRuntime, segment_stats
 from repro.rewrite.breakdown import RADIX_STRATEGIES
 from repro.seeding import default_seed, derive_seed
 from repro.serve.batch_exec import batched_plan, run_batched
@@ -46,7 +47,14 @@ def _sample_cases():
 
 CASES = _sample_cases()
 
+#: multiprocess sweep: every sampled case whose clamped thread count is
+#: parallel, bounded so the (expensive) process pools stay few
+MP_CASES = [
+    c for c in CASES if feasible_threads(c[0], c[1], c[2]) > 1
+][:10]
+
 _POOLS: dict = {}
+_MP_POOLS: dict = {}
 _PROGRAMS: dict = {}
 
 
@@ -54,6 +62,12 @@ def _pool(threads: int) -> PThreadsRuntime:
     if threads not in _POOLS:
         _POOLS[threads] = PThreadsRuntime(threads)
     return _POOLS[threads]
+
+
+def _mp_pool(procs: int) -> ProcessPoolRuntime:
+    if procs not in _MP_POOLS:
+        _MP_POOLS[procs] = ProcessPoolRuntime(procs)
+    return _MP_POOLS[procs]
 
 
 def _program(n, threads, mu, strategy):
@@ -69,7 +83,12 @@ def teardown_module(module):
     for rt in _POOLS.values():
         rt.close()
     _POOLS.clear()
+    for rt in _MP_POOLS.values():
+        rt.close()
+    _MP_POOLS.clear()
     _PROGRAMS.clear()
+    stats = segment_stats()
+    assert stats["live"] == 0, f"leaked shared-memory segments: {stats}"
 
 
 @pytest.mark.parametrize(
@@ -107,6 +126,34 @@ def test_differential_against_numpy(n, req_threads, mu, strategy, batch):
     stages = batched_plan(gen)
     runtime = _pool(threads) if threads > 1 else SequentialRuntime()
     Y, _ = run_batched(stages, n, X, runtime)
+    np.testing.assert_allclose(Y, np.fft.fft(X, axis=-1), atol=ATOL, rtol=0)
+
+
+@pytest.mark.parametrize(
+    "n,req_threads,mu,strategy,batch",
+    MP_CASES,
+    ids=[f"n{n}-p{p}-mu{mu}-{s}-b{b}" for n, p, mu, s, b in MP_CASES],
+)
+def test_differential_process_pool(n, req_threads, mu, strategy, batch):
+    """The multiprocess runtime agrees with numpy on the same sweep.
+
+    Workers compile the PlanSpec locally, so this also fuzzes the
+    determinism claim: master and workers must produce the identical
+    plan for every (n, threads, mu, strategy) drawn.
+    """
+    threads = feasible_threads(n, req_threads, mu)
+    pool = _mp_pool(threads)
+    spec = PlanSpec(n=n, threads=threads, mu=mu, strategy=strategy)
+    rng = np.random.default_rng(
+        derive_seed(default_seed(), "fuzz-mp", n, req_threads, mu, strategy,
+                    batch)
+    )
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    y, _ = pool.execute_spec(spec, x)
+    np.testing.assert_allclose(y, np.fft.fft(x), atol=ATOL, rtol=0)
+
+    X = rng.standard_normal((batch, n)) + 1j * rng.standard_normal((batch, n))
+    Y, _ = pool.execute_spec(spec, X)
     np.testing.assert_allclose(Y, np.fft.fft(X, axis=-1), atol=ATOL, rtol=0)
 
 

@@ -1,0 +1,100 @@
+"""Shared-memory arena: ownership, refcounts, attach, leak accounting."""
+
+import numpy as np
+import pytest
+
+from repro.mp import SharedArena, attach, live_segment_names, segment_stats
+
+
+class TestSharedArena:
+    def test_allocate_and_view(self):
+        with SharedArena(prefix="t-arena") as arena:
+            buf = arena.allocate(64)
+            assert buf.nelems == 64
+            assert buf.array.dtype == np.complex128
+            buf.array[:] = 1 + 2j
+            assert np.all(buf.array == 1 + 2j)
+            assert arena.active == 1
+        assert arena.active == 0
+
+    def test_refcounting(self):
+        arena = SharedArena(prefix="t-ref")
+        buf = arena.allocate(8)
+        buf.acquire()
+        buf.release()          # back to one holder
+        assert buf.live
+        buf.release()          # last reference: unlinked
+        assert not buf.live
+        assert arena.active == 0
+        arena.close()
+
+    def test_close_is_idempotent_and_forces_unlink(self):
+        arena = SharedArena(prefix="t-close")
+        buf = arena.allocate(8)
+        buf.acquire()          # extra reference survives until close
+        arena.close()
+        assert not buf.live
+        arena.close()          # no-op
+        assert arena.active == 0
+
+    def test_allocate_after_close_rejected(self):
+        arena = SharedArena(prefix="t-dead")
+        arena.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            arena.allocate(8)
+
+    def test_bad_size_rejected(self):
+        with SharedArena(prefix="t-bad") as arena:
+            with pytest.raises(ValueError):
+                arena.allocate(0)
+
+    def test_stats_snapshot(self):
+        with SharedArena(prefix="t-stats") as arena:
+            a = arena.allocate(16)
+            arena.allocate(16)
+            a.release()
+            snap = arena.stats.snapshot()
+            assert snap["created"] == 2
+            assert snap["released"] == 1
+            assert snap["active"] == 1
+            assert snap["active_bytes"] == 16 * 16  # complex128
+
+    def test_names_are_unique(self):
+        with SharedArena(prefix="t-uniq") as arena:
+            names = {arena.allocate(4).name for _ in range(8)}
+            assert len(names) == 8
+
+
+class TestAttach:
+    def test_attach_sees_owner_writes(self):
+        with SharedArena(prefix="t-att") as arena:
+            buf = arena.allocate(32)
+            buf.array[:] = np.arange(32)
+            seg = attach(buf.name, 32)
+            np.testing.assert_array_equal(seg.array, buf.array)
+            seg.array[0] = 99  # shared mapping: writes go both ways
+            assert buf.array[0] == 99
+            seg.close()
+            seg.close()  # idempotent
+
+    def test_attach_unknown_name_raises(self):
+        with pytest.raises(FileNotFoundError):
+            attach("no-such-segment-xyz", 8)
+
+
+class TestProcessWideAccounting:
+    def test_registry_tracks_live_segments(self):
+        before = set(live_segment_names())
+        arena = SharedArena(prefix="t-reg")
+        buf = arena.allocate(8)
+        assert buf.name in live_segment_names()
+        arena.close()
+        assert set(live_segment_names()) == before
+
+    def test_counters_balance_after_close(self):
+        arena = SharedArena(prefix="t-bal")
+        for _ in range(3):
+            arena.allocate(8)
+        arena.close()
+        stats = segment_stats()
+        assert stats["created"] - stats["unlinked"] == stats["live"]

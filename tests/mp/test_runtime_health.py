@@ -1,0 +1,103 @@
+"""Health contract + shared-memory hygiene for the process pool.
+
+Mirrors ``tests/smp/test_runtime_health.py``: a killed worker must surface
+as :class:`WorkerPoolBroken` (never a hang or a wrong answer), the broken
+pool must reject further work, and — the process-specific part — every
+shared-memory segment must be unlinked no matter how the pool went down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, fault_plan
+from repro.mp import PlanSpec, ProcessPoolRuntime, segment_stats
+from repro.smp.runtime import WorkerPoolBroken
+
+SPEC = PlanSpec.for_request(256, threads=2)
+
+
+def _vec(n=256, seed=7):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+def _balanced() -> bool:
+    stats = segment_stats()
+    return stats["created"] - stats["unlinked"] == stats["live"]
+
+
+class TestHealthContract:
+    def test_fresh_pool_is_healthy(self):
+        with ProcessPoolRuntime(2) as rt:
+            assert rt.healthy
+        assert not rt.healthy  # closed pools report unhealthy
+
+    def test_worker_crash_surfaces_as_broken_pool(self):
+        rt = ProcessPoolRuntime(2)
+        try:
+            rt.execute_spec(SPEC, _vec())  # warm: plan compiled, pool sane
+            plan = FaultPlan([FaultSpec("mp.worker_crash", max_fires=1)])
+            with fault_plan(plan):
+                with pytest.raises(WorkerPoolBroken):
+                    rt.execute_spec(SPEC, _vec())
+            assert plan.fires("mp.worker_crash") == 1
+            assert not rt.healthy
+        finally:
+            rt.close()
+
+    def test_broken_pool_rejects_further_work(self):
+        rt = ProcessPoolRuntime(2)
+        try:
+            with fault_plan(
+                FaultPlan([FaultSpec("mp.worker_crash", max_fires=1)])
+            ):
+                with pytest.raises(WorkerPoolBroken):
+                    rt.execute_spec(SPEC, _vec())
+            # no fault active anymore: the rejection is pool state
+            with pytest.raises(WorkerPoolBroken):
+                rt.execute_spec(SPEC, _vec())
+        finally:
+            rt.close()
+
+    def test_closed_pool_rejects_work(self):
+        rt = ProcessPoolRuntime(2)
+        rt.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            rt.execute_spec(SPEC, _vec())
+
+    def test_close_is_idempotent(self):
+        rt = ProcessPoolRuntime(2)
+        rt.close()
+        rt.close()
+        assert not rt.healthy
+
+    def test_workers_join_on_close(self):
+        rt = ProcessPoolRuntime(2)
+        procs = list(rt._procs)
+        rt.close()
+        assert all(not pr.is_alive() for pr in procs)
+
+
+class TestSharedMemoryHygiene:
+    def test_no_segments_after_clean_close(self):
+        rt = ProcessPoolRuntime(2)
+        rt.execute_spec(SPEC, _vec())
+        assert rt.segments_active > 0
+        rt.close()
+        assert rt.segments_active == 0
+        assert _balanced()
+
+    def test_no_segments_after_worker_crash(self):
+        rt = ProcessPoolRuntime(2)
+        with fault_plan(
+            FaultPlan([FaultSpec("mp.worker_crash", max_fires=1)])
+        ):
+            with pytest.raises(WorkerPoolBroken):
+                rt.execute_spec(SPEC, _vec())
+        rt.close()
+        assert rt.segments_active == 0
+        assert _balanced()
+
+    def test_no_leaks_recorded(self):
+        """The atexit straggler sweep has never had to rescue a segment."""
+        assert segment_stats()["leaked_at_exit"] == 0
