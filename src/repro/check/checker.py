@@ -1,0 +1,349 @@
+"""Dynamic concurrency-correctness checker for compiled stage plans.
+
+The structural checker (:mod:`repro.spl.properties`) proves Definition 1
+on SPL *formulas*; what the runtimes actually execute are Σ-SPL stage
+plans whose barrier flags were decided by
+:meth:`repro.sigma.loops.SigmaProgram.analyze_barriers`.  This module
+closes that gap: it replays a plan's memory behaviour — every processor's
+gather/scatter index sets, stage by stage over the double buffers — and
+verifies, independently of how the plan was produced:
+
+* **race freedom** — within every unsynchronized window (a maximal run of
+  stages executed with no barrier between them), no processor writes an
+  index of either buffer that another processor reads or writes;
+* **false-sharing freedom** — per parallel stage, per-processor write
+  sets are disjoint at cache-line granularity ``mu`` (element-disjoint
+  but line-sharing splits, invisible to the structural checker, are
+  flagged), cross-checked against the machine simulator's coherence
+  analysis (:func:`repro.machine.coherence.analyze_sharing`);
+* **load balance** — per-processor work of every parallel stage stays
+  within a configurable skew bound of the mean.
+
+Every ``needs_barrier=False`` decision is thereby certified or refuted:
+the window analysis re-derives synchronization requirements from
+per-parity read/write sets — a different algorithm from the access-set
+disjointness used by ``analyze_barriers`` — so a bug in either shows up
+as a disagreement.
+
+Under an active :class:`repro.faults.FaultPlan`, :func:`check_program`
+first passes the plan through :func:`repro.check.negative.apply_check_faults`,
+which can sabotage it (overlapping writes, µ-misaligned split); the
+negative tests and the ``repro check --chaos`` CLI path use this to prove
+the checker actually catches what it claims to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..machine.coherence import analyze_sharing
+from ..sigma.loops import SigmaProgram, Stage
+from ..trace import get_tracer
+
+#: default load-balance bound: max per-proc work / mean per-proc work
+DEFAULT_MAX_SKEW = 1.25
+
+#: how many offending indices a finding names before truncating
+_DETAIL_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One checker diagnostic, anchored to a stage (or window start)."""
+
+    kind: str  #: "race" | "false-sharing" | "load-imbalance" | "elision" | "internal"
+    stage: int
+    severity: str  #: "error" | "warning"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] stage {self.stage} {self.kind}: {self.detail}"
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one :func:`check_program` run."""
+
+    size: int
+    mu: int
+    findings: list[Finding] = field(default_factory=list)
+    stages: int = 0
+    #: unsynchronized windows examined (each starts at an executed barrier)
+    windows: int = 0
+    #: needs_barrier=False boundaries inside multi-stage windows
+    elided: int = 0
+    #: elided boundaries whose window replayed race-free
+    elided_certified: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def render_text(self) -> str:
+        head = (
+            f"check n={self.size} mu={self.mu}: stages={self.stages} "
+            f"windows={self.windows} "
+            f"elided={self.elided_certified}/{self.elided} certified -> "
+            f"{'OK' if self.ok else 'FAIL'}"
+        )
+        return "\n".join([head] + [f"  {f}" for f in self.findings])
+
+
+def _truncate(idx: np.ndarray) -> str:
+    head = ", ".join(str(int(i)) for i in idx[:_DETAIL_LIMIT])
+    more = f", ... ({idx.size} total)" if idx.size > _DETAIL_LIMIT else ""
+    return f"[{head}{more}]"
+
+
+def barrier_windows(program: SigmaProgram) -> list[list[int]]:
+    """Stage indices grouped into unsynchronized execution windows.
+
+    A window is a maximal run of stages with no synchronization between
+    them.  Every runtime fences before a ``needs_barrier=True`` stage and
+    on *both* sides of a sequential stage, so a window is either one
+    fenced stage or a run of parallel stages whose later members carry
+    ``needs_barrier=False``.
+    """
+    windows: list[list[int]] = []
+    cur: list[int] = []
+    for si, stage in enumerate(program.stages):
+        fenced = stage.needs_barrier or not stage.parallel
+        if fenced and cur:
+            windows.append(cur)
+            cur = []
+        cur.append(si)
+        if not stage.parallel:
+            windows.append(cur)
+            cur = []
+    if cur:
+        windows.append(cur)
+    return windows
+
+
+def _window_conflicts(
+    program: SigmaProgram, window: list[int]
+) -> list[Finding]:
+    """Cross-processor read/write conflicts inside one window.
+
+    Accumulates each processor's read and write index sets *per buffer
+    parity* over the window's stages; any index one processor writes
+    while another reads or writes the same buffer is a race (there is no
+    ordering between processors inside the window).
+    """
+    reads: dict[tuple[int, int], list[np.ndarray]] = {}
+    writes: dict[tuple[int, int], list[np.ndarray]] = {}
+    for si in window:
+        stage = program.stages[si]
+        if not stage.parallel:
+            continue
+        src_par, dst_par = si % 2, 1 - si % 2
+        for proc in stage.procs:
+            r, w = stage.reads(proc), stage.writes(proc)
+            if r.size:
+                reads.setdefault((proc, src_par), []).append(r)
+            if w.size:
+                writes.setdefault((proc, dst_par), []).append(w)
+
+    def merged(d, key):
+        parts = d.get(key)
+        return np.unique(np.concatenate(parts)) if parts else None
+
+    procs = sorted({p for (p, _) in set(reads) | set(writes)})
+    findings: list[Finding] = []
+    anchor = window[0]
+    for parity in (0, 1):
+        w_sets = {p: merged(writes, (p, parity)) for p in procs}
+        r_sets = {p: merged(reads, (p, parity)) for p in procs}
+        for a in procs:
+            wa = w_sets[a]
+            if wa is None:
+                continue
+            for b in procs:
+                if b == a:
+                    continue
+                rb = r_sets[b]
+                if rb is not None:
+                    hit = np.intersect1d(wa, rb, assume_unique=True)
+                    if hit.size:
+                        findings.append(Finding(
+                            "race", anchor, "error",
+                            f"proc {a} writes indices proc {b} reads in the "
+                            f"same unsynchronized window (stages {window}): "
+                            f"{_truncate(hit)}",
+                        ))
+                wb = w_sets[b]
+                if b > a and wb is not None:
+                    hit = np.intersect1d(wa, wb, assume_unique=True)
+                    if hit.size:
+                        findings.append(Finding(
+                            "race", anchor, "error",
+                            f"procs {a} and {b} both write indices in the "
+                            f"same unsynchronized window (stages {window}): "
+                            f"overlapping writes {_truncate(hit)}",
+                        ))
+    return findings
+
+
+def _window_line_sharing(
+    program: SigmaProgram, window: list[int], mu: int
+) -> list[Finding]:
+    """Cache-line sharing across an elided (multi-stage) window.
+
+    Even when element sets are disjoint (race-free), two processors
+    touching the same line inside an unsynchronized window ping-pong its
+    ownership with no fence bounding the episode — the hazard the
+    µ-aware mode of ``analyze_barriers`` refuses to elide over.
+    """
+    if len(window) < 2 or mu <= 1:
+        return []
+    acc: dict[int, list[np.ndarray]] = {}
+    for si in window:
+        stage = program.stages[si]
+        for proc in stage.procs:
+            acc.setdefault(proc, []).append(stage.reads(proc) // mu)
+            acc.setdefault(proc, []).append(stage.writes(proc) // mu)
+    lines = {p: np.unique(np.concatenate(parts)) for p, parts in acc.items()}
+    procs = sorted(lines)
+    findings = []
+    for i, a in enumerate(procs):
+        for b in procs[i + 1:]:
+            hit = np.intersect1d(lines[a], lines[b], assume_unique=True)
+            if hit.size:
+                findings.append(Finding(
+                    "elision", window[0], "warning",
+                    f"barrier-free chain (stages {window}) shares cache "
+                    f"line(s) {_truncate(hit)} between procs {a} and {b} "
+                    f"at mu={mu}; re-run analyze_barriers(mu={mu}) to "
+                    f"fence the chain",
+                ))
+    return findings
+
+
+def _stage_false_sharing(
+    stage: Stage, si: int, mu: int
+) -> tuple[list[Finding], int]:
+    """Per-stage write-set disjointness at line granularity ``mu``.
+
+    Returns the findings plus the falsely shared line set (for the
+    cross-check against the coherence simulator).
+    """
+    procs = stage.procs
+    if not stage.parallel or len(procs) < 2:
+        return [], set()
+    elems = {p: np.unique(stage.writes(p)) for p in procs}
+    lines = {p: np.unique(elems[p] // mu) for p in procs}
+    findings: list[Finding] = []
+    shared: set[int] = set()
+    for i, a in enumerate(procs):
+        for b in procs[i + 1:]:
+            hit = np.intersect1d(lines[a], lines[b], assume_unique=True)
+            if not hit.size:
+                continue
+            shared.update(int(x) for x in hit)
+            elem_hit = np.intersect1d(
+                elems[a], elems[b], assume_unique=True
+            )
+            note = (
+                "mu-misaligned split: element-disjoint but line-sharing "
+                "(invisible to the structural Definition 1 checker)"
+                if not elem_hit.size
+                else "write sets overlap at element granularity too"
+            )
+            findings.append(Finding(
+                "false-sharing", si, "error",
+                f"procs {a} and {b} write the same cache line(s) "
+                f"{_truncate(hit)} at mu={mu}; {note}",
+            ))
+    return findings, shared
+
+
+def _stage_load_balance(
+    stage: Stage, si: int, max_skew: float
+) -> list[Finding]:
+    """Per-processor work skew of one parallel stage."""
+    procs = stage.procs
+    if not stage.parallel or len(procs) < 2:
+        return []
+    work = {p: float(sum(lp.flops() for lp in stage.loops_for(p)))
+            for p in procs}
+    if not any(work.values()):
+        # pure data-movement stage: balance by elements moved instead
+        work = {p: float(stage.writes(p).size) for p in procs}
+    mean = sum(work.values()) / len(procs)
+    if mean == 0:
+        return []
+    worst = max(work, key=work.get)
+    skew = work[worst] / mean
+    if skew <= max_skew:
+        return []
+    return [Finding(
+        "load-imbalance", si, "error",
+        f"proc {worst} carries {skew:.2f}x the mean stage work "
+        f"(bound {max_skew:.2f}); per-proc work: "
+        + ", ".join(f"p{p}={work[p]:.0f}" for p in procs),
+    )]
+
+
+def check_program(
+    program: SigmaProgram,
+    mu: int,
+    max_skew: float = DEFAULT_MAX_SKEW,
+) -> CheckReport:
+    """Replay ``program``'s memory behaviour and certify its concurrency.
+
+    ``mu`` is the cache-line length in elements.  Under an active
+    :class:`repro.faults.FaultPlan` the plan is first passed through
+    :func:`~repro.check.negative.apply_check_faults` (the seeded-sabotage
+    path used by the negative tests).  Emits ``check.*`` counters on the
+    active tracer.
+    """
+    if mu < 1:
+        raise ValueError(f"need mu >= 1, got {mu}")
+    from .negative import apply_check_faults
+
+    program = apply_check_faults(program)
+    tr = get_tracer()
+    report = CheckReport(size=program.size, mu=mu,
+                         stages=len(program.stages))
+
+    windows = barrier_windows(program)
+    report.windows = len(windows)
+    for window in windows:
+        conflicts = _window_conflicts(program, window)
+        report.findings.extend(conflicts)
+        report.findings.extend(_window_line_sharing(program, window, mu))
+        n_elided = len(window) - 1
+        report.elided += n_elided
+        if not conflicts:
+            report.elided_certified += n_elided
+
+    # per-stage false sharing, cross-checked against the coherence model
+    sharing = analyze_sharing(program, mu)
+    for si, stage in enumerate(program.stages):
+        fs, shared = _stage_false_sharing(stage, si, mu)
+        report.findings.extend(fs)
+        model = set(int(x) for x in sharing.stages[si].shared_line_ids)
+        if model != shared:
+            report.findings.append(Finding(
+                "internal", si, "error",
+                f"checker finds falsely shared line(s) {sorted(shared)} but "
+                f"the coherence simulator reports {sorted(model)}; the two "
+                f"analyses must agree",
+            ))
+        report.findings.extend(_stage_load_balance(stage, si, max_skew))
+
+    if tr.enabled:
+        tr.count("check.windows", report.windows)
+        tr.count("check.elided_certified", report.elided_certified)
+        tr.count("check.findings", len(report.findings))
+    return report

@@ -10,6 +10,9 @@ Commands
 ``profile``   trace one transform end to end and print the per-stage report
 ``serve``     run the TCP/JSON FFT service (plan cache + request batching)
 ``loadgen``   drive a running server; throughput/latency report + JSON
+``check``     dynamic concurrency certification: replay the pipeline's
+              plans and verify race freedom, false-sharing freedom at µ,
+              and load balance (non-zero exit on any violation)
 
 ``generate``, ``bench``, ``search``, and ``profile`` accept ``--trace PATH``:
 the whole command runs under a :mod:`repro.trace` tracer and the collected
@@ -82,7 +85,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                 else derive_sequential_ct(args.n)
             )
             f = expand_dft(base, "balanced", min_leaf=32)
-            src = generate_c(lower(f), mode=args.mode)
+            src = generate_c(lower(f, barrier_mu=args.mu), mode=args.mode)
             print(src.source)
         else:
             print(gen.source)
@@ -225,6 +228,78 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             server.server_close()
             service.close()
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Sweep the pipeline's plans through the dynamic concurrency checker."""
+    from .check import check_program, compare_plans
+    from .frontend import feasible_threads, generate_fft
+    from .mp.spec import PlanSpec, compile_spec
+
+    if args.chaos:
+        # fault_plan (not a bare set) so in-process callers — the
+        # negative tests drive main() directly — get the plan restored
+        from .faults import fault_plan, parse_chaos_spec
+
+        chaos_ctx = fault_plan(
+            parse_chaos_spec(args.chaos, seed=args.chaos_seed)
+        )
+        print(
+            f"# chaos mode: {args.chaos} (seed={args.chaos_seed})",
+            file=sys.stderr,
+        )
+    else:
+        chaos_ctx = contextlib.nullcontext()
+    threads_list = [int(t) for t in args.threads.split(",") if t]
+    mu_list = [int(m) for m in args.mu.split(",") if m]
+    runtimes = (
+        ["thread", "process"] if args.runtime == "both" else [args.runtime]
+    )
+    failures = 0
+    checked = 0
+    with chaos_ctx, _maybe_tracing(args):
+        for k in range(args.kmin, args.kmax + 1):
+            n = 1 << k
+            for p in threads_list:
+                for mu in mu_list:
+                    t = feasible_threads(n, p, mu) if p > 1 else 1
+                    programs = {}
+                    if "thread" in runtimes:
+                        programs["thread"] = generate_fft(
+                            n, threads=t, mu=mu, strategy=args.strategy
+                        ).program
+                    if "process" in runtimes:
+                        # the plan the process pool workers compile locally
+                        spec = PlanSpec(
+                            n=n, threads=t, mu=mu, strategy=args.strategy
+                        )
+                        programs["process"] = compile_spec(spec).program.program
+                    for rt, prog in programs.items():
+                        report = check_program(prog, mu, max_skew=args.skew)
+                        checked += 1
+                        status = "OK" if report.ok else "FAIL"
+                        print(
+                            f"n=2^{k} p={p}(t={t}) mu={mu} {rt}: "
+                            f"stages={report.stages} "
+                            f"windows={report.windows} "
+                            f"elided={report.elided_certified}/"
+                            f"{report.elided} {status}"
+                        )
+                        for f in report.findings:
+                            print(f"  {f}")
+                        if not report.ok:
+                            failures += 1
+                    if len(programs) == 2:
+                        for f in compare_plans(
+                            programs["thread"], programs["process"]
+                        ):
+                            print(f"n=2^{k} p={p} mu={mu}  {f}")
+                            failures += 1
+    print(
+        f"# {checked} plan(s) checked, {failures} failure(s)",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
@@ -482,6 +557,60 @@ def build_parser() -> argparse.ArgumentParser:
         "default), every result (all), or skip (none)",
     )
     lg.set_defaults(fn=_cmd_loadgen)
+
+    ck = sub.add_parser(
+        "check",
+        help="replay generated plans; certify race freedom, false-sharing "
+        "freedom at mu, and load balance (non-zero exit on violations)",
+    )
+    ck.add_argument("--kmin", type=int, default=4)
+    ck.add_argument("--kmax", type=int, default=12)
+    ck.add_argument(
+        "--threads",
+        "-p",
+        default="2,4",
+        help="comma-separated requested processor counts (clamped by "
+        "feasible_threads per size)",
+    )
+    ck.add_argument(
+        "--mu",
+        default="1,2,4",
+        help="comma-separated cache-line lengths (elements) to certify",
+    )
+    ck.add_argument(
+        "--strategy",
+        default="balanced",
+        help="breakdown strategy for the generated plans",
+    )
+    ck.add_argument(
+        "--skew",
+        type=float,
+        default=1.25,
+        help="load-balance bound: max per-proc work over the mean",
+    )
+    ck.add_argument(
+        "--runtime",
+        choices=["thread", "process", "both"],
+        default="both",
+        help="which runtime's plan to check: the thread plan, the plan "
+        "process-pool workers compile from a PlanSpec, or both "
+        "(cross-checked for determinism)",
+    )
+    ck.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="sabotage plans before checking, e.g. "
+        "'check.overlapping_write:1.0' — the checker must fail",
+    )
+    ck.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the chaos fault plan's random stream",
+    )
+    add_trace_flag(ck)
+    ck.set_defaults(fn=_cmd_check)
     return p
 
 

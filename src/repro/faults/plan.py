@@ -45,6 +45,10 @@ INJECTION_POINTS: dict[str, str] = {
     "serve.dispatcher_crash": "FFTService dispatcher thread dies",
     "net.conn_reset": "FFTServer handler resets the TCP connection",
     "net.poison_payload": "FFTServer corrupts one request into an error",
+    "check.overlapping_write": "repro.check sabotages a plan with a "
+    "cross-processor write/write overlap (negative checker test)",
+    "check.misaligned_split": "repro.check sabotages a plan with a "
+    "mu-misaligned processor split (negative checker test)",
 }
 
 

@@ -79,7 +79,9 @@ def generate_fft(
     tr = get_tracer()
     with tr.span("generate_fft", "frontend", n=n, threads=threads, mu=mu):
         f = spiral_formula(n, threads, mu, strategy, min_leaf)
-        return generate(lower(f))
+        # mu-aware elision: unsynchronized chains must be line-disjoint,
+        # not just element-disjoint (certified by `repro check`)
+        return generate(lower(f, barrier_mu=mu))
 
 
 @dataclass
@@ -117,7 +119,7 @@ class SpiralSMP:
             f = spiral_formula(
                 n, threads, self.spec.mu, self.strategy, self.min_leaf
             )
-            self._programs[key] = lower(f)
+            self._programs[key] = lower(f, barrier_mu=self.spec.mu)
         return self._programs[key]
 
     def cost(

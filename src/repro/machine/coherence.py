@@ -44,6 +44,10 @@ class StageSharing:
     false_shared_lines: int = 0
     #: estimated ownership bounces caused by falsely shared lines
     false_sharing_bounces: int = 0
+    #: the line indices themselves (diagnostics for repro.check)
+    shared_line_ids: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
 
 
 @dataclass
@@ -120,6 +124,7 @@ def analyze_sharing(program: SigmaProgram, mu: int) -> SharingReport:
                 np.add.at(word_writes, w // mu, 1)
             shared = counts >= 2
             sharing.false_shared_lines = int(np.count_nonzero(shared))
+            sharing.shared_line_ids = np.flatnonzero(shared)
             # each word write to a contended line may bounce ownership
             sharing.false_sharing_bounces = int(word_writes[shared].sum())
 

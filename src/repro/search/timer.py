@@ -2,12 +2,32 @@
 
 from __future__ import annotations
 
+import contextlib
+import gc
 import time
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
 
 import numpy as np
 
 from ..spl.expr import COMPLEX
+
+
+@contextlib.contextmanager
+def _gc_paused() -> Iterator[None]:
+    """Disable the garbage collector around a timed region.
+
+    A GC cycle landing inside one repeat inflates it by orders of
+    magnitude; with a best-of-``repeats`` estimator a single clean repeat
+    recovers, but pausing collection removes the noise source entirely.
+    The collector's prior state is restored even on error.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 def time_callable(
@@ -20,17 +40,22 @@ def time_callable(
     """Best-of-``repeats`` wall-clock seconds for one application of ``fn``.
 
     Minimum over repeats is the standard noise-robust estimator for
-    autotuning (Spiral and FFTW both time this way).
+    autotuning (Spiral and FFTW both time this way).  At least one warmup
+    application always runs before timing starts — the first call pays
+    one-time costs (twiddle-table construction, plan-cache fill, code
+    paths never JITed) that would otherwise bias the measurement — and
+    the garbage collector is paused across the timed repeats.
     """
     rng = rng or np.random.default_rng(0)
     x = (rng.standard_normal(n) + 1j * rng.standard_normal(n)).astype(COMPLEX)
-    for _ in range(warmup):
+    for _ in range(max(1, warmup)):
         fn(x)
     best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn(x)
-        best = min(best, time.perf_counter() - t0)
+    with _gc_paused():
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn(x)
+            best = min(best, time.perf_counter() - t0)
     return best
 
 
@@ -48,7 +73,9 @@ def time_batched_callable(
     and the process pool execute stacked request batches, so their
     throughput is timed on the same ``(b, n)`` shape they run in
     production.  Returns total seconds per application (divide by
-    ``batch`` for per-vector time).
+    ``batch`` for per-vector time).  Applies the same cold-start
+    discipline as :func:`time_callable`: at least one warmup run, GC
+    paused across the timed repeats.
     """
     if batch < 1:
         raise ValueError(f"need batch >= 1, got {batch}")
@@ -56,13 +83,14 @@ def time_batched_callable(
     x = (
         rng.standard_normal((batch, n)) + 1j * rng.standard_normal((batch, n))
     ).astype(COMPLEX)
-    for _ in range(warmup):
+    for _ in range(max(1, warmup)):
         fn(x)
     best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn(x)
-        best = min(best, time.perf_counter() - t0)
+    with _gc_paused():
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn(x)
+            best = min(best, time.perf_counter() - t0)
     return best
 
 

@@ -23,7 +23,7 @@ activated by ``repro serve --chaos`` or a test's ``fault_plan(...)`` scope.
 """
 
 from .batch_exec import batched_plan, batched_stages, run_batched
-from .client import RemoteError, RetryPolicy, ServeClient
+from .client import RemoteError, RetryPolicy, ServeClient, jitter_rng
 from .loadgen import LoadgenConfig, render_report, run_loadgen
 from .plan_cache import CachedPlan, CacheStats, PlanCache, PlanKey
 from .server import FFTServer, serve
@@ -51,6 +51,7 @@ __all__ = [
     "RemoteError",
     "RetryPolicy",
     "ServeClient",
+    "jitter_rng",
     "ServeConfig",
     "ServeError",
     "ServiceClosed",

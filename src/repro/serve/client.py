@@ -23,6 +23,7 @@ idempotent and side-effect free.
 
 from __future__ import annotations
 
+import itertools
 import random
 import socket
 import time
@@ -31,8 +32,34 @@ from typing import Optional
 
 import numpy as np
 
+from ..seeding import default_seed, derive_seed
 from .protocol import RETRYABLE_CODES, decode_array, dump_line, read_frame, \
     write_frame
+
+#: per-process client counter; decorrelates jitter streams of a fleet of
+#: clients sharing one ``REPRO_SEED``
+_CLIENT_IDS = itertools.count()
+
+
+def jitter_rng(policy: "RetryPolicy",
+               client_index: Optional[int] = None) -> random.Random:
+    """The backoff-jitter RNG for one client under ``policy``.
+
+    An explicit ``policy.seed`` is honored verbatim.  Otherwise the
+    stream derives from the process seed (``REPRO_SEED`` via
+    :func:`repro.seeding.default_seed`) and the client's index, so a
+    chaos run replays the exact same backoff schedule under the same
+    seed — seeding from ``random.Random(None)`` (OS entropy) made retry
+    timing the one unreproducible part of an otherwise deterministic
+    fault plan.
+    """
+    if policy.seed is not None:
+        return random.Random(policy.seed)
+    if client_index is None:
+        client_index = next(_CLIENT_IDS)
+    return random.Random(
+        derive_seed(default_seed(), "serve.client.jitter", client_index)
+    )
 
 
 class RemoteError(Exception):
@@ -82,7 +109,7 @@ class ServeClient:
         self._port = port
         self._timeout = timeout
         self.retry_policy = retry or RetryPolicy()
-        self._rng = random.Random(self.retry_policy.seed)
+        self._rng = jitter_rng(self.retry_policy)
         self._next_id = 0
         self.retries_total = 0
         self.reconnects_total = 0

@@ -186,7 +186,7 @@ class SigmaProgram:
     def parallel_stage_count(self) -> int:
         return sum(1 for s in self.stages if s.parallel)
 
-    def analyze_barriers(self) -> None:
+    def analyze_barriers(self, mu: int = 1) -> None:
         """Elide barriers between stages whose dataflow is processor-private.
 
         Workers run unsynchronized through consecutive barrier-free stages,
@@ -197,16 +197,29 @@ class SigmaProgram:
         same processor's earlier writes (stage writes partition the output,
         so a cross-processor producer would intersect access sets).
 
+        ``mu`` sets the disjointness granularity in elements.  The default
+        (1) checks element indices — race freedom only.  Passing the cache
+        line length checks *line* indices instead, which is strictly
+        stronger: an element-disjoint but line-sharing chain is race-free
+        yet ping-pongs line ownership with no fence bounding the episode,
+        so the µ-aware mode keeps its barrier.  The dynamic checker
+        (:mod:`repro.check`) flags exactly those chains when a plan was
+        analyzed µ-obliviously.
+
         The first stage never needs a barrier (inputs are ready before the
         plan starts).
         """
+        if mu < 1:
+            raise ValueError(f"need mu >= 1, got {mu}")
         if not self.stages:
             return
         self.stages[0].needs_barrier = False
         # per-proc cumulative access sets since the last barrier
-        chain: dict[int, np.ndarray] = self._stage_accesses(self.stages[0])
+        chain: dict[int, np.ndarray] = self._stage_accesses(
+            self.stages[0], mu
+        )
         for cur in self.stages[1:]:
-            cur_acc = self._stage_accesses(cur)
+            cur_acc = self._stage_accesses(cur, mu)
             merged = self._merge_accesses(chain, cur_acc)
             if (
                 cur.parallel
@@ -220,12 +233,12 @@ class SigmaProgram:
                 chain = cur_acc if cur.parallel else {}
 
     @staticmethod
-    def _stage_accesses(stage: Stage) -> dict[int, np.ndarray]:
+    def _stage_accesses(stage: Stage, mu: int = 1) -> dict[int, np.ndarray]:
         if not stage.parallel:
             return {}
         return {
             proc: np.unique(
-                np.concatenate([stage.reads(proc), stage.writes(proc)])
+                np.concatenate([stage.reads(proc), stage.writes(proc)]) // mu
             )
             for proc in stage.procs
         }

@@ -153,6 +153,7 @@ def lower(
     merge_diagonals: bool = True,
     copy_procs: Optional[int] = None,
     validate: bool = False,
+    barrier_mu: int = 1,
 ) -> SigmaProgram:
     """Lower a formula to a Sigma-SPL loop program.
 
@@ -165,6 +166,12 @@ def lower(
         Parallelize explicit passes over this many processors.
     validate:
         Run the O(n log n) structural validation after building.
+    barrier_mu:
+        Granularity of the barrier-elision disjointness check
+        (:meth:`SigmaProgram.analyze_barriers`): 1 (default) elides on
+        element disjointness; the machine's cache line length elides only
+        line-disjoint chains (no unsynchronized false sharing).  The
+        frontend passes the target µ.
 
     Emits a ``sigma.lower`` span plus ``sigma.stages`` / ``sigma.barriers``
     / ``sigma.barriers_elided`` counters describing the built pipeline.
@@ -172,7 +179,8 @@ def lower(
     tr = get_tracer()
     with tr.span("sigma.lower", "sigma") as span:
         program = _lower_impl(
-            expr, merge_permutations, merge_diagonals, copy_procs, validate
+            expr, merge_permutations, merge_diagonals, copy_procs, validate,
+            barrier_mu,
         )
         if tr.enabled:
             barriers = program.barrier_count()
@@ -194,6 +202,7 @@ def _lower_impl(
     merge_diagonals: bool,
     copy_procs: Optional[int],
     validate: bool,
+    barrier_mu: int = 1,
 ) -> SigmaProgram:
     if isinstance(expr, SMP):
         raise LoweringError("formula still carries smp() tags; parallelize first")
@@ -290,7 +299,7 @@ def _lower_impl(
             flush_pending_as_stage("explicit-perm")
 
     program = SigmaProgram(size=n, stages=stages)
-    program.analyze_barriers()
+    program.analyze_barriers(mu=barrier_mu)
     if validate:
         program.validate()
     return program

@@ -30,6 +30,7 @@ from .properties import (
     is_load_balanced,
     is_parallel_construct,
     parallel_region_count,
+    verify_definition1_dynamically,
 )
 
 __all__ = [
@@ -64,6 +65,7 @@ __all__ = [
     "is_load_balanced",
     "is_parallel_construct",
     "parallel_region_count",
+    "verify_definition1_dynamically",
     "smp",
     "tensor",
     "transpose",

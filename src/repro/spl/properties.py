@@ -113,6 +113,29 @@ def check_fully_optimized(expr: Expr, p: int, mu: int) -> CheckResult:
     )
 
 
+def verify_definition1_dynamically(
+    expr: Expr, p: int, mu: int, max_skew: float = 1.25
+) -> CheckResult:
+    """Cross-check Definition 1 on the *lowered plan*, not the formula.
+
+    Lowers ``expr`` and replays its stage plan through the dynamic
+    concurrency checker (:mod:`repro.check`): race freedom over every
+    barrier-elided window, false-sharing freedom at line granularity
+    ``mu``, and per-stage load balance within ``max_skew``.  The
+    structural verdict of :func:`check_fully_optimized` implies this one
+    on honestly lowered formulas; a disagreement localizes a bug in the
+    rewriting, the lowering, or the barrier analysis.
+    """
+    from ..check import check_program
+    from ..sigma.lower import lower
+
+    report = check_program(lower(expr, barrier_mu=mu), mu, max_skew=max_skew)
+    if report.ok:
+        return CheckResult(True)
+    reasons = "; ".join(str(f) for f in report.errors[:3])
+    return CheckResult(False, f"dynamic check failed: {reasons}")
+
+
 def is_load_balanced(expr: Expr, p: int, mu: int) -> bool:
     """Definition 1 load-balance predicate (structural)."""
     return bool(check_fully_optimized(expr, p, mu))

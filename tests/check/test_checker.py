@@ -1,0 +1,206 @@
+"""Unit tests for the dynamic concurrency checker (repro.check).
+
+The generated pipelines are concurrency-clean by construction, so the
+interesting behaviours — races inside elided windows, µ-misaligned
+splits, load skew — are exercised on hand-built synthetic plans, and
+the clean verdict is then confirmed on real generated plans.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check import (
+    DEFAULT_MAX_SKEW,
+    barrier_windows,
+    check_program,
+)
+from repro.frontend import generate_fft
+from repro.sigma.loops import BlockLoop, SigmaProgram, Stage
+from repro.spl import F2, I
+
+
+def chunk_stage(owners, *, reads=None, parallel=True, needs_barrier=True,
+                name=""):
+    """One stage where proc ``p`` writes ``owners[p]`` and reads
+    ``reads[p]`` (defaults to its own write set)."""
+    reads = reads or owners
+    loops = []
+    for proc, w_idx in owners.items():
+        w = np.asarray(w_idx).reshape(1, -1)
+        r = np.asarray(reads[proc]).reshape(1, -1)
+        loops.append(BlockLoop(
+            kernel=I(w.shape[1]), gather=r, scatter=w,
+            proc=proc if parallel else None,
+        ))
+    return Stage(loops, parallel=parallel, needs_barrier=needs_barrier,
+                 name=name)
+
+
+def program(*stages, size=8):
+    return SigmaProgram(size=size, stages=list(stages))
+
+
+HALVES = {0: range(0, 4), 1: range(4, 8)}
+
+
+class TestBarrierWindows:
+    def test_fenced_stages_are_singleton_windows(self):
+        prog = program(chunk_stage(HALVES), chunk_stage(HALVES))
+        assert barrier_windows(prog) == [[0], [1]]
+
+    def test_elided_stage_joins_window(self):
+        prog = program(
+            chunk_stage(HALVES),
+            chunk_stage(HALVES, needs_barrier=False),
+            chunk_stage(HALVES),
+        )
+        assert barrier_windows(prog) == [[0, 1], [2]]
+
+    def test_sequential_stage_closes_both_sides(self):
+        prog = program(
+            chunk_stage(HALVES),
+            chunk_stage({0: range(8)}, parallel=False, needs_barrier=False),
+            chunk_stage(HALVES, needs_barrier=False),
+        )
+        # the sequential stage fences before AND after itself, so the
+        # trailing needs_barrier=False stage still opens a new window
+        assert barrier_windows(prog) == [[0], [1], [2]]
+
+
+class TestRaceDetection:
+    def test_clean_fenced_plan_passes(self):
+        report = check_program(program(chunk_stage(HALVES),
+                                       chunk_stage(HALVES)), mu=1)
+        assert report.ok
+        assert report.windows == 2
+        assert (report.elided, report.elided_certified) == (0, 0)
+
+    def test_private_elided_window_is_certified(self):
+        report = check_program(program(
+            chunk_stage(HALVES),
+            chunk_stage(HALVES, needs_barrier=False),
+        ), mu=1)
+        assert report.ok
+        assert report.windows == 1
+        assert (report.elided, report.elided_certified) == (1, 1)
+
+    def test_cross_proc_read_in_elided_window_is_a_race(self):
+        # stage 0 writes parity 1; stage 1 reads parity 1 -- proc 0 reads
+        # proc 1's fresh writes with no barrier between the stages.
+        swapped = {0: range(4, 8), 1: range(0, 4)}
+        report = check_program(program(
+            chunk_stage(HALVES),
+            chunk_stage(HALVES, reads=swapped, needs_barrier=False),
+        ), mu=1)
+        assert not report.ok
+        kinds = {f.kind for f in report.errors}
+        assert kinds == {"race"}
+        assert report.elided_certified == 0
+        assert any("writes indices" in f.detail and "reads" in f.detail
+                   for f in report.errors)
+
+    def test_overlapping_writes_in_one_stage_are_a_race(self):
+        overlap = {0: [0, 1, 2, 3], 1: [3, 4, 5, 6]}
+        report = check_program(program(chunk_stage(overlap)), mu=1)
+        assert not report.ok
+        assert any(f.kind == "race" and "overlapping writes" in f.detail
+                   for f in report.errors)
+
+    def test_distinct_parities_do_not_conflict(self):
+        # stage 0 writes parity 1, stage 1 writes parity 0: the same
+        # indices on different buffers are not a conflict.
+        report = check_program(program(
+            chunk_stage(HALVES),
+            chunk_stage(HALVES, needs_barrier=False),
+            chunk_stage(HALVES, needs_barrier=False),
+        ), mu=1)
+        assert report.ok
+        assert report.elided_certified == 2
+
+
+class TestFalseSharing:
+    def test_misaligned_split_flagged_at_line_granularity(self):
+        # element-disjoint partition of [0, 8) that straddles mu=4 lines
+        misaligned = {0: [0, 1, 2, 5], 1: [3, 4, 6, 7]}
+        report = check_program(program(chunk_stage(misaligned)), mu=4)
+        assert not report.ok
+        fs = [f for f in report.errors if f.kind == "false-sharing"]
+        assert fs, report.render_text()
+        assert "mu-misaligned split" in fs[0].detail
+
+    def test_same_split_clean_at_element_granularity(self):
+        misaligned = {0: [0, 1, 2, 5], 1: [3, 4, 6, 7]}
+        assert check_program(program(chunk_stage(misaligned)), mu=1).ok
+
+    def test_aligned_split_clean_at_line_granularity(self):
+        assert check_program(program(chunk_stage(HALVES)), mu=4).ok
+
+    def test_element_overlap_noted_in_detail(self):
+        overlap = {0: [0, 1, 2, 3], 1: [3, 4, 5, 6]}
+        report = check_program(program(chunk_stage(overlap)), mu=4)
+        fs = [f for f in report.errors if f.kind == "false-sharing"]
+        assert any("element granularity" in f.detail for f in fs)
+
+    def test_elided_line_sharing_window_warns(self):
+        # each stage is mu-aligned per se, but across the elided window
+        # the procs' line sets overlap after the swap of line 1
+        s0 = {0: [0, 1, 2, 3], 1: [4, 5, 6, 7]}
+        s1 = {0: [0, 1, 6, 7], 1: [4, 5, 2, 3]}
+        report = check_program(program(
+            chunk_stage(s0),
+            chunk_stage(s1, needs_barrier=False),
+        ), mu=2)
+        assert any(f.kind == "elision" for f in report.warnings), (
+            report.render_text()
+        )
+
+
+class TestLoadBalance:
+    def test_skewed_flops_flagged(self):
+        pair = np.arange(2).reshape(1, 2)
+        loops = [BlockLoop(kernel=F2(), gather=pair + 2 * j,
+                           scatter=pair + 2 * j, proc=0 if j < 3 else 1)
+                 for j in range(4)]
+        stage = Stage(loops, parallel=True, needs_barrier=True)
+        report = check_program(program(stage), mu=1)
+        imb = [f for f in report.errors if f.kind == "load-imbalance"]
+        assert imb and "p0=" in imb[0].detail
+
+    def test_zero_flop_stage_balances_by_elements(self):
+        skew = {0: range(0, 7), 1: range(7, 8)}
+        report = check_program(program(chunk_stage(skew)), mu=1)
+        assert any(f.kind == "load-imbalance" for f in report.errors)
+
+    def test_balanced_stage_within_default_skew(self):
+        report = check_program(program(chunk_stage(HALVES)), mu=1,
+                               max_skew=DEFAULT_MAX_SKEW)
+        assert not [f for f in report.findings
+                    if f.kind == "load-imbalance"]
+
+    def test_custom_skew_bound(self):
+        skew = {0: range(0, 5), 1: range(5, 8)}  # 1.25x the mean
+        assert check_program(program(chunk_stage(skew)), mu=1).ok
+        report = check_program(program(chunk_stage(skew)), mu=1,
+                               max_skew=1.1)
+        assert any(f.kind == "load-imbalance" for f in report.errors)
+
+
+class TestGeneratedPlans:
+    @pytest.mark.parametrize("n,t", [(64, 2), (256, 4)])
+    @pytest.mark.parametrize("mu", [1, 2, 4])
+    def test_generated_plans_are_clean(self, n, t, mu):
+        prog = generate_fft(n, threads=t, mu=mu).program
+        report = check_program(prog, mu)
+        assert report.ok, report.render_text()
+        # the coherence-simulator cross-check must agree everywhere
+        assert not [f for f in report.findings if f.kind == "internal"]
+
+    def test_report_rendering(self):
+        prog = generate_fft(64, threads=2, mu=2).program
+        text = check_program(prog, 2).render_text()
+        assert text.startswith("check n=64 mu=2:")
+        assert "-> OK" in text
+
+    def test_mu_validation(self):
+        with pytest.raises(ValueError):
+            check_program(program(chunk_stage(HALVES)), mu=0)

@@ -13,12 +13,15 @@ regression battery.  See ``repro.seeding``.
 import numpy as np
 import pytest
 
-from repro.frontend import feasible_threads, generate_fft
+from repro.check import check_program
+from repro.faults import FaultPlan, FaultSpec, fault_plan
+from repro.frontend import feasible_threads, generate_fft, spiral_formula
 from repro.mp import PlanSpec, ProcessPoolRuntime, segment_stats
 from repro.rewrite.breakdown import RADIX_STRATEGIES
 from repro.seeding import default_seed, derive_seed
 from repro.serve.batch_exec import batched_plan, run_batched
 from repro.smp import PThreadsRuntime, SequentialRuntime
+from repro.spl import is_fully_optimized
 
 ATOL = 1e-10
 
@@ -155,6 +158,62 @@ def test_differential_process_pool(n, req_threads, mu, strategy, batch):
     X = rng.standard_normal((batch, n)) + 1j * rng.standard_normal((batch, n))
     Y, _ = pool.execute_spec(spec, X)
     np.testing.assert_allclose(Y, np.fft.fft(X, axis=-1), atol=ATOL, rtol=0)
+
+
+@pytest.mark.parametrize(
+    "n,req_threads,mu,strategy,batch",
+    CASES,
+    ids=[f"n{n}-p{p}-mu{mu}-{s}-b{b}" for n, p, mu, s, b in CASES],
+)
+def test_structural_verdict_implies_dynamic(n, req_threads, mu, strategy,
+                                            batch):
+    """Definition 1 differential: structural checker vs dynamic replay.
+
+    The structural verdict on the formula must imply the dynamic verdict
+    on its lowered plan; the dynamic verdict must hold on every sampled
+    configuration regardless (the pipeline only emits clean plans).
+    """
+    threads = feasible_threads(n, req_threads, mu)
+    gen = _program(n, threads, mu, strategy)
+    report = check_program(gen.program, mu)
+    assert report.ok, report.render_text()
+    if threads > 1:
+        f = spiral_formula(n, threads, mu, strategy)
+        if is_fully_optimized(f, threads, mu):
+            assert report.ok  # structural OK may never contradict dynamic
+
+
+#: parallel cases where a mu-misaligned split is line-visible
+SABOTAGE_CASES = sorted(
+    {
+        (n, feasible_threads(n, p, mu), mu, s)
+        for n, p, mu, s, _ in CASES
+        if mu >= 2 and feasible_threads(n, p, mu) > 1
+    }
+)[:6]
+
+
+@pytest.mark.parametrize(
+    "n,threads,mu,strategy",
+    SABOTAGE_CASES,
+    ids=[f"n{n}-t{t}-mu{mu}-{s}" for n, t, mu, s in SABOTAGE_CASES],
+)
+def test_sabotage_flips_only_the_dynamic_verdict(n, threads, mu, strategy):
+    """Seeded sabotage is invisible structurally but caught dynamically.
+
+    The fault plane mutates the *plan* (after lowering), so the formula
+    still satisfies Definition 1 — only the dynamic replay can notice.
+    """
+    gen = _program(n, threads, mu, strategy)
+    spec = FaultSpec("check.misaligned_split", rate=1.0, max_fires=1)
+    with fault_plan(FaultPlan([spec])):
+        report = check_program(gen.program, mu)
+    assert not report.ok
+    assert any(f.kind == "false-sharing" for f in report.errors)
+    f = spiral_formula(n, threads, mu, strategy)
+    assert is_fully_optimized(f, threads, mu)
+    # and the unsabotaged plan is clean again (no cache poisoning)
+    assert check_program(gen.program, mu).ok
 
 
 def test_sweep_is_deterministic():

@@ -1,0 +1,115 @@
+"""Cold-start discipline of the measurement helpers.
+
+The search timers feed the autotuner's plan comparisons, so a biased
+first measurement (cold caches, a GC pause inside a repeat) picks wrong
+plans.  These tests pin the contract: warmup always runs at least once,
+and the collector is paused exactly across the timed region and restored
+afterwards — whatever state it started in.
+"""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.search.timer import (
+    pseudo_mflops_from_seconds,
+    time_batched_callable,
+    time_callable,
+)
+
+
+class _Probe:
+    """Callable recording call count and GC state at each call."""
+
+    def __init__(self, shape=None):
+        self.calls = 0
+        self.gc_states = []
+        self.shape = shape
+
+    def __call__(self, x):
+        self.calls += 1
+        self.gc_states.append(gc.isenabled())
+        return x
+
+
+class TestWarmup:
+    def test_default_warmup_runs_before_timing(self):
+        probe = _Probe()
+        time_callable(probe, 8, repeats=3)
+        assert probe.calls == 4  # 1 warmup + 3 timed
+
+    def test_zero_warmup_is_clamped_to_one(self):
+        # warmup=0 would let the first timed repeat absorb every
+        # one-time cost; the timer insists on at least one throwaway run
+        probe = _Probe()
+        time_callable(probe, 8, repeats=2, warmup=0)
+        assert probe.calls == 3
+
+    def test_batched_warmup_clamped_too(self):
+        probe = _Probe()
+        time_batched_callable(probe, 8, batch=2, repeats=2, warmup=0)
+        assert probe.calls == 3
+
+    def test_explicit_warmup_honored(self):
+        probe = _Probe()
+        time_callable(probe, 8, repeats=1, warmup=4)
+        assert probe.calls == 5
+
+
+class TestGCControl:
+    def test_gc_disabled_during_timed_repeats_only(self):
+        probe = _Probe()
+        assert gc.isenabled()
+        time_callable(probe, 8, repeats=3, warmup=2)
+        # warmup runs see GC on; every timed repeat sees it off
+        assert probe.gc_states[:2] == [True, True]
+        assert probe.gc_states[2:] == [False, False, False]
+
+    def test_gc_restored_after_timing(self):
+        time_callable(_Probe(), 8, repeats=2)
+        assert gc.isenabled()
+
+    def test_gc_restored_even_when_fn_raises(self):
+        def boom(x):
+            if boom.calls:
+                raise RuntimeError("measured callable failed")
+            boom.calls += 1
+            return x
+
+        boom.calls = 0
+        with pytest.raises(RuntimeError):
+            time_callable(boom, 8, repeats=2)
+        assert gc.isenabled()
+
+    def test_previously_disabled_gc_stays_disabled(self):
+        gc.disable()
+        try:
+            time_callable(_Probe(), 8, repeats=2)
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
+
+
+class TestMeasurement:
+    def test_returns_positive_seconds(self):
+        t = time_callable(np.fft.fft, 64, repeats=3)
+        assert 0 < t < 1.0
+
+    def test_batched_shape_reaches_callable(self):
+        seen = []
+
+        def fn(x):
+            seen.append(x.shape)
+            return x
+
+        time_batched_callable(fn, 16, batch=4, repeats=1)
+        assert set(seen) == {(4, 16)}
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            time_batched_callable(np.fft.fft, 8, batch=0)
+
+    def test_pseudo_mflops(self):
+        assert pseudo_mflops_from_seconds(1024, 1e-3) > 0
+        assert pseudo_mflops_from_seconds(1024, 0.0) == float("inf")

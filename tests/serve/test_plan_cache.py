@@ -137,3 +137,84 @@ class TestSingleFlight:
         for t in threads:
             t.join()
         assert errors == ["boom"] * 3
+
+
+class TestFailureAccounting:
+    """A failed build must not be negatively cached, and the traffic
+    counters must stay consistent when builds fail concurrently."""
+
+    def test_retry_after_failure_is_a_fresh_miss(self):
+        attempts = []
+
+        def flaky(key):
+            attempts.append(key)
+            if len(attempts) == 1:
+                raise RuntimeError("planner exploded")
+            return CachedPlan(key=key, program=None, stages=[])
+
+        cache = PlanCache(capacity=4, builder=flaky)
+        key = PlanKey(64, 1, 4)
+        with pytest.raises(RuntimeError):
+            cache.get(key)
+        # the failure cleared the flight: the retry becomes a new
+        # leader (a miss), not a waiter on a dead flight
+        assert cache._inflight == {}
+        cache.get(key)
+        assert cache.stats.misses == 2
+        assert cache.stats.single_flight_waits == 0
+        assert cache.stats.plans_built == 1
+
+    def test_failure_does_not_count_as_built_or_evict(self):
+        def failing(key):
+            raise RuntimeError("no plan for you")
+
+        cache = PlanCache(capacity=1, builder=failing)
+        for n in (16, 32, 64):
+            with pytest.raises(RuntimeError):
+                cache.get(PlanKey(n, 1, 4))
+        assert len(cache) == 0
+        assert cache.stats.plans_built == 0
+        assert cache.stats.evictions == 0
+        assert cache.stats.misses == 3
+
+    def test_eviction_counters_consistent_under_concurrent_failures(self):
+        fail_first = {PlanKey(n, 1, 4) for n in range(0, 64, 3)}
+        lock = threading.Lock()
+        failed_once = set()
+
+        def builder(key):
+            with lock:
+                should_fail = key in fail_first and key not in failed_once
+                if should_fail:
+                    failed_once.add(key)
+            if should_fail:
+                raise RuntimeError(f"transient failure for {key}")
+            return CachedPlan(key=key, program=None, stages=[])
+
+        cache = PlanCache(capacity=8, builder=builder)
+        keys = [PlanKey(n, 1, 4) for n in range(64)]
+        errors = []
+
+        def worker(offset):
+            for key in keys[offset:] + keys[:offset]:
+                try:
+                    cache.get(key)
+                except RuntimeError:
+                    errors.append(key)
+
+        threads = [threading.Thread(target=worker, args=(o,))
+                   for o in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        stats = cache.stats
+        assert len(cache) <= cache.capacity
+        # every resident or evicted plan was built exactly once; failed
+        # attempts never enter the LRU, so the books must balance
+        assert stats.evictions == stats.plans_built - len(cache)
+        assert cache._inflight == {}
+        # every key that ever failed is rebuildable afterwards
+        for key in set(errors):
+            assert cache.get(key).key == key

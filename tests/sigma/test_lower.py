@@ -221,6 +221,67 @@ class TestBarrierAnalysis:
         assert prog.flops() >= kernel_flops
 
 
+class TestMuAwareBarrierAnalysis:
+    @staticmethod
+    def _line_sharing_chain():
+        """Two parallel copy stages whose per-proc access sets are
+        element-disjoint yet straddle mu=4 cache lines (proc 0 owns
+        {0,1,2,5}, proc 1 owns {3,4,6,7})."""
+        from repro.sigma.loops import BlockLoop, Stage
+
+        owners = {0: [0, 1, 2, 5], 1: [3, 4, 6, 7]}
+
+        def stage():
+            loops = [
+                BlockLoop(
+                    kernel=I(4),
+                    gather=np.asarray(idx).reshape(1, 4),
+                    scatter=np.asarray(idx).reshape(1, 4),
+                    proc=proc,
+                )
+                for proc, idx in owners.items()
+            ]
+            return Stage(loops, parallel=True, needs_barrier=True)
+
+        return SigmaProgram(size=8, stages=[stage(), stage()])
+
+    def test_element_granularity_elides_line_sharing_chain(self):
+        prog = self._line_sharing_chain()
+        prog.analyze_barriers()
+        # element-disjoint: the mu-oblivious analysis elides the barrier
+        assert not prog.stages[1].needs_barrier
+
+    def test_line_granularity_keeps_the_barrier(self):
+        prog = self._line_sharing_chain()
+        prog.analyze_barriers(mu=4)
+        # both procs touch lines {0, 1} at mu=4: elision must back off
+        assert prog.stages[1].needs_barrier
+
+    def test_checker_flags_the_mu_oblivious_elision(self):
+        from repro.check import check_program
+
+        prog = self._line_sharing_chain()
+        prog.analyze_barriers()
+        report = check_program(prog, mu=4)
+        assert any(f.kind == "elision" for f in report.warnings)
+
+    def test_line_granularity_is_noop_on_generated_plans(self):
+        # generated splits are mu-aligned, so the stronger analysis must
+        # not change any barrier decision
+        for n, t, mu in [(64, 2, 2), (256, 2, 4), (256, 4, 2)]:
+            f = expand_dft(derive_multicore_ct(n, t, mu), "balanced")
+            flags = [s.needs_barrier for s in lower(f).stages]
+            mu_flags = [
+                s.needs_barrier for s in lower(f, barrier_mu=mu).stages
+            ]
+            assert flags == mu_flags
+
+    def test_mu_validation(self):
+        prog = self._line_sharing_chain()
+        with pytest.raises(ValueError):
+            prog.analyze_barriers(mu=0)
+
+
 class TestStageAccessors:
     def test_reads_writes_partition(self):
         prog = lower(derive_multicore_ct(64, 2, 2))
