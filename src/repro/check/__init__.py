@@ -11,6 +11,7 @@ deliberately broken plans the checker must catch.  See
 ``docs/checking.md``.
 """
 
+from .backends import check_backend_program
 from .checker import (
     DEFAULT_MAX_SKEW,
     CheckReport,
@@ -31,6 +32,7 @@ __all__ = [
     "Finding",
     "apply_check_faults",
     "barrier_windows",
+    "check_backend_program",
     "check_program",
     "compare_plans",
     "inject_misaligned_split",

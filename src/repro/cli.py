@@ -5,7 +5,9 @@ Commands
 ``derive``    print the multicore Cooley-Tukey formula for (n, p, mu)
 ``generate``  generate a program and verify it; ``--emit-c`` writes C source
 ``bench``     sweep one simulated machine and print the Figure 3 panel rows,
-              or measure real multiprocess speedup (``--runtime process``)
+              measure real multiprocess speedup (``--runtime process``), or
+              measure an execution backend against the NumPy interpreter
+              (``--backend compiled``)
 ``search``    autotune a factorization on a simulated machine
 ``profile``   trace one transform end to end and print the per-stage report
 ``serve``     run the TCP/JSON FFT service (plan cache + request batching)
@@ -93,12 +95,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.backend is not None:
+        return _cmd_bench_backend(args)
     if args.runtime == "process":
         return _cmd_bench_process(args)
     if args.machine is None:
         print(
             "error: a machine name is required for the simulated-machine "
-            "panel (or pass --runtime process for a measured benchmark)",
+            "panel (or pass --runtime process / --backend NAME for a "
+            "measured benchmark)",
             file=sys.stderr,
         )
         return 2
@@ -143,9 +148,39 @@ def _cmd_bench_process(args: argparse.Namespace) -> int:
             repeats=args.repeats,
         )
     print(render_mp_bench(result))
-    with open(args.output, "w") as f:
+    out = args.output or "BENCH_mp.json"
+    with open(out, "w") as f:
         json.dump(result, f, indent=2)
-    print(f"# report written to {args.output}", file=sys.stderr)
+    print(f"# report written to {out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_backend(args: argparse.Namespace) -> int:
+    """Measured wall-clock comparison of an execution backend vs NumPy."""
+    import json
+
+    from .codegen import BackendUnavailable
+    from .codegen.bench import render_backend_bench, run_backend_bench
+
+    try:
+        with _maybe_tracing(args):
+            result = run_backend_bench(
+                backend=args.backend,
+                kmin=args.kmin,
+                kmax=args.kmax,
+                threads=args.threads,
+                batch=args.batch,
+                repeats=args.repeats,
+                strict=True,
+            )
+    except BackendUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_backend_bench(result))
+    out = args.output or "BENCH_backend.json"
+    with open(out, "w") as f:
+        json.dump(result, f, indent=2)
+    print(f"# report written to {out}", file=sys.stderr)
     return 0
 
 
@@ -199,6 +234,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_capacity,
         wisdom_path=args.wisdom,
         runtime=args.runtime,
+        backend=args.backend,
     )
     if args.chaos:
         from .faults import parse_chaos_spec, set_fault_plan
@@ -214,7 +250,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server = FFTServer((args.host, args.port), service)
         print(
             f"# repro serve listening on {args.host}:{server.port} "
-            f"(runtime={args.runtime}, threads={args.threads}, "
+            f"(runtime={args.runtime}, backend={args.backend}, "
+            f"threads={args.threads}, "
             f"mu={args.mu}, window={args.window_ms}ms, "
             f"max-batch={args.max_batch}, queue-limit={args.queue_limit})",
             file=sys.stderr,
@@ -232,9 +269,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     """Sweep the pipeline's plans through the dynamic concurrency checker."""
-    from .check import check_program, compare_plans
+    from .check import check_backend_program, check_program, compare_plans
+    from .codegen import BackendUnavailable, resolve_backend
     from .frontend import feasible_threads, generate_fft
     from .mp.spec import PlanSpec, compile_spec
+
+    if args.backend != "numpy":
+        # strict: an explicit --backend request on a host that cannot run
+        # it should fail loudly, not silently certify the numpy fallback
+        try:
+            resolve_backend(args.backend, strict=True)
+        except BackendUnavailable as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.chaos:
         # fault_plan (not a bare set) so in-process callers — the
@@ -289,6 +336,19 @@ def _cmd_check(args: argparse.Namespace) -> int:
                             print(f"  {f}")
                         if not report.ok:
                             failures += 1
+                        if args.backend != "numpy":
+                            diffs = check_backend_program(
+                                prog, args.backend
+                            )
+                            for f in diffs:
+                                print(f"  backend: {f}")
+                            if diffs:
+                                failures += 1
+                            else:
+                                print(
+                                    f"  backend={args.backend}: "
+                                    f"differential OK"
+                                )
                     if len(programs) == 2:
                         for f in compare_plans(
                             programs["thread"], programs["process"]
@@ -408,10 +468,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="timing repeats, best-of (--runtime process)",
     )
     b.add_argument(
+        "--backend",
+        choices=["numpy", "compiled", "simulator"],
+        default=None,
+        help="measure this execution backend against the NumPy "
+        "interpreter on the same plans (strict: errors if the backend "
+        "is unavailable on this host)",
+    )
+    b.add_argument(
         "--output",
         metavar="PATH",
-        default="BENCH_mp.json",
-        help="JSON report path for --runtime process",
+        default=None,
+        help="JSON report path (default: BENCH_mp.json for --runtime "
+        "process, BENCH_backend.json for --backend)",
     )
     add_trace_flag(b)
     b.set_defaults(fn=_cmd_bench)
@@ -487,6 +556,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool kind: GIL-bound threads (default) or the "
         "multiprocess shared-memory runtime (real parallel speedup; "
         "see docs/parallel.md)",
+    )
+    sv.add_argument(
+        "--backend",
+        choices=["numpy", "compiled", "simulator"],
+        default="numpy",
+        help="execution backend for plan stages (compiled JITs C "
+        "codelets when a compiler is present; falls back to numpy "
+        "otherwise — see docs/codegen.md)",
     )
     sv.add_argument(
         "--chaos",
@@ -595,6 +672,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="which runtime's plan to check: the thread plan, the plan "
         "process-pool workers compile from a PlanSpec, or both "
         "(cross-checked for determinism)",
+    )
+    ck.add_argument(
+        "--backend",
+        choices=["numpy", "compiled", "simulator"],
+        default="numpy",
+        help="also differentially verify this execution backend's "
+        "stages against the DFT and the numpy interpreter on every "
+        "checked plan (strict: errors if unavailable)",
     )
     ck.add_argument(
         "--chaos",

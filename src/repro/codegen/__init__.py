@@ -1,4 +1,17 @@
-"""Code generation backends (Python/NumPy and multithreaded C99)."""
+"""Code generation backends and the execution-backend registry.
+
+Two kinds of artifact come out of this package:
+
+* **standalone programs** — :func:`generate` (Python source) and
+  :func:`generate_c` (self-contained multithreaded C99), used for
+  verification and the paper's generated-program experiments;
+* **executable stage plans** — built through the backend registry
+  (:mod:`repro.codegen.registry`): ``numpy`` (vectorized interpreter),
+  ``compiled`` (fused C codelets JIT-compiled at plan time,
+  :mod:`repro.codegen.compiled_backend`), and ``simulator`` (the literal
+  per-row Σ-SPL oracle).  Every runtime — smp, mp, serve, search, check —
+  selects its executor through :func:`resolve_backend`.
+"""
 
 from .c_backend import (
     GeneratedCSource,
@@ -7,18 +20,52 @@ from .c_backend import (
     compiler_available,
     generate_c,
 )
+from .compiled_backend import (
+    CodeletCompileError,
+    CompiledPlan,
+    compile_plan,
+    compiled_available,
+    compiler_fingerprint,
+    emit_plan_source,
+)
 from .python_backend import GeneratedProgram, generate
+from .registry import (
+    BACKEND_NAMES,
+    BackendUnavailable,
+    ExecutionBackend,
+    available_backends,
+    build_stages,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+)
 from .unroll import Codelet, dft_codelet, symbolic_apply
 
 __all__ = [
+    "BACKEND_NAMES",
+    "BackendUnavailable",
     "Codelet",
+    "CodeletCompileError",
+    "CompiledPlan",
+    "ExecutionBackend",
     "GeneratedCSource",
     "GeneratedProgram",
+    "available_backends",
+    "build_stages",
     "compile_and_run",
     "compile_and_time",
+    "compile_plan",
+    "compiled_available",
     "compiler_available",
+    "compiler_fingerprint",
+    "emit_plan_source",
     "generate",
+    "get_backend",
     "dft_codelet",
     "generate_c",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
     "symbolic_apply",
 ]

@@ -1,0 +1,136 @@
+"""Measured backend benchmark: ``repro bench --backend compiled``.
+
+Times the same generated plans executed by two backends — the always-on
+NumPy interpreter baseline and the requested backend (normally
+``compiled``) — on the same runtime, same stacked ``(b, n)`` batches,
+same best-of-``repeats`` discipline as the other measured benchmarks.
+The ratio isolates exactly what the backend changes: stage *execution*,
+never plan structure, so any speedup is attributable to fused native
+codelets versus interpreted gathers.
+
+Results are written as ``BENCH_backend.json``.  The host-metadata block
+includes the compiler fingerprint (cc path, version, flags) whenever the
+timed backend reports one, so a reader can tell which toolchain produced
+the numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..search.timer import pseudo_mflops_from_seconds, time_batched_callable
+from ..serve.batch_exec import run_batched
+from ..smp.runtime import PThreadsRuntime, SequentialRuntime
+from .registry import get_backend, resolve_backend
+
+#: default stacked batch, matching the serving layer's coalesced shape
+DEFAULT_BATCH = 8
+
+
+def run_backend_bench(
+    backend: str = "compiled",
+    kmin: int = 8,
+    kmax: int = 14,
+    threads: int = 1,
+    batch: int = DEFAULT_BATCH,
+    repeats: int = 5,
+    codelet_max: int = 32,
+    strict: bool = True,
+) -> dict:
+    """Time NumPy vs ``backend`` stages for n = 2^kmin .. 2^kmax.
+
+    Both stage lists come from the *same* generated program, so the
+    comparison holds the factorization, index tables, and barrier
+    structure fixed and varies only the executor.  ``strict=True`` (the
+    CLI default) raises :class:`~repro.codegen.registry.BackendUnavailable`
+    when the requested backend cannot run here — an explicit benchmark
+    request should fail loudly, not silently time NumPy against itself.
+    Returns the JSON-able report dict.
+    """
+    if kmin > kmax:
+        raise ValueError(f"need kmin <= kmax, got {kmin} > {kmax}")
+    if threads < 1:
+        raise ValueError(f"need threads >= 1, got {threads}")
+    from ..frontend import feasible_threads, generate_fft
+    from ..mp.bench import host_metadata
+
+    exec_backend = resolve_backend(backend, strict=strict)
+    baseline = get_backend("numpy")
+    runtime = (
+        PThreadsRuntime(threads) if threads > 1 else SequentialRuntime()
+    )
+    rows = []
+    try:
+        for k in range(kmin, kmax + 1):
+            n = 1 << k
+            t = feasible_threads(n, threads, 4) if threads > 1 else 1
+            gen = generate_fft(n, threads=t)
+            base_stages = baseline.build_stages(gen.program, codelet_max)
+            test_stages = exec_backend.build_stages(gen.program, codelet_max)
+            rng = np.random.default_rng(k)
+            base_s = time_batched_callable(
+                lambda x: run_batched(base_stages, n, x, runtime)[0],
+                n, batch=batch, repeats=repeats, rng=rng,
+            )
+            test_s = time_batched_callable(
+                lambda x: run_batched(test_stages, n, x, runtime)[0],
+                n, batch=batch, repeats=repeats, rng=rng,
+            )
+            rows.append({
+                "k": k,
+                "n": n,
+                "batch": batch,
+                "threads_used": t,
+                "numpy_s": base_s,
+                "backend_s": test_s,
+                "speedup": base_s / test_s if test_s > 0 else float("inf"),
+                "numpy_mflops": pseudo_mflops_from_seconds(n, base_s / batch),
+                "backend_mflops": pseudo_mflops_from_seconds(
+                    n, test_s / batch
+                ),
+            })
+    finally:
+        runtime.close()
+    describe = exec_backend.describe()
+    compiler = (
+        {k: v for k, v in describe.items() if k != "backend"}
+        if exec_backend.name == "compiled"
+        else None
+    )
+    return {
+        "benchmark": "backend_speedup",
+        "backend": exec_backend.name,
+        "backend_info": describe,
+        "host": host_metadata(compiler=compiler),
+        "threads": threads,
+        "repeats": repeats,
+        "rows": rows,
+        "best_speedup": max((r["speedup"] for r in rows), default=0.0),
+    }
+
+
+def render_backend_bench(result: dict) -> str:
+    """The human-readable table for one :func:`run_backend_bench` report."""
+    host = result["host"]
+    header = (
+        f"# measured backend speedup — backend={result['backend']}, "
+        f"p={result['threads']}, host cpus={host['cpu_count']}"
+    )
+    cc = host.get("compiler")
+    lines = [header]
+    if cc:
+        lines.append(
+            f"# compiler: {cc.get('cc')} ({cc.get('version')}) "
+            f"flags={' '.join(cc.get('flags', ()))}"
+        )
+    lines.append(
+        f"{'log2n':>5} {'batch':>5} {'numpy ms':>9} {'bkend ms':>9} "
+        f"{'speedup':>8} {'bkend Mflop/s':>14}"
+    )
+    for r in result["rows"]:
+        lines.append(
+            f"{r['k']:>5} {r['batch']:>5} {r['numpy_s'] * 1e3:>9.3f} "
+            f"{r['backend_s'] * 1e3:>9.3f} {r['speedup']:>8.2f} "
+            f"{r['backend_mflops']:>14.0f}"
+        )
+    return "\n".join(lines)

@@ -205,6 +205,7 @@ class GeneratedCSource:
     nstages: int
 
     def write(self, path: str | Path) -> Path:
+        """Write the source text to ``path``; returns the written Path."""
         p = Path(path)
         p.write_text(self.source)
         return p
@@ -447,6 +448,7 @@ def compile_and_time(
 
 
 def compiler_available() -> bool:
+    """True when a C compiler (gcc or cc) is on ``$PATH``."""
     return shutil.which("gcc") is not None or shutil.which("cc") is not None
 
 

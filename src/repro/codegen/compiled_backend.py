@@ -1,0 +1,572 @@
+"""Compiled-codelet backend: Σ-SPL plans JIT-compiled to native stages.
+
+This module closes the gap between the correctness-only C generator
+(:mod:`repro.codegen.c_backend`, which emits standalone programs) and the
+serving runtimes (which executed Σ-SPL through interpreted NumPy kernels):
+it lowers a :class:`~repro.sigma.loops.SigmaProgram` into one C99
+translation unit of **fused, unrolled straight-line codelets per (n,
+stage)**, compiles it with gcc *at plan time* into a shared object, and
+wraps each exported stage symbol in a
+:class:`~repro.smp.runtime.PlanStage`-compatible closure — so compiled
+plans run unchanged on every :mod:`repro.smp` runtime, inside
+:class:`repro.mp.ProcessPoolRuntime` workers, and behind ``repro serve``.
+
+Codelet lifecycle (see ``docs/codegen.md``):
+
+1. **emit** — :func:`emit_plan_source` fuses each
+   :class:`~repro.sigma.loops.BlockLoop`'s gather, twiddle scale, kernel,
+   and scatter into one loop nest; kernels up to ``codelet_max`` become
+   unrolled straight-line codelets (:class:`repro.codegen.unroll.Codelet`),
+   strided index grids become closed-form address arithmetic, and each
+   stage is exported as ``repro_stage<k>(int proc, long b, ...)`` with a
+   leading batch axis;
+2. **compile** — :func:`compile_plan` invokes gcc (``-O2 -fPIC -shared``);
+3. **cache** — shared objects land in a content-addressed disk cache keyed
+   by source hash *and* compiler fingerprint (:func:`compiler_fingerprint`),
+   so equal plans compile once per host and survive process restarts —
+   the on-disk analogue of the in-memory PlanCache/Wisdom entries;
+4. **execute** — :meth:`CompiledPlan.plan_stages` binds the exported
+   symbols through :mod:`ctypes`; calls release the GIL, so the pthreads
+   runtime gets real parallel speedup from compiled stages.
+
+There is **no hard compiler dependency**: hosts without gcc (or with
+``REPRO_NO_CC=1`` set) fall back to the NumPy backend through the
+registry's :func:`~repro.codegen.registry.resolve_backend`, and an
+injected ``codegen.compile_fail`` fault (:mod:`repro.faults`) exercises
+the same fallback seam deterministically.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..faults import FaultInjected, get_fault_plan
+from ..sigma.index_map import recover_grid
+from ..sigma.loops import BlockLoop, SigmaProgram
+from ..smp.runtime import PlanStage
+from ..spl.matrices import F2, I
+from ..trace import get_tracer
+from .c_backend import _fmt_cplx_table, _fmt_int_table
+from .unroll import Codelet
+
+#: compile flags baked into every codelet shared object (and its cache key)
+CFLAGS: tuple[str, ...] = ("-O2", "-fPIC", "-shared", "-std=gnu99")
+
+#: kernels up to this size are unrolled into straight-line codelets
+DEFAULT_CODELET_MAX = 32
+
+#: environment variable that disables the compiled backend entirely
+NO_CC_ENV = "REPRO_NO_CC"
+
+#: environment variable overriding the on-disk codelet cache directory
+CACHE_ENV = "REPRO_CODELET_CACHE"
+
+_FINGERPRINT_LOCK = threading.Lock()
+_FINGERPRINT: Optional[dict] = None
+
+_MEMO_LOCK = threading.Lock()
+_MEMO: "OrderedDict[str, CompiledPlan]" = OrderedDict()
+_MEMO_MAX = 32
+
+
+class CodeletCompileError(RuntimeError):
+    """The C compiler is missing, disabled, or rejected a generated codelet."""
+
+
+def find_compiler() -> Optional[str]:
+    """Path of the host C compiler, or None when compiled codelets are off.
+
+    Honours the ``REPRO_NO_CC`` kill switch (any non-empty value) before
+    probing ``$PATH`` for ``gcc`` then ``cc`` — the switch is how the
+    no-compiler CI lane asserts clean NumPy fallback on a gcc-equipped
+    host.
+    """
+    if os.environ.get(NO_CC_ENV):
+        return None
+    return shutil.which("gcc") or shutil.which("cc")
+
+
+def compiled_available() -> bool:
+    """True when plans can be JIT-compiled on this host."""
+    return find_compiler() is not None
+
+
+def compiler_fingerprint(cc: Optional[str] = None) -> dict:
+    """Identity of the toolchain baked into every codelet cache key.
+
+    Returns ``{"cc", "version", "flags"}``; two hosts (or two toolchain
+    upgrades on one host) with different fingerprints never share cached
+    shared objects.  The probe result is memoized per process.
+    """
+    global _FINGERPRINT
+    if cc is None:
+        with _FINGERPRINT_LOCK:
+            if _FINGERPRINT is not None:
+                return dict(_FINGERPRINT)
+    path = cc or find_compiler()
+    if path is None:
+        info = {"cc": None, "version": "unavailable", "flags": list(CFLAGS)}
+    else:
+        try:
+            out = subprocess.run(
+                [path, "--version"], capture_output=True, text=True, timeout=30
+            ).stdout.splitlines()
+            version = out[0].strip() if out else "unknown"
+        except (OSError, subprocess.SubprocessError):
+            version = "unknown"
+        info = {"cc": path, "version": version, "flags": list(CFLAGS)}
+    if cc is None:
+        with _FINGERPRINT_LOCK:
+            _FINGERPRINT = dict(info)
+    return info
+
+
+def codelet_cache_dir() -> Path:
+    """The on-disk shared-object cache directory (created on demand).
+
+    ``REPRO_CODELET_CACHE`` overrides the default
+    ``~/.cache/repro/codelets``; tests point it at a tmpdir so runs stay
+    hermetic.
+    """
+    root = os.environ.get(CACHE_ENV)
+    if root:
+        path = Path(root)
+    else:
+        path = Path.home() / ".cache" / "repro" / "codelets"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+# -- emission ---------------------------------------------------------------
+
+
+def _codelet_formula(kernel):
+    """The formula a kernel is unrolled from (fast-expanded DFT leaves).
+
+    Unexpanded ``DFT_n`` leaves would unroll from the dense O(n²)
+    definition — thousands of statements gcc then chews on.  Expanding
+    them Cooley-Tukey first (exactly :func:`repro.codegen.unroll.dft_codelet`'s
+    policy) keeps codelets at O(n log n) straight-line ops and plan-time
+    compiles fast.
+    """
+    from ..rewrite.breakdown import expand_dft, factor_pairs
+    from ..spl.matrices import DFT
+
+    if isinstance(kernel, DFT) and factor_pairs(kernel.n):
+        strategy = "radix2" if kernel.n & (kernel.n - 1) == 0 else "balanced"
+        return expand_dft(kernel, strategy)
+    return kernel
+
+
+class _PlanEmitter:
+    """Accumulates tables, codelets, and stage bodies for one plan.
+
+    Private helper of :func:`emit_plan_source`; consumes
+    :class:`~repro.sigma.loops.BlockLoop` kernels and emits (once each)
+    either an unrolled straight-line codelet or a dense coefficient table.
+    """
+
+    def __init__(self, codelet_max: int) -> None:
+        self.codelet_max = codelet_max
+        self.tables: list[str] = []
+        self.lines: list[str] = []
+        self._codelets: dict = {}
+        self._dense: dict = {}
+
+    def codelet_name(self, kernel) -> Optional[str]:
+        if isinstance(kernel, (F2, I)):
+            return None
+        if kernel.cols > self.codelet_max or kernel.rows != kernel.cols:
+            return None
+        key = kernel._key()
+        if key not in self._codelets:
+            name = f"codelet{len(self._codelets)}"
+            self._codelets[key] = name
+            self.tables.append(
+                Codelet.from_formula(_codelet_formula(kernel), name).to_c()
+            )
+        return self._codelets[key]
+
+    def dense_name(self, kernel) -> str:
+        key = kernel._key()
+        if key not in self._dense:
+            name = f"kmat{len(self._dense)}"
+            self._dense[key] = name
+            self.tables.append(
+                _fmt_cplx_table(
+                    name, kernel.to_matrix().astype(np.complex128)
+                )
+            )
+        return self._dense[key]
+
+
+def _emit_loop(em: _PlanEmitter, loop: BlockLoop, sid: int, lid: int,
+               ind: str) -> None:
+    """One fused gather→scale→kernel→scale→scatter loop nest.
+
+    Reads ``s`` and writes ``d`` (the current batch row's buffers).
+    Strided gather/scatter grids recovered by
+    :func:`repro.sigma.index_map.recover_grid` become closed-form address
+    arithmetic; irregular tables are emitted as ``static const int`` data.
+    """
+    o = em.lines
+    rows, k = loop.gather.shape
+    kout = loop.scatter.shape[1]
+    base = f"{sid}_{lid}"
+    ggrid = recover_grid(loop.gather)
+    sgrid = recover_grid(loop.scatter)
+    if ggrid is None:
+        em.tables.append(_fmt_int_table(f"g{base}", loop.gather))
+    if sgrid is None:
+        em.tables.append(_fmt_int_table(f"s{base}", loop.scatter))
+    if loop.pre_scale is not None:
+        em.tables.append(_fmt_cplx_table(f"w{base}", loop.pre_scale))
+    if loop.post_scale is not None:
+        em.tables.append(_fmt_cplx_table(f"v{base}", loop.post_scale))
+
+    o.append(f"{ind}for (int j = 0; j < {rows}; ++j) {{")
+    o.append(f"{ind}  cplx t[{max(k, kout)}];")
+    if ggrid is not None:
+        o.append(
+            f"{ind}  for (int u = 0; u < {k}; ++u)"
+            f" t[u] = s[{ggrid.base} + j*{ggrid.row_stride}"
+            f" + u*{ggrid.col_stride}];"
+        )
+    else:
+        o.append(
+            f"{ind}  for (int u = 0; u < {k}; ++u)"
+            f" t[u] = s[g{base}[j*{k} + u]];"
+        )
+    if loop.pre_scale is not None:
+        o.append(
+            f"{ind}  for (int u = 0; u < {k}; ++u)"
+            f" t[u] *= w{base}[2*(j*{k}+u)]"
+            f" + w{base}[2*(j*{k}+u)+1]*_Complex_I;"
+        )
+    if isinstance(loop.kernel, F2):
+        o.append(
+            f"{ind}  {{ cplx a = t[0] + t[1], b = t[0] - t[1];"
+            f" t[0] = a; t[1] = b; }} /* F_2 butterfly */"
+        )
+    elif not isinstance(loop.kernel, I):
+        cname = em.codelet_name(loop.kernel)
+        if cname is not None:
+            o.append(f"{ind}  {{ cplx y[{kout}]; {cname}(t, y);")
+            o.append(
+                f"{ind}    for (int v = 0; v < {kout}; ++v) t[v] = y[v]; }}"
+            )
+        else:  # dense fallback for kernels above the unroll bound
+            kname = em.dense_name(loop.kernel)
+            o.append(f"{ind}  {{ cplx y[{kout}];")
+            o.append(f"{ind}    for (int v = 0; v < {kout}; ++v) {{")
+            o.append(f"{ind}      cplx acc = 0;")
+            o.append(
+                f"{ind}      for (int u = 0; u < {k}; ++u)"
+                f" acc += (({kname}[2*(v*{k}+u)])"
+                f" + ({kname}[2*(v*{k}+u)+1])*_Complex_I) * t[u];"
+            )
+            o.append(f"{ind}      y[v] = acc;")
+            o.append(f"{ind}    }}")
+            o.append(
+                f"{ind}    for (int v = 0; v < {kout}; ++v) t[v] = y[v]; }}"
+            )
+    post = ""
+    if loop.post_scale is not None:
+        post = (
+            f" * (v{base}[2*(j*{kout}+v)]"
+            f" + v{base}[2*(j*{kout}+v)+1]*_Complex_I)"
+        )
+    if sgrid is not None:
+        o.append(
+            f"{ind}  for (int v = 0; v < {kout}; ++v)"
+            f" d[{sgrid.base} + j*{sgrid.row_stride}"
+            f" + v*{sgrid.col_stride}] = t[v]{post};"
+        )
+    else:
+        o.append(
+            f"{ind}  for (int v = 0; v < {kout}; ++v)"
+            f" d[s{base}[j*{kout} + v]] = t[v]{post};"
+        )
+    o.append(f"{ind}}}")
+
+
+def _emit_stage(em: _PlanEmitter, stage, sid: int, n: int) -> None:
+    """One exported batched stage function ``repro_stage<sid>``.
+
+    The signature is the shared-object ABI: ``(int proc, long b, const
+    double *src, double *dst)`` over ``b`` stacked rows of ``n``
+    interleaved re/im pairs (NumPy ``complex128`` layout).  Parallel
+    stages branch on ``proc`` exactly like the Python backend, so every
+    runtime's processor-share contract carries over.
+    """
+    o = em.lines
+    o.append(
+        f"void repro_stage{sid}(int proc, long b, "
+        f"const double *srcd, double *dstd) {{"
+    )
+    o.append(
+        f"  /* {stage.name}: parallel={int(stage.parallel)}"
+        f" barrier={'yes' if stage.needs_barrier else 'elided'} */"
+    )
+    o.append("  const cplx *src = (const cplx *)srcd;")
+    o.append("  cplx *dst = (cplx *)dstd;")
+    if stage.parallel and stage.procs:
+        for pi, proc in enumerate(stage.procs):
+            kw = "if" if pi == 0 else "else if"
+            o.append(f"  {kw} (proc == {proc}) {{")
+            o.append(f"    for (long r = 0; r < b; ++r) {{")
+            o.append(f"      const cplx *s = src + r*{n};")
+            o.append(f"      cplx *d = dst + r*{n};")
+            for lid, loop in enumerate(stage.loops):
+                if loop.proc == proc:
+                    _emit_loop(em, loop, sid, lid, ind="      ")
+            o.append("    }")
+            o.append("  }")
+    else:
+        o.append("  (void)proc;")
+        o.append(f"  for (long r = 0; r < b; ++r) {{")
+        o.append(f"    const cplx *s = src + r*{n};")
+        o.append(f"    cplx *d = dst + r*{n};")
+        for lid, loop in enumerate(stage.loops):
+            _emit_loop(em, loop, sid, lid, ind="    ")
+        o.append("  }")
+    o.append("}")
+    o.append("")
+
+
+def emit_plan_source(
+    program: SigmaProgram, codelet_max: int = DEFAULT_CODELET_MAX
+) -> str:
+    """Emit the C99 translation unit for one lowered plan.
+
+    Consumes a :class:`~repro.sigma.loops.SigmaProgram` (the Σ-SPL loop
+    IR) and produces one self-contained source exporting
+    ``repro_stage0..repro_stage<k-1>``, each a fused batched stage over
+    interleaved complex doubles.  Pure string construction — no compiler
+    involved — so it also serves as the readable artifact (`docs/codegen.md`
+    walks through an example emission).
+    """
+    em = _PlanEmitter(codelet_max)
+    for sid, stage in enumerate(program.stages):
+        _emit_stage(em, stage, sid, program.size)
+    header = [
+        "/* Generated by repro: compiled-codelet execution backend */",
+        f"/* size={program.size} stages={len(program.stages)}"
+        f" barriers={program.barrier_count()}"
+        f" codelet_max={codelet_max} */",
+        "#include <complex.h>",
+        "#include <math.h>",
+        "typedef double complex cplx;",
+        "",
+    ]
+    return "\n".join(header + em.tables + [""] + em.lines)
+
+
+# -- compile + cache --------------------------------------------------------
+
+
+def _source_key(source: str, fingerprint: dict) -> str:
+    """Content hash binding generated source to the toolchain identity."""
+    h = hashlib.sha256()
+    h.update(source.encode())
+    h.update(repr(sorted(fingerprint.items())).encode())
+    return h.hexdigest()[:16]
+
+
+@dataclass
+class CompiledPlan:
+    """One plan's JIT artifact: shared object, metadata, and stage closures.
+
+    Holds the loaded :mod:`ctypes` library plus enough provenance (source
+    hash, compiler fingerprint, object path) for BENCH host-metadata
+    blocks and Wisdom artifact records to make the run reproducible.
+    """
+
+    size: int
+    nstages: int
+    source_hash: str
+    so_path: Path
+    compiler: dict
+    stage_meta: list = field(default_factory=list)
+    _lib: Optional[ctypes.CDLL] = None
+
+    def artifact_info(self) -> dict:
+        """JSON-able provenance record (cached .so + toolchain identity)."""
+        return {
+            "source_hash": self.source_hash,
+            "so": str(self.so_path),
+            "cc": self.compiler.get("cc"),
+            "cc_version": self.compiler.get("version"),
+            "cflags": list(self.compiler.get("flags", [])),
+        }
+
+    def plan_stages(self) -> list[PlanStage]:
+        """Executable :class:`PlanStage` list bound to the stage symbols.
+
+        Each ``work(proc, src, dst)`` closure recovers the batch size from
+        the flat buffer length (the batched-stage contract of
+        :mod:`repro.serve.batch_exec`) and calls the exported C function;
+        the ctypes call releases the GIL, so parallel stages scale on the
+        pthreads pool.
+        """
+        n = self.size
+        stages: list[PlanStage] = []
+        for sid, (parallel, needs_barrier, name, nprocs) in enumerate(
+            self.stage_meta
+        ):
+            fn = getattr(self._lib, f"repro_stage{sid}")
+            fn.argtypes = [
+                ctypes.c_int,
+                ctypes.c_long,
+                ctypes.c_void_p,
+                ctypes.c_void_p,
+            ]
+            fn.restype = None
+
+            def work(proc, src, dst, _fn=fn, _n=n):
+                if not (
+                    src.flags["C_CONTIGUOUS"] and dst.flags["C_CONTIGUOUS"]
+                ):
+                    raise ValueError(
+                        "compiled stages need C-contiguous buffers"
+                    )
+                _fn(proc, src.size // _n, src.ctypes.data, dst.ctypes.data)
+
+            stages.append(
+                PlanStage(
+                    work=work,
+                    parallel=parallel,
+                    needs_barrier=needs_barrier,
+                    name=name,
+                    nprocs=nprocs,
+                )
+            )
+        return stages
+
+
+def compile_plan(
+    program: SigmaProgram,
+    codelet_max: int = DEFAULT_CODELET_MAX,
+    cc: Optional[str] = None,
+) -> CompiledPlan:
+    """Emit, compile (or cache-hit), and load the plan's shared object.
+
+    The cache key is the source hash combined with the compiler
+    fingerprint, so a toolchain upgrade or flag change recompiles while
+    equal plans are shared across processes via the on-disk cache (writes
+    are atomic: compile to a temp name, then ``os.replace``).  Raises
+    :class:`CodeletCompileError` when no compiler is available or gcc
+    rejects the source; the ``codegen.compile_fail`` fault point makes
+    that path deterministic for chaos tests.
+    """
+    tr = get_tracer()
+    get_fault_plan().raise_if("codegen.compile_fail")
+    cc = cc or find_compiler()
+    if cc is None:
+        raise CodeletCompileError(
+            "no C compiler available (gcc/cc not on PATH, or REPRO_NO_CC set)"
+        )
+    fingerprint = compiler_fingerprint(cc if cc != find_compiler() else None)
+    with tr.span("codegen.emit_c", "codegen", size=program.size,
+                 stages=len(program.stages)):
+        source = emit_plan_source(program, codelet_max)
+    key = _source_key(source, fingerprint)
+    with _MEMO_LOCK:
+        hit = _MEMO.get(key)
+        if hit is not None:
+            _MEMO.move_to_end(key)
+            tr.count("codegen.memo_hit", 1)
+            return hit
+
+    cache = codelet_cache_dir()
+    so_path = cache / f"plan_{program.size}_{key}.so"
+    c_path = cache / f"plan_{program.size}_{key}.c"
+    if not so_path.exists():
+        tr.count("codegen.compile", 1)
+        with tr.span("codegen.compile", "codegen", size=program.size,
+                     key=key):
+            fd, tmp_c = tempfile.mkstemp(
+                dir=str(cache), suffix=".c", prefix=f"plan_{key}."
+            )
+            tmp_so = tmp_c[:-2] + ".so"
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(source)
+                proc = subprocess.run(
+                    [cc, *CFLAGS, "-o", tmp_so, tmp_c, "-lm"],
+                    capture_output=True,
+                    text=True,
+                    timeout=300,
+                )
+                if proc.returncode != 0:
+                    raise CodeletCompileError(
+                        f"{cc} failed (exit {proc.returncode}): "
+                        f"{proc.stderr[-2000:]}"
+                    )
+                os.replace(tmp_so, so_path)
+                os.replace(tmp_c, c_path)
+            finally:
+                for leftover in (tmp_c, tmp_so):
+                    try:
+                        os.unlink(leftover)
+                    except OSError:
+                        pass
+    else:
+        tr.count("codegen.disk_hit", 1)
+
+    lib = ctypes.CDLL(str(so_path))
+    plan = CompiledPlan(
+        size=program.size,
+        nstages=len(program.stages),
+        source_hash=key,
+        so_path=so_path,
+        compiler=fingerprint,
+        stage_meta=[
+            (
+                s.parallel,
+                s.needs_barrier,
+                s.name,
+                max(len(s.procs), 1),
+            )
+            for s in program.stages
+        ],
+        _lib=lib,
+    )
+    with _MEMO_LOCK:
+        _MEMO[key] = plan
+        _MEMO.move_to_end(key)
+        while len(_MEMO) > _MEMO_MAX:
+            _MEMO.popitem(last=False)
+    return plan
+
+
+def clear_compiled_memo() -> None:
+    """Drop the in-process CompiledPlan memo (tests, cache-dir changes)."""
+    with _MEMO_LOCK:
+        _MEMO.clear()
+
+
+__all__ = [
+    "CFLAGS",
+    "CodeletCompileError",
+    "CompiledPlan",
+    "clear_compiled_memo",
+    "codelet_cache_dir",
+    "compile_plan",
+    "compiled_available",
+    "compiler_fingerprint",
+    "emit_plan_source",
+    "find_compiler",
+]

@@ -50,11 +50,13 @@ class GeneratedProgram:
     def run(
         self, x: np.ndarray, runtime: Optional[Runtime] = None
     ) -> np.ndarray:
+        """Apply the transform to ``x`` on ``runtime`` (sequential default)."""
         runtime = runtime or SequentialRuntime()
         out, _ = runtime.execute(self.stages, x, self.size)
         return out
 
     def run_with_stats(self, x: np.ndarray, runtime: Runtime):
+        """Like :meth:`run` but returns ``(result, ExecutionStats)``."""
         return runtime.execute(self.stages, x, self.size)
 
     def __call__(self, x: np.ndarray) -> np.ndarray:

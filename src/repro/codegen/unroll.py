@@ -58,6 +58,7 @@ class Node:
 
     @classmethod
     def const(cls, value: complex) -> "Node":
+        """A constant node; near-zero real/imag parts snap to exact 0."""
         value = complex(value)
         if abs(value.real) < _EPS:
             value = complex(0.0, value.imag)
@@ -67,10 +68,12 @@ class Node:
 
     @classmethod
     def var(cls, index: int) -> "Node":
+        """The ``index``-th input variable (``x[index]`` in emitted code)."""
         return cls._intern("var", (index,))
 
     @classmethod
     def add(cls, a: "Node", b: "Node") -> "Node":
+        """``a + b``, folding constants and eliding +0 (canonical order)."""
         if a.op == "const" and b.op == "const":
             return cls.const(a.value + b.value)
         if a.op == "const" and abs(a.value) < _EPS:
@@ -83,6 +86,7 @@ class Node:
 
     @classmethod
     def sub(cls, a: "Node", b: "Node") -> "Node":
+        """``a - b``, folding constants, -0, and ``a - a -> 0``."""
         if a.op == "const" and b.op == "const":
             return cls.const(a.value - b.value)
         if b.op == "const" and abs(b.value) < _EPS:
@@ -93,6 +97,7 @@ class Node:
 
     @classmethod
     def mul(cls, a: "Node", b: "Node") -> "Node":
+        """``a * b``; ±1/0 multiplies vanish, constants normalize left."""
         if a.op == "const" and b.op == "const":
             return cls.const(a.value * b.value)
         # normalize constants to the left
@@ -109,6 +114,7 @@ class Node:
 
     @classmethod
     def neg(cls, a: "Node") -> "Node":
+        """``-a``, folding constants and double negation."""
         if a.op == "const":
             return cls.const(-a.value)
         if a.op == "neg":
@@ -118,6 +124,7 @@ class Node:
     # -- analysis -------------------------------------------------------------
 
     def is_const(self) -> bool:
+        """True when this node is a literal constant."""
         return self.op == "const"
 
 
@@ -218,6 +225,12 @@ class Codelet:
 
     @classmethod
     def from_formula(cls, expr: Expr, name: str = "codelet") -> "Codelet":
+        """Symbolically execute ``expr`` into a scheduled SSA codelet.
+
+        Runs the formula over symbolic inputs (one :class:`Node` per
+        column), letting the constructors fold constants and hash-cons
+        common subexpressions, then topologically schedules the DAG.
+        """
         clear_node_pool()
         xs = [Node.var(i) for i in range(expr.cols)]
         outputs = symbolic_apply(expr, xs)
@@ -249,6 +262,7 @@ class Codelet:
     # -- accounting -----------------------------------------------------------
 
     def op_counts(self) -> dict:
+        """Scheduled complex-op counts keyed ``add``/``sub``/``mul``/``neg``."""
         counts = {"add": 0, "sub": 0, "mul": 0, "neg": 0}
         for _, node in self.schedule:
             if node.op in counts:
@@ -256,6 +270,7 @@ class Codelet:
         return counts
 
     def complex_ops(self) -> int:
+        """Total arithmetic complex ops (negations are free)."""
         c = self.op_counts()
         return c["add"] + c["sub"] + c["mul"]
 
@@ -291,6 +306,7 @@ class Codelet:
         return f"  cplx {name} = {rhs};"
 
     def to_python(self) -> str:
+        """The codelet as Python source: ``def name(x, y)`` straight-line."""
         lines = [
             f"def {self.name}(x, y):",
             f"    # unrolled size-{self.size} codelet: "
@@ -302,6 +318,7 @@ class Codelet:
         return "\n".join(lines) + "\n"
 
     def to_c(self) -> str:
+        """The codelet as C99: a ``static void`` straight-line function."""
         lines = [
             f"static void {self.name}(const cplx *x, cplx *y) {{",
             f"  /* unrolled size-{self.size} codelet: "

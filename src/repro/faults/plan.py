@@ -44,6 +44,8 @@ INJECTION_POINTS: dict[str, str] = {
     "serve.queue_burst": "FFTService admission pretends the queue is full",
     "serve.dispatcher_crash": "FFTService dispatcher thread dies",
     "net.conn_reset": "FFTServer handler resets the TCP connection",
+    "codegen.compile_fail": "compiled backend's gcc invocation is made to "
+    "fail, exercising the registry's NumPy fallback",
     "net.poison_payload": "FFTServer corrupts one request into an error",
     "check.overlapping_write": "repro.check sabotages a plan with a "
     "cross-processor write/write overlap (negative checker test)",

@@ -28,15 +28,28 @@ from .spec import PlanSpec
 DEFAULT_BATCH = 8
 
 
-def host_metadata(start_method: str) -> dict:
-    """The environment facts a reader needs to interpret the numbers."""
-    return {
+def host_metadata(
+    start_method: Optional[str] = None,
+    compiler: Optional[dict] = None,
+) -> dict:
+    """The environment facts a reader needs to interpret the numbers.
+
+    ``compiler`` (the :func:`repro.codegen.compiler_fingerprint` dict —
+    cc path, version line, flags) is recorded whenever the benchmark
+    executed through the compiled backend, so BENCH artifacts name the
+    exact toolchain behind their numbers.
+    """
+    meta = {
         "cpu_count": os.cpu_count(),
         "platform": platform.platform(),
         "machine": platform.machine(),
         "python": sys.version.split()[0],
-        "start_method": start_method,
     }
+    if start_method is not None:
+        meta["start_method"] = start_method
+    if compiler is not None:
+        meta["compiler"] = dict(compiler)
+    return meta
 
 
 def run_mp_bench(

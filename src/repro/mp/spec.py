@@ -9,9 +9,13 @@ deterministic, so a small :class:`PlanSpec` (transform size, thread count,
 locally on first use, and cache the result for the pool's lifetime — the
 compile cost is amortized exactly like the master's plan cache.
 
-:func:`compile_spec` builds the *batched* stage list
-(:func:`repro.serve.batch_exec.batched_stages`), so one compiled spec
-serves single vectors and ``(b, n)`` request stacks alike.
+:func:`compile_spec` builds the *batched* stage list through the
+execution-backend registry (:func:`repro.codegen.resolve_backend` — the
+spec's ``backend`` field selects ``numpy``, ``compiled``, or
+``simulator``), so one compiled spec serves single vectors and ``(b, n)``
+request stacks alike.  Backend choice changes only how stages *execute*,
+never the plan's stage structure or barrier flags, so SPMD lockstep across
+workers holds even if one worker falls back to numpy.
 """
 
 from __future__ import annotations
@@ -40,6 +44,11 @@ class PlanSpec:
     strategy: str = "balanced"
     min_leaf: int = 32
     codelet_max: int = 32
+    #: execution backend the compiling process resolves through the
+    #: registry (:func:`repro.codegen.resolve_backend`); a worker without
+    #: the requested backend (e.g. no C compiler) falls back to numpy —
+    #: the *plan structure* is backend-independent, so lockstep holds
+    backend: str = "numpy"
 
     def __post_init__(self):
         if self.n < 2:
@@ -49,18 +58,19 @@ class PlanSpec:
 
     @classmethod
     def for_request(cls, n: int, threads: int = 1, mu: int = 4,
-                    strategy: str = "balanced") -> "PlanSpec":
+                    strategy: str = "balanced",
+                    backend: str = "numpy") -> "PlanSpec":
         """A spec with the thread count clamped to an admissible Eq. (14)."""
         from ..frontend import feasible_threads
 
         t = feasible_threads(n, threads, mu) if threads > 1 else 1
-        return cls(n=n, threads=t, mu=mu, strategy=strategy)
+        return cls(n=n, threads=t, mu=mu, strategy=strategy, backend=backend)
 
     @classmethod
-    def from_plan_key(cls, key) -> "PlanSpec":
+    def from_plan_key(cls, key, backend: str = "numpy") -> "PlanSpec":
         """From a serving-layer :class:`repro.serve.plan_cache.PlanKey`."""
         return cls(n=key.n, threads=key.threads, mu=key.mu,
-                   strategy=key.strategy)
+                   strategy=key.strategy, backend=backend)
 
 
 @dataclass
@@ -85,8 +95,8 @@ def compile_spec(spec: PlanSpec) -> CompiledSpec:
             _CACHE.move_to_end(spec)
             return hit
     # imports deferred: keep `import repro.mp` light and cycle-free
+    from ..codegen.registry import resolve_backend
     from ..frontend import generate_fft
-    from ..serve.batch_exec import batched_stages
 
     gen = generate_fft(
         spec.n,
@@ -98,7 +108,9 @@ def compile_spec(spec: PlanSpec) -> CompiledSpec:
     compiled = CompiledSpec(
         spec=spec,
         program=gen,
-        stages=batched_stages(gen.program, spec.codelet_max),
+        stages=resolve_backend(spec.backend).build_stages(
+            gen.program, spec.codelet_max
+        ),
     )
     with _CACHE_LOCK:
         _CACHE[spec] = compiled

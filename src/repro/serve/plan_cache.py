@@ -1,8 +1,10 @@
 """The serving layer's shared plan cache: LRU + single-flight planning.
 
 Sits in front of :class:`repro.wisdom.Wisdom` (or plain ``generate_fft``)
-and holds *executable* artifacts: the generated per-vector program plus its
-batched stage list (:mod:`repro.serve.batch_exec`), ready to run on a
+and holds *executable* artifacts: the generated per-vector program plus the
+batched stage list built by the configured execution backend
+(:func:`repro.codegen.resolve_backend` — NumPy interpreter by default, or
+JIT-compiled C codelets with ``backend="compiled"``), ready to run on a
 persistent runtime.  Three properties matter for a long-lived service:
 
 * **bounded** — an LRU of ``capacity`` plans, with eviction counters;
@@ -29,7 +31,6 @@ from ..frontend import generate_fft
 from ..smp.runtime import PlanStage
 from ..trace import get_tracer
 from ..wisdom import Wisdom
-from .batch_exec import batched_plan
 
 
 class PlanKey(NamedTuple):
@@ -43,11 +44,17 @@ class PlanKey(NamedTuple):
 
 @dataclass
 class CachedPlan:
-    """An executable plan: the generated program and its batched stages."""
+    """An executable plan: the generated program and its batched stages.
+
+    ``backend`` records which execution backend actually built the stage
+    list (after any registry fallback), so stats/health endpoints report
+    what is really executing.
+    """
 
     key: PlanKey
     program: GeneratedProgram
     stages: list[PlanStage]
+    backend: str = "numpy"
 
 
 @dataclass
@@ -87,7 +94,17 @@ class _Flight:
         self.error: Optional[BaseException] = None
 
 
-def _default_builder(wisdom: Optional[Wisdom]) -> Callable[[PlanKey], CachedPlan]:
+def _default_builder(
+    wisdom: Optional[Wisdom], backend: str = "numpy"
+) -> Callable[[PlanKey], CachedPlan]:
+    """Plan builder routing codegen through the backend registry.
+
+    Plans built with the compiled backend get their shared-object
+    provenance recorded into ``wisdom`` (when given), so a wisdom file
+    names the exact cached codelet artifact alongside the tuned tree.
+    """
+    from ..codegen.registry import resolve_backend
+
     def build(key: PlanKey) -> CachedPlan:
         if wisdom is not None and key.strategy == "balanced":
             program = wisdom.plan(key.n, key.threads, key.mu)
@@ -95,7 +112,20 @@ def _default_builder(wisdom: Optional[Wisdom]) -> Callable[[PlanKey], CachedPlan
             program = generate_fft(
                 key.n, threads=key.threads, mu=key.mu, strategy=key.strategy
             )
-        return CachedPlan(key=key, program=program, stages=batched_plan(program))
+        exec_backend = resolve_backend(backend)
+        stages = exec_backend.build_stages(program.program)
+        if wisdom is not None and hasattr(exec_backend, "artifact_info"):
+            info = exec_backend.artifact_info(program.program)
+            if info is not None:
+                wisdom.record_artifact(
+                    key.n, key.threads, key.mu, exec_backend.name, info
+                )
+        return CachedPlan(
+            key=key,
+            program=program,
+            stages=stages,
+            backend=exec_backend.name,
+        )
 
     return build
 
@@ -113,12 +143,14 @@ class PlanCache:
         capacity: int = 64,
         wisdom: Optional[Wisdom] = None,
         builder: Optional[Callable[[PlanKey], CachedPlan]] = None,
+        backend: str = "numpy",
     ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.wisdom = wisdom
-        self._builder = builder or _default_builder(wisdom)
+        self.backend = backend
+        self._builder = builder or _default_builder(wisdom, backend)
         self._lock = threading.Lock()
         self._entries: OrderedDict[PlanKey, CachedPlan] = OrderedDict()
         self.stats = CacheStats()

@@ -86,6 +86,7 @@ class ServeConfig:
     mu: int = 4               #: default cache-line size (complex elements)
     strategy: str = "balanced"
     runtime: str = "threads"  #: worker pool kind: "threads" or "process"
+    backend: str = "numpy"    #: execution backend: numpy|compiled|simulator
     window_s: float = 0.0     #: max batching wait; 0 = continuous batching
     max_batch: int = 48       #: max vectors per stacked execution
     queue_limit: int = 512    #: max pending vectors (admission control)
@@ -156,13 +157,18 @@ class FFTService:
                 f"unknown runtime {self.config.runtime!r}; "
                 "expected 'threads' or 'process'"
             )
+        from ..codegen.registry import get_backend
+
+        get_backend(self.config.backend)  # reject unknown names up front
         wisdom = (
             Wisdom(self.config.wisdom_path)
             if self.config.wisdom_path
             else None
         )
         self.plans = PlanCache(
-            capacity=self.config.cache_capacity, wisdom=wisdom
+            capacity=self.config.cache_capacity,
+            wisdom=wisdom,
+            backend=self.config.backend,
         )
         self._cond = threading.Condition()
         self._queue: list[_Request] = []
@@ -290,6 +296,7 @@ class FFTService:
             "max_batch": self.config.max_batch,
             "queue_limit": self.config.queue_limit,
             "cache_capacity": self.config.cache_capacity,
+            "backend": self.config.backend,
         }
         return m
 
@@ -625,7 +632,8 @@ class FFTService:
         if hasattr(runtime, "execute_spec"):
             from ..mp import PlanSpec
 
-            Y, _ = runtime.execute_spec(PlanSpec.from_plan_key(key), X)
+            spec = PlanSpec.from_plan_key(key, backend=self.config.backend)
+            Y, _ = runtime.execute_spec(spec, X)
             return Y
         plan = self.plans.get(key)
         Y, _ = run_batched(plan.stages, key.n, X, runtime)

@@ -183,3 +183,33 @@ class Wisdom:
         """The stored search record (tree, objective value, evaluations)."""
         with self._lock:
             return self._store.get(self._key(n, threads, mu))
+
+    # -- backend artifacts -------------------------------------------------------
+
+    def record_artifact(
+        self, n: int, threads: int, mu: int, backend: str, info: dict
+    ) -> None:
+        """Attach an execution-backend artifact record to a plan's entry.
+
+        The compiled backend passes its shared-object provenance (source
+        hash, cached ``.so`` path, compiler fingerprint) here, so a wisdom
+        file documents not just the tuned tree but the exact native
+        artifact serving it — keyed, like the on-disk codelet cache, by
+        codelet hash + compiler identity.  No-op persistence-wise until the
+        entry exists; creates a stub entry otherwise.
+        """
+        key = self._key(n, threads, mu)
+        with self._lock:
+            entry = self._store.setdefault(key, {})
+            entry.setdefault("artifacts", {})[backend] = dict(info)
+            self._save()
+
+    def artifact(
+        self, n: int, threads: int, mu: int, backend: str
+    ) -> Optional[dict]:
+        """The recorded artifact for (config, backend), or None."""
+        with self._lock:
+            entry = self._store.get(self._key(n, threads, mu))
+            if not entry:
+                return None
+            return entry.get("artifacts", {}).get(backend)

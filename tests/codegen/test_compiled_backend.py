@@ -1,0 +1,216 @@
+"""The compiled-codelet JIT backend: correctness, caching, fallback.
+
+Everything that needs a real compiler is guarded by ``needs_cc``; the
+fallback tests run everywhere (they simulate compiler absence with
+``REPRO_NO_CC``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.codegen.compiled_backend import (
+    CodeletCompileError,
+    clear_compiled_memo,
+    compile_plan,
+    compiled_available,
+    compiler_fingerprint,
+    emit_plan_source,
+)
+from repro.codegen.registry import CompiledBackend, NumpyBackend
+from repro.frontend import generate_fft
+from repro.serve.batch_exec import run_batched
+from repro.smp.runtime import PThreadsRuntime, SequentialRuntime
+from repro.spl.expr import COMPLEX
+
+needs_cc = pytest.mark.skipif(
+    not compiled_available(), reason="no usable C compiler on this host"
+)
+
+
+def _stack(rng, b, n):
+    return (
+        rng.standard_normal((b, n)) + 1j * rng.standard_normal((b, n))
+    ).astype(COMPLEX)
+
+
+class TestEmission:
+    def test_source_names_every_stage(self):
+        gen = generate_fft(64, threads=2)
+        src = emit_plan_source(gen.program)
+        for sid in range(len(gen.program.stages)):
+            assert f"repro_stage{sid}" in src
+
+    def test_source_is_deterministic(self):
+        a = emit_plan_source(generate_fft(128).program)
+        b = emit_plan_source(generate_fft(128).program)
+        assert a == b
+
+
+@needs_cc
+class TestCompiledCorrectness:
+    @pytest.mark.parametrize("n,threads", [(64, 1), (256, 2), (1024, 2)])
+    def test_matches_fft_sequential(self, n, threads, rng):
+        gen = generate_fft(n, threads=threads)
+        stages = compile_plan(gen.program).plan_stages()
+        X = _stack(rng, 3, n)
+        Y, _ = run_batched(stages, n, X, SequentialRuntime())
+        np.testing.assert_allclose(
+            Y, np.fft.fft(X, axis=-1), atol=1e-9 * n, rtol=1e-9
+        )
+
+    def test_matches_fft_on_pthreads_pool(self, rng):
+        n, p = 1024, 2
+        gen = generate_fft(n, threads=p)
+        stages = compile_plan(gen.program).plan_stages()
+        X = _stack(rng, 4, n)
+        with PThreadsRuntime(p) as pool:
+            Y, _ = run_batched(stages, n, X, pool)
+        np.testing.assert_allclose(
+            Y, np.fft.fft(X, axis=-1), atol=1e-9 * n, rtol=1e-9
+        )
+
+    def test_single_vector_batch(self, rng):
+        n = 256
+        stages = compile_plan(generate_fft(n).program).plan_stages()
+        x = _stack(rng, 1, n)
+        y, _ = run_batched(stages, n, x, SequentialRuntime())
+        np.testing.assert_allclose(
+            y[0], np.fft.fft(x[0]), atol=1e-9 * n, rtol=1e-9
+        )
+
+
+@needs_cc
+class TestArtifactCache:
+    def test_disk_cache_hit_skips_recompile(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CODELET_CACHE", str(tmp_path))
+        clear_compiled_memo()
+        gen = generate_fft(128)
+        first = compile_plan(gen.program)
+        mtime = os.path.getmtime(first.so_path)
+        clear_compiled_memo()  # drop the in-process memo, keep the disk
+        second = compile_plan(gen.program)
+        assert second.so_path == first.so_path
+        assert os.path.getmtime(second.so_path) == mtime
+        assert second.source_hash == first.source_hash
+
+    def test_artifact_info_names_the_toolchain(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CODELET_CACHE", str(tmp_path))
+        clear_compiled_memo()
+        info = compile_plan(generate_fft(64).program).artifact_info()
+        fp = compiler_fingerprint()
+        assert info["cc"] == fp["cc"]
+        assert info["cc_version"] == fp["version"]
+        assert info["source_hash"] and os.path.exists(info["so"])
+
+
+class TestFallbackSeams:
+    def test_no_cc_env_disables_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CC", "1")
+        assert not compiled_available()
+        assert not CompiledBackend().available()
+
+    def test_compile_plan_raises_without_compiler(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CC", "1")
+        clear_compiled_memo()
+        with pytest.raises(CodeletCompileError):
+            compile_plan(generate_fft(64).program)
+
+    def test_build_stages_falls_back_to_numpy(self, monkeypatch, rng):
+        monkeypatch.setenv("REPRO_NO_CC", "1")
+        clear_compiled_memo()
+        n = 128
+        gen = generate_fft(n)
+        with pytest.warns(RuntimeWarning):
+            import repro.codegen.registry as reg
+
+            reg._WARNED.discard("compiled")
+            stages = CompiledBackend().build_stages(gen.program)
+        X = _stack(rng, 2, n)
+        Y, _ = run_batched(stages, n, X, SequentialRuntime())
+        np.testing.assert_allclose(
+            Y, np.fft.fft(X, axis=-1), atol=1e-9 * n, rtol=1e-9
+        )
+
+    def test_injected_compile_fault_falls_back(self, rng):
+        from repro.faults import FaultPlan, FaultSpec, fault_plan
+
+        clear_compiled_memo()
+        n = 64
+        gen = generate_fft(n)
+        plan = FaultPlan([FaultSpec("codegen.compile_fail", rate=1.0)])
+        with fault_plan(plan):
+            stages = CompiledBackend().build_stages(gen.program)
+        assert plan.fires("codegen.compile_fail") >= 1
+        X = _stack(rng, 2, n)
+        Y, _ = run_batched(stages, n, X, SequentialRuntime())
+        np.testing.assert_allclose(
+            Y, np.fft.fft(X, axis=-1), atol=1e-9 * n, rtol=1e-9
+        )
+
+    def test_fallback_preserves_plan_structure(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CC", "1")
+        clear_compiled_memo()
+        gen = generate_fft(256, threads=2)
+        fell_back = CompiledBackend().build_stages(gen.program)
+        reference = NumpyBackend().build_stages(gen.program)
+        assert [
+            (s.parallel, s.needs_barrier, s.nprocs) for s in fell_back
+        ] == [(s.parallel, s.needs_barrier, s.nprocs) for s in reference]
+
+
+@needs_cc
+class TestEndToEnd:
+    def test_serve_plan_cache_builds_compiled_plans(self, rng):
+        from repro.serve.plan_cache import PlanCache, PlanKey
+
+        cache = PlanCache(backend="compiled")
+        plan = cache.get(PlanKey(n=256, threads=1, mu=4))
+        assert plan.backend == "compiled"
+
+    def test_wisdom_records_compiled_artifact(self, tmp_path):
+        from repro.serve.plan_cache import PlanCache, PlanKey
+        from repro.wisdom import Wisdom
+
+        wisdom = Wisdom(tmp_path / "w.json")
+        cache = PlanCache(wisdom=wisdom, backend="compiled")
+        cache.get(PlanKey(n=128, threads=1, mu=4))
+        art = wisdom.artifact(128, 1, 4, "compiled")
+        assert art is not None and "source_hash" in art
+        # provenance survives a reload from disk
+        assert Wisdom(tmp_path / "w.json").artifact(
+            128, 1, 4, "compiled"
+        ) == art
+
+    def test_mp_spec_compiles_with_backend(self, rng):
+        from repro.mp.spec import PlanSpec, clear_spec_cache, compile_spec
+
+        clear_spec_cache()
+        n = 256
+        cs = compile_spec(PlanSpec(n=n, backend="compiled"))
+        X = _stack(rng, 2, n)
+        Y, _ = run_batched(cs.stages, n, X, SequentialRuntime())
+        np.testing.assert_allclose(
+            Y, np.fft.fft(X, axis=-1), atol=1e-9 * n, rtol=1e-9
+        )
+        clear_spec_cache()
+
+    def test_check_differential_passes(self):
+        from repro.check import check_backend_program
+
+        gen = generate_fft(512, threads=2)
+        assert check_backend_program(gen.program, "compiled") == []
+
+    def test_bench_reports_compiler_metadata(self):
+        from repro.codegen.bench import run_backend_bench
+
+        result = run_backend_bench(
+            backend="compiled", kmin=6, kmax=7, repeats=1, threads=1
+        )
+        assert result["backend"] == "compiled"
+        assert "compiler" in result["host"]
+        assert result["host"]["compiler"]["cc"]
+        assert len(result["rows"]) == 2

@@ -1,0 +1,84 @@
+"""Docstring lint for the codegen package (AST-based, no ruff needed).
+
+The execution-backend registry is the one interface every runtime
+consumer shares, so `src/repro/codegen/` holds itself to a documented
+contract: every module and every public class, function, and method
+must carry a docstring stating what it does at the IR level. This test
+is the local, dependency-free enforcement of the same policy CI's
+`ruff --select D` lint applies (pydocstyle D100/D101/D102/D103).
+
+Exemptions mirror pydocstyle defaults: names with a leading underscore
+are private; dunder methods are governed by their protocol, not a
+docstring; `@overload` stubs (none currently) would be skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+import repro.codegen
+
+CODEGEN_DIR = Path(repro.codegen.__file__).resolve().parent
+MODULES = sorted(CODEGEN_DIR.glob("*.py"))
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _missing_in(tree: ast.Module, path: Path) -> list[str]:
+    problems = []
+    if not ast.get_docstring(tree):
+        problems.append(f"{path.name}: missing module docstring (D100)")
+
+    def walk(node, qual: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            name = child.name
+            if not _is_public(name):
+                continue
+            label = f"{qual}{name}"
+            if not ast.get_docstring(child):
+                kind = (
+                    "D101 class"
+                    if isinstance(child, ast.ClassDef)
+                    else "D102/D103 function"
+                )
+                problems.append(
+                    f"{path.name}:{child.lineno}: {label} has no "
+                    f"docstring ({kind})"
+                )
+            if isinstance(child, ast.ClassDef):
+                walk(child, label + ".")
+
+    walk(tree, "")
+    return problems
+
+
+def test_codegen_modules_exist():
+    assert MODULES, f"no modules found under {CODEGEN_DIR}"
+    names = {p.name for p in MODULES}
+    assert {"registry.py", "compiled_backend.py", "unroll.py"} <= names
+
+
+@pytest.mark.parametrize("path", MODULES, ids=lambda p: p.name)
+def test_public_api_is_documented(path: Path):
+    tree = ast.parse(path.read_text())
+    problems = _missing_in(tree, path)
+    assert not problems, "\n".join(problems)
+
+
+def test_registry_docstrings_state_the_contract():
+    """Spot-check that key registry docstrings describe the IR contract."""
+    from repro.codegen.registry import ExecutionBackend
+
+    doc = ExecutionBackend.build_stages.__doc__ or ""
+    assert "PlanStage" in doc or "stage" in doc.lower()
+    assert (ExecutionBackend.available.__doc__ or "").strip()
+    assert (ExecutionBackend.describe.__doc__ or "").strip()

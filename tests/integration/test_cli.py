@@ -50,6 +50,27 @@ class TestBench:
         with pytest.raises(SystemExit):
             main(["bench", "cray"])
 
+    def test_backend_bench_writes_report(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_backend.json"
+        rc = main(
+            ["bench", "--backend", "numpy", "--kmin", "6", "--kmax", "7",
+             "--repeats", "1", "--threads", "1", "--output", str(out_path)]
+        )
+        assert rc == 0
+        assert "backend=numpy" in capsys.readouterr().out
+        import json
+
+        report = json.loads(out_path.read_text())
+        assert report["benchmark"] == "backend_speedup"
+        assert len(report["rows"]) == 2
+
+    def test_backend_bench_unavailable_is_an_error(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CC", "1")
+        rc = main(["bench", "--backend", "compiled", "--kmin", "6",
+                   "--kmax", "6"])
+        assert rc == 2
+        assert "not available" in capsys.readouterr().err
+
 
 class TestSearch:
     def test_search(self, capsys):
@@ -78,6 +99,16 @@ class TestServeParsers:
         assert args.port == 9000 and args.threads == 2
         assert args.window_ms == pytest.approx(5.0)
         assert args.max_batch == 8 and args.wisdom == "w.json"
+
+    def test_serve_backend_flag(self):
+        args = build_parser().parse_args(["serve", "--backend", "compiled"])
+        assert args.backend == "compiled"
+        assert build_parser().parse_args(["serve"]).backend == "numpy"
+
+    def test_check_backend_flag(self):
+        args = build_parser().parse_args(["check", "--backend", "simulator"])
+        assert args.backend == "simulator"
+        assert build_parser().parse_args(["check"]).backend == "numpy"
 
     def test_loadgen_defaults_and_sizes(self):
         args = build_parser().parse_args(["loadgen", "--sizes", "64,256"])

@@ -1,11 +1,13 @@
-"""Docs-vs-CLI consistency: documentation and ``build_parser()`` must agree.
+"""Docs-vs-code consistency: documentation and the code must agree.
 
-Forward direction: every ``repro <subcommand>`` invocation and every flag
-shown on such a line in README.md / docs/*.md must actually exist in the
-parser.  Reverse direction: every subcommand must be documented in
-README.md, and every long option of every subcommand must appear somewhere
-in README.md or docs/*.md.  This keeps the docs from drifting as commands
-and flags are added.
+CLI: every ``repro <subcommand>`` invocation and every flag shown on such
+a line in README.md / docs/*.md must actually exist in ``build_parser()``
+(forward), every subcommand must be documented in README.md, and every
+long option of every subcommand must appear somewhere in README.md or
+docs/*.md (reverse).  Fault plane: every injection-point name used in a
+documented chaos spec must exist in ``repro.faults.INJECTION_POINTS``,
+and every registered point must be documented somewhere.  This keeps the
+docs from drifting as commands, flags, and injection points are added.
 """
 
 import argparse
@@ -15,6 +17,7 @@ from pathlib import Path
 import pytest
 
 from repro.cli import build_parser
+from repro.faults import INJECTION_POINTS
 
 REPO = Path(__file__).resolve().parents[2]
 DOC_FILES = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
@@ -128,3 +131,37 @@ class TestParserIsDocumented:
         )
         assert args.size == 4096 and args.threads == 2
         assert args.mu == 4 and args.trace == "out.json"
+
+
+#: an injection point inside a documented chaos spec: ``name.name:rate``
+CHAOS_POINT_RE = re.compile(r"\b([a-z][a-z0-9_]*\.[a-z][a-z0-9_]*):[0-9]")
+
+
+class TestFaultPointsMatchDocs:
+    """Documented injection points and ``repro.faults`` must agree."""
+
+    def test_documented_chaos_specs_name_real_points(self):
+        for path in DOC_FILES:
+            for chunk in _code_chunks(path.read_text()):
+                for point in CHAOS_POINT_RE.findall(chunk):
+                    assert point in INJECTION_POINTS, (
+                        f"{path.name}: chaos spec uses injection point "
+                        f"{point!r} but repro.faults only knows "
+                        f"{sorted(INJECTION_POINTS)}"
+                    )
+
+    def test_every_injection_point_is_documented(self):
+        corpus = "\n".join(p.read_text() for p in DOC_FILES)
+        for point in INJECTION_POINTS:
+            assert point in corpus, (
+                f"injection point {point!r} is registered in repro.faults "
+                f"but no doc file mentions it"
+            )
+
+    def test_chaos_regex_sees_the_docs(self):
+        """The forward check must actually be exercising documented specs."""
+        found = set()
+        for path in DOC_FILES:
+            for chunk in _code_chunks(path.read_text()):
+                found.update(CHAOS_POINT_RE.findall(chunk))
+        assert found, "no documented chaos specs found — regex or docs broke"
