@@ -14,6 +14,7 @@ import time
 import numpy as np
 
 from repro.serve import FFTService, ServeConfig
+from repro.serve.metrics import percentile
 from series import report
 
 N = 1024
@@ -28,11 +29,7 @@ def _vec(seed):
 
 
 def _percentile(samples, q):
-    data = sorted(samples)
-    if not data:
-        return 0.0
-    idx = min(len(data) - 1, max(0, int(round(q / 100 * (len(data) - 1)))))
-    return data[idx]
+    return percentile(sorted(samples), q / 100)
 
 
 def _drive(svc, clients, requests, no_batch=False):

@@ -11,7 +11,9 @@ Commands
 ``search``    autotune a factorization on a simulated machine
 ``profile``   trace one transform end to end and print the per-stage report
 ``serve``     run the TCP/JSON FFT service (plan cache + request batching)
+``shard``     run a consistent-hash router over a fleet of serve shards
 ``loadgen``   drive a running server; throughput/latency report + JSON
+              (``--shards N`` instead spins up and measures a shard fleet)
 ``check``     dynamic concurrency certification: replay the pipeline's
               plans and verify race freedom, false-sharing freedom at µ,
               and load balance (non-zero exit on any violation)
@@ -223,7 +225,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import FFTService, ServeConfig
-    from .serve.server import FFTServer
+    from .serve.server import FFTServer, graceful_shutdown, \
+        install_signal_handlers
 
     config = ServeConfig(
         threads=args.threads,
@@ -256,14 +259,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"max-batch={args.max_batch}, queue-limit={args.queue_limit})",
             file=sys.stderr,
         )
+        done = install_signal_handlers(server, service)
         try:
             server.serve_forever()
-        except KeyboardInterrupt:
+            # the signal handler's shutdown thread finishes the drain
+            done.wait(timeout=60)
+            print("# drained and shut down", file=sys.stderr)
+        except KeyboardInterrupt:  # pragma: no cover - handler owns SIGINT
             print("# shutting down", file=sys.stderr)
-        finally:
-            server.shutdown()
-            server.server_close()
-            service.close()
+            graceful_shutdown(server, service)
     return 0
 
 
@@ -362,10 +366,101 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    """Run a consistent-hash router fronting a fleet of serve shards."""
+    import signal
+    import threading
+
+    from .serve import ServeConfig
+    from .shard import ShardFleet, ShardRouter
+
+    config = ServeConfig(
+        threads=args.threads,
+        mu=args.mu,
+        window_s=args.window_ms / 1e3,
+        max_batch=args.max_batch,
+        queue_limit=args.queue_limit,
+        cache_capacity=args.cache_capacity,
+        wisdom_path=args.wisdom,
+        runtime=args.runtime,
+        backend=args.backend,
+    )
+    if args.chaos:
+        from .faults import parse_chaos_spec, set_fault_plan
+
+        plan = parse_chaos_spec(args.chaos, seed=args.chaos_seed)
+        set_fault_plan(plan)
+        print(
+            f"# chaos mode: {args.chaos} (seed={args.chaos_seed})",
+            file=sys.stderr,
+        )
+    with _maybe_tracing(args):
+        fleet = ShardFleet(
+            args.shards, config, vnodes=args.vnodes, replicas=args.replicas
+        )
+        router = ShardRouter((args.host, args.port), fleet)
+        stop = threading.Event()
+        for s in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(s, lambda *_: stop.set())
+        router.serve_background()
+        ports = {sid: fleet.address(sid)[1] for sid in fleet.shard_ids}
+        print(
+            f"# repro shard: router on {args.host}:{router.port} over "
+            f"{args.shards} shard(s) {ports} "
+            f"(vnodes={args.vnodes}, replicas={args.replicas}, "
+            f"threads={args.threads}, mu={args.mu})",
+            file=sys.stderr,
+        )
+        try:
+            stop.wait()
+            print("# shutting down fleet", file=sys.stderr)
+        finally:
+            router.close()
+            fleet.close()
+        print("# fleet drained and shut down", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen_shards(args: argparse.Namespace) -> int:
+    """``loadgen --shards N``: spin up and measure a shard fleet."""
+    from .shard import ShardLoadgenConfig, render_shard_report, \
+        run_shard_loadgen
+
+    sizes = [int(s) for s in args.sizes.split(",") if s]
+    output = args.output
+    if output == "BENCH_serve.json":  # the single-server default
+        output = "BENCH_shard.json"
+    cfg = ShardLoadgenConfig(
+        shards=args.shards,
+        sizes=sizes,
+        clients=args.clients,
+        requests=args.requests,
+        pipeline=args.pipeline,
+        threads=args.threads,
+        mu=args.mu,
+        output=output,
+        verify=args.verify,
+        kill_after_s=args.kill_after,
+        baseline=not args.no_baseline,
+        replicas=args.replicas,
+        window_ms=args.window_ms,
+        queue_limit=args.queue_limit,
+    )
+    if args.seed is not None:
+        cfg.seed = args.seed
+    report = run_shard_loadgen(cfg)
+    print(render_shard_report(report))
+    if output:
+        print(f"# report written to {output}", file=sys.stderr)
+    return 1 if report["measured"]["lost"] else 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from .serve import LoadgenConfig, render_report, run_loadgen
 
     sys.setswitchinterval(0.0005)  # same rationale as in serve
+    if args.shards is not None:
+        return _cmd_loadgen_shards(args)
     sizes = [int(s) for s in args.sizes.split(",") if s]
     cfg = LoadgenConfig(
         host=args.host,
@@ -582,6 +677,94 @@ def build_parser() -> argparse.ArgumentParser:
     add_trace_flag(sv)
     sv.set_defaults(fn=_cmd_serve)
 
+    sh = sub.add_parser(
+        "shard",
+        help="consistent-hash router over a fleet of supervised serve "
+        "shards (clients connect to the router unchanged)",
+    )
+    sh.add_argument("--host", default="127.0.0.1")
+    sh.add_argument(
+        "--port",
+        type=int,
+        default=7380,
+        help="router listen port (shards bind ephemeral local ports)",
+    )
+    sh.add_argument(
+        "--shards", type=int, default=2, help="shard worker processes"
+    )
+    sh.add_argument(
+        "--vnodes",
+        type=int,
+        default=64,
+        help="virtual nodes per shard on the hash ring",
+    )
+    sh.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="ring successors prewarmed per plan key (the failover heirs)",
+    )
+    sh.add_argument("--threads", "-p", type=int, default=1)
+    sh.add_argument("--mu", type=int, default=4)
+    sh.add_argument(
+        "--window-ms",
+        type=float,
+        default=0.0,
+        help="per-shard batching window (as serve --window-ms)",
+    )
+    sh.add_argument(
+        "--max-batch",
+        type=int,
+        default=48,
+        help="per-shard max vectors coalesced into one execution",
+    )
+    sh.add_argument(
+        "--queue-limit",
+        type=int,
+        default=512,
+        help="per-shard pending-vector bound before rejections",
+    )
+    sh.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=64,
+        help="per-shard plan-cache entries kept (LRU beyond this)",
+    )
+    sh.add_argument(
+        "--wisdom",
+        metavar="PATH",
+        default=None,
+        help="wisdom JSON shared by every shard (fleet-wide tuning reuse)",
+    )
+    sh.add_argument(
+        "--runtime",
+        choices=["threads", "process"],
+        default="threads",
+        help="per-shard worker pool kind (as serve --runtime)",
+    )
+    sh.add_argument(
+        "--backend",
+        choices=["numpy", "compiled", "simulator"],
+        default="numpy",
+        help="per-shard execution backend (as serve --backend)",
+    )
+    sh.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="inject faults, e.g. 'shard.worker_crash:0.01' (the "
+        "supervisor kills and heals shards) or 'shard.route_flap:0.05' "
+        "(requests divert to ring successors); see docs/sharding.md",
+    )
+    sh.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the chaos fault plan's random stream",
+    )
+    add_trace_flag(sh)
+    sh.set_defaults(fn=_cmd_shard)
+
     lg = sub.add_parser(
         "loadgen",
         help="drive a running 'repro serve'; report throughput and latency "
@@ -632,6 +815,49 @@ def build_parser() -> argparse.ArgumentParser:
         default="first",
         help="check results against numpy: one per worker (first, "
         "default), every result (all), or skip (none)",
+    )
+    lg.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="measure an in-process shard fleet of this size instead of "
+        "a running server (ignores --host/--port; writes "
+        "BENCH_shard.json with per-shard percentiles and the fleet-vs-"
+        "one-shard speedup)",
+    )
+    lg.add_argument(
+        "--kill-after",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="with --shards: SIGKILL one shard this long into the "
+        "measured phase (the chaos lane; the run must still complete "
+        "every request)",
+    )
+    lg.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="with --shards: skip the 1-shard reference fleet phase",
+    )
+    lg.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="with --shards: ring successors prewarmed per plan key",
+    )
+    lg.add_argument(
+        "--window-ms",
+        type=float,
+        default=0.0,
+        help="with --shards: per-shard batching window (dispatcher-bound "
+        "workloads show the sharding speedup on any host; see "
+        "docs/sharding.md)",
+    )
+    lg.add_argument(
+        "--queue-limit",
+        type=int,
+        default=512,
+        help="with --shards: per-shard pending-vector admission bound",
     )
     lg.set_defaults(fn=_cmd_loadgen)
 

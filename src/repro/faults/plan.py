@@ -51,6 +51,10 @@ INJECTION_POINTS: dict[str, str] = {
     "cross-processor write/write overlap (negative checker test)",
     "check.misaligned_split": "repro.check sabotages a plan with a "
     "mu-misaligned processor split (negative checker test)",
+    "shard.worker_crash": "ShardFleet supervisor SIGKILLs a live shard "
+    "child, exercising ejection, failover, and restart",
+    "shard.route_flap": "ShardRouter routes a request to the owner's "
+    "successor instead of the owner (any shard must serve any key)",
 }
 
 

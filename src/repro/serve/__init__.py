@@ -25,8 +25,10 @@ activated by ``repro serve --chaos`` or a test's ``fault_plan(...)`` scope.
 from .batch_exec import batched_plan, batched_stages, run_batched
 from .client import RemoteError, RetryPolicy, ServeClient, jitter_rng
 from .loadgen import LoadgenConfig, render_report, run_loadgen
+from .metrics import LatencyRecorder, latency_summary, percentile
 from .plan_cache import CachedPlan, CacheStats, PlanCache, PlanKey
-from .server import FFTServer, serve
+from .server import FFTServer, graceful_shutdown, install_signal_handlers, \
+    serve
 from .service import (
     DeadlineExceeded,
     FFTService,
@@ -44,6 +46,7 @@ __all__ = [
     "FFTServer",
     "FFTService",
     "FFTTicket",
+    "LatencyRecorder",
     "LoadgenConfig",
     "Overloaded",
     "PlanCache",
@@ -57,6 +60,10 @@ __all__ = [
     "ServiceClosed",
     "batched_plan",
     "batched_stages",
+    "graceful_shutdown",
+    "install_signal_handlers",
+    "latency_summary",
+    "percentile",
     "render_report",
     "run_batched",
     "run_loadgen",

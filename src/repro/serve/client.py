@@ -291,6 +291,19 @@ class ServeClient:
                 self._connected = False
         raise last
 
+    def prewarm(self, n: int, threads: Optional[int] = None,
+                mu: Optional[int] = None,
+                strategy: Optional[str] = None) -> dict:
+        """Ask the server to build one plan ahead of traffic."""
+        fields: dict = {"n": int(n)}
+        if threads is not None:
+            fields["threads"] = threads
+        if mu is not None:
+            fields["mu"] = mu
+        if strategy is not None:
+            fields["strategy"] = strategy
+        return self.request("prewarm", **fields)["plan"]
+
     def stats(self) -> dict:
         return self._request_reconnecting("stats")["stats"]
 

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..seeding import default_seed, derive_seed
 from .client import RemoteError, RetryPolicy, ServeClient
+from .metrics import latency_summary as _latency_summary
 
 
 @dataclass
@@ -53,24 +54,6 @@ class LoadgenConfig:
     #: "first" checks one result per worker against numpy, "all" checks
     #: every result (the chaos suite's zero-wrong-answers mode), "none" skips
     verify: str = "first"
-
-
-def _percentile(sorted_vals: list[float], q: float) -> float:
-    if not sorted_vals:
-        return 0.0
-    idx = min(len(sorted_vals) - 1, int(round(q * (len(sorted_vals) - 1))))
-    return sorted_vals[idx]
-
-
-def _latency_summary(latencies_s: list[float]) -> dict:
-    vals = sorted(latencies_s)
-    return {
-        "p50_ms": _percentile(vals, 0.50) * 1e3,
-        "p95_ms": _percentile(vals, 0.95) * 1e3,
-        "p99_ms": _percentile(vals, 0.99) * 1e3,
-        "mean_ms": (sum(vals) / len(vals) * 1e3) if vals else 0.0,
-        "max_ms": (vals[-1] * 1e3) if vals else 0.0,
-    }
 
 
 #: generous policy for load tests: ride out bursts, resets, and faults

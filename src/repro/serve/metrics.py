@@ -1,0 +1,86 @@
+"""Latency/percentile helpers shared by every BENCH writer.
+
+One implementation of the percentile math keeps ``repro loadgen``, the
+shard router's per-shard stats, and the benchmark scripts reporting the
+same numbers for the same samples: nearest-rank on the sorted values,
+with the exact interpolation-free convention the serving reports have
+used since PR 2.
+
+:class:`LatencyRecorder` is the accumulation side: a thread-safe,
+bounded reservoir of per-request latencies keyed by an arbitrary label
+(the shard router keys by shard id).  Beyond ``cap`` samples per key it
+keeps every k-th sample, so long chaos runs stay O(cap) memory while the
+percentile estimates remain representative.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+def percentile(sorted_vals: list[float], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted samples; 0.0 when empty."""
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+def latency_summary(latencies_s: list[float]) -> dict:
+    """The standard p50/p95/p99/mean/max block (milliseconds)."""
+    vals = sorted(latencies_s)
+    return {
+        "p50_ms": percentile(vals, 0.50) * 1e3,
+        "p95_ms": percentile(vals, 0.95) * 1e3,
+        "p99_ms": percentile(vals, 0.99) * 1e3,
+        "mean_ms": (sum(vals) / len(vals) * 1e3) if vals else 0.0,
+        "max_ms": (vals[-1] * 1e3) if vals else 0.0,
+    }
+
+
+class LatencyRecorder:
+    """Thread-safe per-key latency samples with bounded memory.
+
+    ``record(key, seconds)`` appends; once a key holds ``cap`` samples,
+    decimation keeps every other sample and doubles the sampling stride,
+    so the reservoir stays within ``cap`` while still spanning the whole
+    run.  ``summary()`` renders each key through
+    :func:`latency_summary` alongside its true total count.
+    """
+
+    def __init__(self, cap: int = 65536):
+        if cap < 2:
+            raise ValueError(f"cap must be >= 2, got {cap}")
+        self._cap = cap
+        self._lock = threading.Lock()
+        self._samples: dict[str, list[float]] = {}
+        self._stride: dict[str, int] = {}
+        self._seen: dict[str, int] = {}
+
+    def record(self, key: str, seconds: float) -> None:
+        with self._lock:
+            seen = self._seen.get(key, 0)
+            self._seen[key] = seen + 1
+            stride = self._stride.setdefault(key, 1)
+            if seen % stride:
+                return
+            vals = self._samples.setdefault(key, [])
+            vals.append(seconds)
+            if len(vals) >= self._cap:
+                self._samples[key] = vals[::2]
+                self._stride[key] = stride * 2
+
+    def counts(self) -> dict[str, int]:
+        """True per-key totals (before any decimation)."""
+        with self._lock:
+            return dict(self._seen)
+
+    def summary(self) -> dict[str, dict]:
+        """Per-key ``latency_summary`` blocks plus true request counts."""
+        with self._lock:
+            keys = {k: list(v) for k, v in self._samples.items()}
+            seen = dict(self._seen)
+        return {
+            k: {"requests": seen.get(k, len(v)), **latency_summary(v)}
+            for k, v in keys.items()
+        }

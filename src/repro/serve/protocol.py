@@ -21,6 +21,7 @@ Request ops::
     {"op": "stats", "id": 2}
     {"op": "ping", "id": 3}
     {"op": "health", "id": 4}
+    {"op": "prewarm", "id": 5, "n": 4096, "threads": 2, "mu": 4}
 
 Responses echo ``id`` and carry ``ok``; failures carry ``error`` (a stable
 code from :data:`ERROR_CODES`) plus a human ``detail``, and ``overloaded``
@@ -144,6 +145,48 @@ def read_frame(rfile) -> Optional[tuple[dict, Optional[np.ndarray]]]:
     if shape is not None:
         arr = arr.reshape(shape)
     return msg, arr
+
+
+def read_frame_raw(rfile) -> Optional[tuple[dict, Optional[bytes]]]:
+    """Read one message *without* decoding the payload into an array.
+
+    The relay path of :mod:`repro.shard.router`: the router needs the
+    header (to route by plan key) and the payload bytes (to forward, and
+    to resend on failover) but never the numbers themselves, so skipping
+    the ndarray conversion keeps the hop allocation-light.  Same contract
+    as :func:`read_frame` otherwise: None at EOF, ``ValueError`` on a
+    malformed header or unreasonable payload declaration.
+    """
+    while True:
+        line = rfile.readline()
+        if not line:
+            return None
+        line = line.strip()
+        if line:
+            break
+    msg = load_line(line)
+    nbytes = msg.get("nbytes")
+    if nbytes is None:
+        return msg, None
+    nbytes = int(nbytes)
+    if not 0 <= nbytes <= MAX_PAYLOAD_BYTES:
+        raise ValueError(f"unreasonable payload size {nbytes}")
+    buf = rfile.read(nbytes)
+    if len(buf) != nbytes:
+        return None
+    return msg, bytes(buf)
+
+
+def write_frame_raw(wfile, msg: dict, payload: Optional[bytes]) -> None:
+    """Forward a header + raw payload pair read by :func:`read_frame_raw`.
+
+    The header is re-serialized verbatim (it already carries ``shape`` /
+    ``nbytes`` when a payload follows); the payload bytes pass through
+    untouched.
+    """
+    wfile.write(dump_line(msg))
+    if payload is not None:
+        wfile.write(payload)
 
 
 def error_response(req_id, code: str, detail: str,

@@ -90,6 +90,8 @@ class _Handler(socketserver.StreamRequestHandler):
                           "health": service.health()},
                          None)
                     )
+                elif op == "prewarm":
+                    self._prewarm(service, pending, req_id, msg)
                 elif op == "fft":
                     self._submit_fft(service, pending, req_id, msg, arr,
                                      binary)
@@ -103,6 +105,40 @@ class _Handler(socketserver.StreamRequestHandler):
         finally:
             pending.put(_SENTINEL)
             drain.join(timeout=60)
+
+    def _prewarm(self, service: FFTService, pending: queue.Queue,
+                 req_id, msg: dict) -> None:
+        """Build one plan ahead of traffic (the shard tier's warm-up op)."""
+        try:
+            n = int(msg["n"])
+        except (KeyError, TypeError, ValueError):
+            pending.put(
+                ("msg",
+                 error_response(req_id, "bad-request",
+                                "prewarm needs an integer 'n'"),
+                 None)
+            )
+            return
+        try:
+            built = service.prewarm(
+                n,
+                threads=msg.get("threads"),
+                mu=msg.get("mu"),
+                strategy=msg.get("strategy"),
+            )
+        except ServiceClosed as exc:
+            pending.put(
+                ("msg", error_response(req_id, "closed", str(exc)), None)
+            )
+        except (ValueError, RuntimeError) as exc:
+            pending.put(
+                ("msg", error_response(req_id, "bad-request", str(exc)),
+                 None)
+            )
+        else:
+            pending.put(
+                ("msg", {"id": req_id, "ok": True, "plan": built}, None)
+            )
 
     def _reset_connection(self) -> None:
         """Abort the TCP connection (RST, not FIN) — the chaos reset."""
@@ -273,3 +309,63 @@ def serve(
 ) -> FFTServer:
     """Bind an :class:`FFTServer`; caller runs ``serve_forever()``."""
     return FFTServer((host, port), service or FFTService())
+
+
+def graceful_shutdown(server: FFTServer, service: FFTService,
+                      drain_timeout: Optional[float] = 5.0) -> bool:
+    """Stop accepting, drain the batcher, then close; True if fully drained.
+
+    The ordered teardown supervised shard children (and ``repro serve``
+    itself) run on SIGTERM/SIGINT: ``server.shutdown()`` stops the accept
+    loop (connections already open keep their handler threads, so
+    admitted requests still get responses), :meth:`FFTService.drain`
+    waits for the queue to empty, and only then does
+    :meth:`FFTService.close` stop the dispatcher and the worker pools.
+    Idempotent: a second call returns immediately.
+    """
+    server.shutdown()
+    drained = service.drain(drain_timeout)
+    service.close()
+    server.server_close()
+    return drained
+
+
+def install_signal_handlers(
+    server: FFTServer,
+    service: FFTService,
+    signals: tuple = None,
+    drain_timeout: Optional[float] = 5.0,
+) -> threading.Event:
+    """SIGTERM/SIGINT → graceful shutdown; returns the completion event.
+
+    Must run on the main thread (CPython's signal rule).  The handler
+    only spawns the shutdown thread — ``shutdown()`` blocks until the
+    accept loop exits, which deadlocks if called from the thread running
+    ``serve_forever`` — and the returned event is set once the drain and
+    close have finished, so a caller's main thread can simply
+    ``event.wait()`` after ``serve_background()``.
+    """
+    import signal as _signal
+
+    if signals is None:
+        signals = (_signal.SIGTERM, _signal.SIGINT)
+    done = threading.Event()
+    started = threading.Event()
+
+    def _run() -> None:
+        try:
+            graceful_shutdown(server, service, drain_timeout)
+        finally:
+            done.set()
+
+    def _handler(signum, frame):  # noqa: ARG001 - signal signature
+        if started.is_set():
+            return
+        started.set()
+        threading.Thread(
+            target=_run, name="fft-serve-shutdown", daemon=True
+        ).start()
+
+    for sig in signals:
+        _signal.signal(sig, _handler)
+    return done

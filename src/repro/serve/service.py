@@ -362,6 +362,54 @@ class FFTService:
             "faults": get_fault_plan().snapshot(),
         }
 
+    def prewarm(self, n: int, threads: Optional[int] = None,
+                mu: Optional[int] = None,
+                strategy: Optional[str] = None) -> dict:
+        """Build (or touch) the plan for a configuration without executing.
+
+        The shard tier's plan-distribution hook: a router that planned a
+        key on one shard calls this on the shards owning neighboring hash
+        ranges, so a failover lands on an already-warm cache.  Plan
+        building is single-flight, and the compiled backend's codelet
+        cache is content-addressed on disk, so concurrent prewarms of the
+        same key across a fleet cost one search and one compile.
+        """
+        if self._closing:
+            raise ServiceClosed("service is shutting down")
+        key = self._plan_key(int(n), threads, mu, strategy)
+        plan = self.plans.get(key)
+        get_tracer().count("serve.prewarms", 1, n=key.n)
+        return {
+            "n": key.n,
+            "threads": key.threads,
+            "mu": key.mu,
+            "strategy": key.strategy,
+            "backend": plan.backend,
+        }
+
+    def drain(self, timeout: Optional[float] = 5.0) -> bool:
+        """Wait for the request queue to empty; True when fully drained.
+
+        The graceful-shutdown half-step between "stop accepting" and
+        :meth:`close`: callers cut off intake first (stop the TCP
+        accept loop, or simply stop submitting), then drain, then close —
+        so supervised shard children exiting on SIGTERM never drop
+        batches that were already admitted.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._cond:
+            while self._pending_vectors > 0:
+                if deadline is None:
+                    self._cond.wait(0.02)
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(min(remaining, 0.02))
+        return True
+
     def close(self) -> None:
         """Flush in-flight work, fail queued requests, stop the runtimes."""
         with self._cond:

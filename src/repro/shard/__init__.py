@@ -1,0 +1,40 @@
+"""repro.shard: a consistent-hash router tier over FFTServer shards.
+
+The single-process serving stack (``repro.serve``) batches, caches, and
+supervises inside one address space — so its ceiling is one GIL and one
+plan cache.  This package multiplies it (see ``docs/sharding.md``):
+
+* :class:`HashRing` / :func:`route_key` — plan keys
+  ``(n, threads, mu, strategy, backend)`` on a 64-bit BLAKE2b circle;
+* :class:`ShardWorker` — one supervised FFTServer child process that
+  drains gracefully on SIGTERM;
+* :class:`ShardFleet` — spawn/eject/respawn/rejoin supervision plus the
+  live ring, with the ``shard.worker_crash`` chaos hook;
+* :class:`ShardRouter` — the TCP front end: clients connect unchanged,
+  requests relay raw to their key's owner, orphans replay on ring
+  successors when a shard dies, successors are prewarmed, and
+  ``health``/``stats`` aggregate the whole fleet;
+* :func:`run_shard_loadgen` — the ``repro loadgen --shards`` engine
+  (fleet vs one-shard speedup, per-shard percentiles, chaos kill lane).
+"""
+
+from .fleet import NoShardsAvailable, ShardFleet
+from .loadgen import ShardLoadgenConfig, render_shard_report, \
+    run_shard_loadgen
+from .ring import HashRing, route_key
+from .router import ShardRouter
+from .worker import ShardWorker, ShardWorkerDead, shard_worker_main
+
+__all__ = [
+    "HashRing",
+    "NoShardsAvailable",
+    "ShardFleet",
+    "ShardLoadgenConfig",
+    "ShardRouter",
+    "ShardWorker",
+    "ShardWorkerDead",
+    "render_shard_report",
+    "route_key",
+    "run_shard_loadgen",
+    "shard_worker_main",
+]

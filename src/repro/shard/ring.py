@@ -1,0 +1,143 @@
+"""Consistent-hash ring: plan keys → shard ids with minimal reshuffling.
+
+The routing substrate of :mod:`repro.shard`: each member (a shard id)
+owns ``vnodes`` points on a 64-bit hash circle, a key routes to the
+first member point at or after its own hash, and removing a member
+reassigns *only* the ranges that member owned — the property that makes
+shard ejection under failure cheap (surviving shards keep their warm
+plan caches) and is why the router prewarms a key's *successors*: they
+are exactly the shards that inherit its range when the owner dies.
+
+Hashing is BLAKE2b, so placement is deterministic across processes and
+runs — the same fleet always builds the same ring, which keeps chaos
+tests replayable.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Optional
+
+
+def _hash64(data: str) -> int:
+    """Deterministic 64-bit point on the circle for ``data``."""
+    return int.from_bytes(
+        hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+def route_key(n: int, threads: int, mu: int, strategy: str,
+              backend: str) -> str:
+    """The canonical routing string for one plan configuration.
+
+    Matches the batcher's :class:`~repro.serve.plan_cache.PlanKey`
+    coalescing fields plus the backend, so every request that would share
+    a plan (and a batch) lands on the same shard.
+    """
+    return f"{n}:{threads}:{mu}:{strategy}:{backend}"
+
+
+class HashRing:
+    """A consistent-hash ring over opaque string members.
+
+    ::
+
+        ring = HashRing(vnodes=64)
+        ring.add("shard-0"); ring.add("shard-1")
+        ring.owner("4096:2:4:balanced:numpy")     # -> "shard-0" (say)
+        ring.successors(key, 1)                   # the failover heir(s)
+
+    Not thread-safe by itself; :class:`~repro.shard.fleet.ShardFleet`
+    guards membership changes with its own lock.
+    """
+
+    def __init__(self, members: Iterable[str] = (), vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._points: list[int] = []          # sorted hash points
+        self._owners: dict[int, str] = {}     # point -> member
+        self._members: set[str] = set()
+        for m in members:
+            self.add(m)
+
+    # -- membership -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    @property
+    def members(self) -> list[str]:
+        return sorted(self._members)
+
+    def add(self, member: str) -> None:
+        """Insert ``member``'s vnode points; idempotent."""
+        if member in self._members:
+            return
+        self._members.add(member)
+        for i in range(self.vnodes):
+            point = _hash64(f"{member}#{i}")
+            # astronomically unlikely 64-bit collision: skip the point
+            # rather than silently overwrite another member's range
+            if point in self._owners:
+                continue
+            bisect.insort(self._points, point)
+            self._owners[point] = member
+
+    def remove(self, member: str) -> None:
+        """Drop ``member``; its ranges fall to the next points. Idempotent."""
+        if member not in self._members:
+            return
+        self._members.discard(member)
+        dead = [p for p, m in self._owners.items() if m == member]
+        for p in dead:
+            del self._owners[p]
+        dead_set = set(dead)
+        self._points = [p for p in self._points if p not in dead_set]
+
+    # -- lookup ---------------------------------------------------------------
+
+    def owner(self, key: str) -> Optional[str]:
+        """The member owning ``key``'s hash range; None on an empty ring."""
+        if not self._points:
+            return None
+        h = _hash64(key)
+        idx = bisect.bisect_right(self._points, h) % len(self._points)
+        return self._owners[self._points[idx]]
+
+    def successors(self, key: str, k: int = 1) -> list[str]:
+        """Up to ``k`` distinct members after ``key``'s owner, ring order.
+
+        These are the members that inherit the key's range if its owner
+        (and then each successor in turn) leaves — the prewarm targets
+        and the failover order.
+        """
+        if not self._points or k < 1:
+            return []
+        h = _hash64(key)
+        start = bisect.bisect_right(self._points, h) % len(self._points)
+        first = self._owners[self._points[start]]
+        seen = {first}
+        out: list[str] = []
+        for step in range(1, len(self._points)):
+            m = self._owners[self._points[(start + step) % len(self._points)]]
+            if m in seen:
+                continue
+            seen.add(m)
+            out.append(m)
+            if len(out) == k:
+                break
+        return out
+
+    def spread(self, keys: Iterable[str]) -> dict[str, int]:
+        """How many of ``keys`` each member owns (balance diagnostics)."""
+        counts = {m: 0 for m in self._members}
+        for key in keys:
+            o = self.owner(key)
+            if o is not None:
+                counts[o] += 1
+        return counts

@@ -1,0 +1,162 @@
+"""One FFTServer shard: the supervised child process and its handle.
+
+``shard_worker_main`` is the child entry point: it builds a full
+:class:`~repro.serve.service.FFTService` + :class:`~repro.serve.server.
+FFTServer` on an ephemeral port, reports the bound port back through a
+queue, installs the graceful-shutdown signal handlers, and serves until
+SIGTERM — at which point it stops accepting, drains the batcher, and
+exits 0 (the reason the server grew a graceful-shutdown path: a
+supervised kill must not drop admitted batches).
+
+:class:`ShardWorker` is the parent-side handle, following the
+spawn/restart idioms of :class:`~repro.mp.runtime.ProcessPoolRuntime`:
+``spawn()`` starts the child and waits for its port, ``alive`` polls the
+process, ``kill()`` is the chaos SIGKILL, and ``respawn()`` replaces a
+dead child while counting restarts.  Plans never cross this boundary —
+each shard plans locally (shared wisdom file and the content-addressed
+codelet cache make repeat planning cheap fleet-wide), which is the
+PlanSpec lesson of PR 4 applied to address spaces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+import time
+from queue import Empty
+from typing import Optional
+
+from ..mp.runtime import default_start_method
+from ..serve.server import FFTServer, install_signal_handlers
+from ..serve.service import FFTService, ServeConfig
+
+
+def shard_worker_main(shard_id: str, cfg_fields: dict, port_q) -> None:
+    """Child entry: serve one shard until SIGTERM/SIGINT, then drain out."""
+    service = FFTService(ServeConfig(**cfg_fields))
+    server = FFTServer(("127.0.0.1", 0), service)
+    done = install_signal_handlers(server, service)
+    server.serve_background()
+    port_q.put((shard_id, server.port, os.getpid()))
+    done.wait()
+
+
+class ShardWorkerDead(RuntimeError):
+    """A shard child died (or never came up); the fleet should respawn."""
+
+
+class ShardWorker:
+    """Parent-side handle on one supervised shard child process."""
+
+    def __init__(
+        self,
+        shard_id: str,
+        config: ServeConfig,
+        start_method: Optional[str] = None,
+        spawn_timeout_s: float = 30.0,
+    ):
+        import multiprocessing
+
+        self.shard_id = shard_id
+        self.config = config
+        self.start_method = start_method or default_start_method()
+        self._ctx = multiprocessing.get_context(self.start_method)
+        self._spawn_timeout = spawn_timeout_s
+        self._proc = None
+        self._port: Optional[int] = None
+        self.restarts = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def spawn(self) -> int:
+        """Start the child and block for its bound port; returns the port."""
+        if self._proc is not None and self._proc.is_alive():
+            return self._port  # type: ignore[return-value]
+        port_q = self._ctx.Queue()
+        cfg_fields = dataclasses.asdict(self.config)
+        # not daemonic: a shard running ServeConfig(runtime="process")
+        # must be able to spawn its own ProcessPoolRuntime children, and
+        # daemonic processes are forbidden children of their own.  The
+        # fleet's close()/atexit sweep reaps them instead.
+        self._proc = self._ctx.Process(
+            target=shard_worker_main,
+            args=(self.shard_id, cfg_fields, port_q),
+            name=f"repro-shard-{self.shard_id}",
+            daemon=False,
+        )
+        self._proc.start()
+        deadline = time.monotonic() + self._spawn_timeout
+        while True:
+            try:
+                sid, port, _pid = port_q.get(timeout=0.1)
+            except Empty:
+                if not self._proc.is_alive():
+                    raise ShardWorkerDead(
+                        f"shard {self.shard_id} died before binding a port"
+                    )
+                if time.monotonic() > deadline:
+                    self._proc.terminate()
+                    raise ShardWorkerDead(
+                        f"shard {self.shard_id} did not report a port "
+                        f"within {self._spawn_timeout}s"
+                    )
+                continue
+            if sid == self.shard_id:
+                break
+        self._port = int(port)
+        return self._port
+
+    def respawn(self) -> int:
+        """Replace a dead child (counts the restart); returns the new port."""
+        if self._proc is not None and self._proc.is_alive():
+            return self._port  # type: ignore[return-value]
+        self.restarts += 1
+        return self.spawn()
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._proc is not None and self._proc.is_alive()
+
+    @property
+    def port(self) -> Optional[int]:
+        return self._port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._port is None:
+            raise ShardWorkerDead(f"shard {self.shard_id} has no bound port")
+        return ("127.0.0.1", self._port)
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._proc.pid if self._proc is not None else None
+
+    # -- termination ----------------------------------------------------------
+
+    def kill(self) -> None:
+        """SIGKILL the child — the chaos path; no drain, no goodbye."""
+        if self._proc is not None and self._proc.is_alive():
+            self._proc.kill()
+            self._proc.join(timeout=5)
+
+    def terminate(self, timeout_s: float = 10.0) -> bool:
+        """SIGTERM then join: the graceful path; True on a clean exit 0.
+
+        Escalates to SIGKILL if the child ignores the drain window.
+        """
+        if self._proc is None:
+            return True
+        if self._proc.is_alive():
+            try:
+                os.kill(self._proc.pid, signal.SIGTERM)
+            except (OSError, TypeError):  # pragma: no cover - already gone
+                pass
+            self._proc.join(timeout=timeout_s)
+            if self._proc.is_alive():  # pragma: no cover - stuck child
+                self._proc.kill()
+                self._proc.join(timeout=5)
+                return False
+        return self._proc.exitcode == 0

@@ -132,6 +132,23 @@ class TestParserIsDocumented:
         assert args.size == 4096 and args.threads == 2
         assert args.mu == 4 and args.trace == "out.json"
 
+    def test_shard_acceptance_invocation_parses(self, parser):
+        """The documented shard-tier commands must stay parseable."""
+        args = parser.parse_args(
+            "shard --shards 2 --port 7380 --vnodes 64 --replicas 1".split()
+        )
+        assert args.shards == 2 and args.port == 7380
+        assert args.vnodes == 64 and args.replicas == 1
+
+    def test_shard_loadgen_acceptance_invocation_parses(self, parser):
+        """The shard bench lane (incl. the chaos kill) must stay parseable."""
+        args = parser.parse_args(
+            "loadgen --shards 2 --sizes 16,32,64,128,256,512 "
+            "--window-ms 100 --kill-after 0.5 --no-baseline".split()
+        )
+        assert args.shards == 2 and args.kill_after == 0.5
+        assert args.window_ms == 100.0 and args.no_baseline is True
+
 
 #: an injection point inside a documented chaos spec: ``name.name:rate``
 CHAOS_POINT_RE = re.compile(r"\b([a-z][a-z0-9_]*\.[a-z][a-z0-9_]*):[0-9]")

@@ -1,0 +1,80 @@
+"""repro.serve.metrics: percentiles, summaries, the latency recorder."""
+
+import threading
+
+import pytest
+
+from repro.serve.metrics import LatencyRecorder, latency_summary, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_nearest_rank_on_known_data(self):
+        vals = [float(i) for i in range(101)]  # 0..100, sorted
+        assert percentile(vals, 0.50) == 50.0
+        assert percentile(vals, 0.95) == 95.0
+        assert percentile(vals, 0.99) == 99.0
+        assert percentile(vals, 1.0) == 100.0
+
+    def test_matches_loadgen_usage(self):
+        # the shared helper is what loadgen's summary is built from
+        lat = [0.001, 0.002, 0.003, 0.004, 0.005]
+        s = latency_summary(lat)
+        assert s["p50_ms"] == pytest.approx(3.0)
+        assert s["max_ms"] == pytest.approx(5.0)
+        assert s["mean_ms"] == pytest.approx(3.0)
+
+
+class TestLatencySummary:
+    def test_empty(self):
+        s = latency_summary([])
+        assert s == {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+                     "mean_ms": 0.0, "max_ms": 0.0}
+
+    def test_unsorted_input_handled(self):
+        s = latency_summary([0.003, 0.001, 0.002])
+        assert s["p50_ms"] == pytest.approx(2.0)
+        assert s["max_ms"] == pytest.approx(3.0)
+
+
+class TestLatencyRecorder:
+    def test_per_key_counts_and_summaries(self):
+        rec = LatencyRecorder()
+        for i in range(10):
+            rec.record("a", 0.001 * (i + 1))
+        rec.record("b", 0.5)
+        counts = rec.counts()
+        assert counts == {"a": 10, "b": 1}
+        summary = rec.summary()
+        assert summary["a"]["requests"] == 10
+        assert summary["a"]["max_ms"] == pytest.approx(10.0)
+        assert summary["b"]["p99_ms"] == pytest.approx(500.0)
+
+    def test_bounded_reservoir_keeps_counting(self):
+        rec = LatencyRecorder(cap=64)
+        for i in range(1000):
+            rec.record("k", 0.001)
+        assert rec.counts()["k"] == 1000  # requests counted exactly
+        assert rec.summary()["k"]["requests"] == 1000
+        assert rec.summary()["k"]["p50_ms"] == pytest.approx(1.0)
+
+    def test_thread_safety_smoke(self):
+        rec = LatencyRecorder()
+
+        def pound(key):
+            for _ in range(500):
+                rec.record(key, 0.002)
+
+        threads = [threading.Thread(target=pound, args=(f"k{i % 3}",))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(rec.counts().values()) == 3000

@@ -1,0 +1,94 @@
+"""HashRing unit tests: determinism, minimal reshuffle, successors."""
+
+import pytest
+
+from repro.shard.ring import HashRing, route_key
+
+
+def _keys(count=200):
+    return [route_key(1 << (4 + i % 12), 1 + i % 4, 4, "balanced", "numpy")
+            for i in range(count)]
+
+
+class TestRouteKey:
+    def test_fields_in_order(self):
+        assert route_key(4096, 2, 4, "balanced", "numpy") == \
+            "4096:2:4:balanced:numpy"
+
+    def test_distinct_plans_distinct_keys(self):
+        a = route_key(4096, 2, 4, "balanced", "numpy")
+        b = route_key(4096, 2, 8, "balanced", "numpy")
+        c = route_key(4096, 2, 4, "balanced", "compiled")
+        assert len({a, b, c}) == 3
+
+
+class TestHashRing:
+    def test_empty_ring_owns_nothing(self):
+        ring = HashRing()
+        assert ring.owner("anything") is None
+        assert ring.successors("anything") == []
+        assert len(ring) == 0
+
+    def test_single_member_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.owner(k) == "only" for k in _keys(50))
+
+    def test_deterministic_across_instances(self):
+        a = HashRing(["s0", "s1", "s2"])
+        b = HashRing(["s2", "s0", "s1"])  # insertion order is irrelevant
+        assert [a.owner(k) for k in _keys()] == [b.owner(k) for k in _keys()]
+
+    def test_add_remove_idempotent(self):
+        ring = HashRing(["s0", "s1"])
+        ring.add("s0")
+        assert len(ring) == 2
+        ring.remove("s1")
+        ring.remove("s1")
+        assert ring.members == ["s0"]
+
+    def test_removal_only_moves_departed_ranges(self):
+        ring = HashRing(["s0", "s1", "s2"], vnodes=64)
+        before = {k: ring.owner(k) for k in _keys()}
+        ring.remove("s2")
+        for k, old in before.items():
+            new = ring.owner(k)
+            if old != "s2":
+                assert new == old  # survivors keep their ranges
+            else:
+                assert new in ("s0", "s1")
+
+    def test_rejoin_restores_ownership(self):
+        ring = HashRing(["s0", "s1", "s2"], vnodes=64)
+        before = {k: ring.owner(k) for k in _keys()}
+        ring.remove("s1")
+        ring.add("s1")
+        assert {k: ring.owner(k) for k in _keys()} == before
+
+    def test_successors_distinct_and_exclude_owner(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"], vnodes=64)
+        for k in _keys(40):
+            owner = ring.owner(k)
+            succ = ring.successors(k, 3)
+            assert owner not in succ
+            assert len(succ) == len(set(succ)) == 3
+
+    def test_successor_inherits_on_owner_removal(self):
+        ring = HashRing(["s0", "s1", "s2"], vnodes=64)
+        for k in _keys(40):
+            owner = ring.owner(k)
+            heir = ring.successors(k, 1)[0]
+            ring.remove(owner)
+            assert ring.owner(k) == heir
+            ring.add(owner)
+
+    def test_spread_is_reasonably_balanced(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"], vnodes=64)
+        counts = ring.spread(_keys(400))
+        assert sum(counts.values()) == 400
+        assert min(counts.values()) > 0
+        # vnodes keep the imbalance bounded (loose, deterministic bound)
+        assert max(counts.values()) / (400 / 4) < 2.0
+
+    def test_vnodes_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)

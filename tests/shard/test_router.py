@@ -1,0 +1,146 @@
+"""Router integration: routing, aggregation, prewarm, protocol edges.
+
+One 2-shard fleet + router is shared module-wide (spawning real child
+processes is the expensive part); every test drives it through plain
+:class:`ServeClient` connections — the point being that shard-tier
+clients are *unchanged* serve clients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import RemoteError, ServeClient, ServeConfig
+from repro.shard import ShardFleet, ShardRouter
+from repro.shard.ring import route_key
+
+SIZES = [64, 128, 256, 512]
+
+
+@pytest.fixture(scope="module")
+def tier():
+    with ShardFleet(2, ServeConfig(window_s=0.001, max_batch=16)) as fleet:
+        router = ShardRouter(("127.0.0.1", 0), fleet)
+        router.serve_background()
+        try:
+            yield fleet, router
+        finally:
+            router.close()
+
+
+@pytest.fixture()
+def client(tier):
+    _, router = tier
+    c = ServeClient("127.0.0.1", router.port)
+    yield c
+    c.close()
+
+
+def _vec(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+class TestRoutedFFT:
+    def test_results_match_numpy_across_sizes(self, client):
+        for n in SIZES:
+            x = _vec(n, seed=n)
+            np.testing.assert_allclose(
+                client.fft(x), np.fft.fft(x), atol=1e-6
+            )
+
+    def test_pipeline_through_router(self, client):
+        xs = [_vec(SIZES[i % len(SIZES)], seed=i) for i in range(12)]
+        outs = client.fft_pipeline(xs)
+        assert len(outs) == len(xs)
+        for x, (y, dt, err) in zip(xs, outs):
+            assert err is None
+            assert dt >= 0.0
+            np.testing.assert_allclose(y, np.fft.fft(x), atol=1e-6)
+
+    def test_batched_stack_routes_whole(self, client):
+        X = np.vstack([_vec(128, seed=i) for i in range(4)])
+        np.testing.assert_allclose(
+            client.fft(X), np.fft.fft(X, axis=-1), atol=1e-6
+        )
+
+    def test_requests_spread_by_plan_key(self, tier, client):
+        fleet, router = tier
+        for n in SIZES:
+            client.fft(_vec(n))
+        owners = {n: fleet.owner(fleet.route_key_for(n)) for n in SIZES}
+        assert set(owners.values()) == {"shard-0", "shard-1"}
+        per_shard = router.latencies.counts()
+        assert set(per_shard) == {"shard-0", "shard-1"}
+
+    def test_no_batch_and_hints_pass_through(self, client):
+        x = _vec(256)
+        y = client.fft(x, threads=2, mu=4, no_batch=True)
+        np.testing.assert_allclose(y, np.fft.fft(x), atol=1e-6)
+
+
+class TestRouterOps:
+    def test_ping_identifies_router(self, client):
+        resp = client.request("ping")
+        assert resp["pong"] is True
+        assert resp["role"] == "router"
+
+    def test_health_aggregates_fleet(self, client):
+        snap = client.health()
+        assert snap["status"] == "ok"
+        assert set(snap["shards"]) == {"shard-0", "shard-1"}
+        for entry in snap["shards"].values():
+            assert entry["healthy"] is True
+            assert entry["in_ring"] is True
+            assert "queue_depth" in entry
+        assert snap["ring"]["members"] == ["shard-0", "shard-1"]
+        assert snap["ring"]["ejected"] == []
+        # fleet and router counters merge into the service-health shape
+        for key in ("ejections", "rejoins", "routed", "failovers"):
+            assert key in snap["counters"]
+
+    def test_stats_sums_shards_and_keeps_breakdown(self, client):
+        for n in SIZES:
+            client.fft(_vec(n))
+        stats = client.stats()
+        assert stats["requests"] >= len(SIZES)
+        assert stats["plan_cache"]["hits"] + \
+            stats["plan_cache"]["misses"] > 0
+        assert set(stats["shards"]) <= {"shard-0", "shard-1"}
+        assert stats["config"]["shards"] == 2
+        per_shard = stats["router"]["per_shard_latency"]
+        assert all(v["requests"] > 0 for v in per_shard.values())
+
+    def test_prewarm_builds_on_owner_and_successor(self, tier, client):
+        fleet, _ = tier
+        resp = client.request("prewarm", n=1024)
+        assert resp["ok"] is True
+        assert resp["plan"]["n"] == 1024
+        key = fleet.route_key_for(1024)
+        assert resp["shards"] == [fleet.owner(key)] + fleet.successors(key)
+
+    def test_prewarm_rejects_bad_n(self, client):
+        with pytest.raises(RemoteError) as exc:
+            client.request("prewarm", n="nope")
+        assert exc.value.code == "bad-request"
+
+    def test_unknown_op_rejected(self, client):
+        with pytest.raises(RemoteError) as exc:
+            client.request("frobnicate")
+        assert exc.value.code == "bad-request"
+
+    def test_fft_without_shape_or_data_rejected(self, client):
+        with pytest.raises(RemoteError) as exc:
+            client.request("fft")
+        assert exc.value.code == "bad-request"
+
+
+class TestRouteKeyDefaults:
+    def test_router_and_service_default_identically(self, tier):
+        fleet, _ = tier
+        cfg = fleet.config
+        assert fleet.route_key_for(512) == route_key(
+            512, cfg.threads, cfg.mu, cfg.strategy, cfg.backend
+        )
+        assert fleet.route_key_for(512, threads=2, mu=8) == route_key(
+            512, 2, 8, cfg.strategy, cfg.backend
+        )
