@@ -17,6 +17,11 @@ Commands
 ``check``     dynamic concurrency certification: replay the pipeline's
               plans and verify race freedom, false-sharing freedom at µ,
               and load balance (non-zero exit on any violation)
+``hunt``      differential fuzzing: sweep seeded random plan configs
+              across executors through the oracle stack, automatically
+              reduce each failure to a 1-minimal SPL reproducer, and
+              file it into the regression corpus (non-zero exit on any
+              finding)
 
 ``generate``, ``bench``, ``search``, and ``profile`` accept ``--trace PATH``:
 the whole command runs under a :mod:`repro.trace` tracer and the collected
@@ -364,6 +369,57 @@ def _cmd_check(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 1 if failures else 0
+
+
+def _cmd_hunt(args: argparse.Namespace) -> int:
+    """Differential-fuzz the pipeline; reduce and file every failure."""
+    from .codegen import BackendUnavailable, resolve_backend
+    from .hunt import BACKENDS, HuntConfig, run_hunt
+
+    if args.backend == "all":
+        backends = BACKENDS
+    else:
+        backends = (args.backend,)
+        if args.backend != "numpy":
+            # strict: an explicit single-backend hunt on a host that
+            # cannot run it should fail loudly, not fuzz the fallback
+            try:
+                resolve_backend(args.backend, strict=True)
+            except BackendUnavailable as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+
+    if args.chaos:
+        # fault_plan (not a bare set) so in-process callers — the
+        # inverted-lane tests drive main() directly — get the plan
+        # restored afterwards
+        from .faults import fault_plan, parse_chaos_spec
+
+        chaos_ctx = fault_plan(
+            parse_chaos_spec(args.chaos, seed=args.chaos_seed)
+        )
+        print(
+            f"# chaos mode: {args.chaos} (seed={args.chaos_seed})",
+            file=sys.stderr,
+        )
+    else:
+        chaos_ctx = contextlib.nullcontext()
+
+    config = HuntConfig(
+        budget=args.budget,
+        seed=args.seed,
+        backends=backends,
+        reduce=args.reduce,
+        corpus_dir=args.corpus,
+    )
+    with chaos_ctx, _maybe_tracing(args):
+        report = run_hunt(config)
+    print(report.render_text())
+    print(
+        f"# {report.cases} case(s), {len(report.findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if report.findings else 0
 
 
 def _cmd_shard(args: argparse.Namespace) -> int:
@@ -922,6 +978,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_trace_flag(ck)
     ck.set_defaults(fn=_cmd_check)
+
+    hu = sub.add_parser(
+        "hunt",
+        help="differential fuzzing across executors with automatic "
+        "reduction of failures to 1-minimal SPL reproducers (non-zero "
+        "exit on findings)",
+    )
+    hu.add_argument(
+        "--budget",
+        type=int,
+        default=64,
+        help="seeded random configurations to sweep",
+    )
+    hu.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="case-sampler seed (default: $REPRO_SEED, else 0)",
+    )
+    hu.add_argument(
+        "--backend",
+        choices=["numpy", "compiled", "simulator", "all"],
+        default="numpy",
+        help="execution backend pool to draw from; 'all' sweeps every "
+        "registered backend (a single non-numpy choice is strict: "
+        "errors if unavailable on this host)",
+    )
+    hu.add_argument(
+        "--reduce",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="shrink each failure to a 1-minimal reproducer before "
+        "filing (--no-reduce files the raw failing case)",
+    )
+    hu.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default=None,
+        help="file minimized reproducers into this directory as JSON "
+        "(the committed lane uses tests/hunt/corpus)",
+    )
+    hu.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="sabotage the oracle pipeline, e.g. 'hunt.exec_corrupt:1.0' "
+        "or 'hunt.plan_sabotage:1.0' — the hunt must find and reduce "
+        "the planted failure (the CI inverted lane)",
+    )
+    hu.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the chaos fault plan's random stream",
+    )
+    add_trace_flag(hu)
+    hu.set_defaults(fn=_cmd_hunt)
     return p
 
 

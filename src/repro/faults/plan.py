@@ -55,6 +55,12 @@ INJECTION_POINTS: dict[str, str] = {
     "child, exercising ejection, failover, and restart",
     "shard.route_flap": "ShardRouter routes a request to the owner's "
     "successor instead of the owner (any shard must serve any key)",
+    "hunt.exec_corrupt": "repro.hunt numeric oracle corrupts one output "
+    "element before comparison (end-to-end proof the hunt catches wrong "
+    "answers)",
+    "hunt.plan_sabotage": "repro.hunt dynamic-check oracle hands the "
+    "checker a mu-misaligned-split copy of the plan (end-to-end proof "
+    "the hunt catches Definition 1 violations)",
 }
 
 

@@ -1,0 +1,262 @@
+"""The committed regression corpus: minimized reproducers as JSON.
+
+Every failure the hunt minimizes is filed into ``tests/hunt/corpus/`` as
+a small self-contained JSON case: the shrunk :class:`~repro.hunt.gen.HuntCase`,
+the 1-minimal SPL term (when formula pruning fired), and the recorded
+failure verdict.  ``tests/hunt/test_corpus.py`` replays every committed
+file through the live oracle stack and requires it to *pass* — a corpus
+entry is a bug that has been fixed, and the lane keeps it fixed forever.
+
+Term serialization covers every structural SPL node the frontend and the
+shared-memory rewriter emit (identity, butterfly, DFT symbol, diagonals,
+twiddles, permutations, products, tensors, direct sums, and the tagged
+parallel constructs).  :class:`DiagFunc` closures are the one
+non-serializable leaf; they never survive reduction of frontend formulas
+(the frontend emits :class:`Twiddle`/:class:`Diag`), and hitting one
+raises :class:`TermSerializationError` rather than writing a lossy file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..spl.expr import Compose, DirectSum, Expr, Tensor
+from ..spl.matrices import DFT, F2, Diag, I, L, Perm, Twiddle
+from ..spl.parallel import SMP, LinePerm, ParDirectSum, ParTensor
+from .gen import HuntCase
+from .oracles import Verdict
+
+#: corpus file format version (bump on incompatible change)
+CORPUS_VERSION = 1
+
+
+class TermSerializationError(ValueError):
+    """An SPL term contains a node the corpus format cannot round-trip."""
+
+
+def term_to_json(term: Expr) -> dict:
+    """Serialize an SPL term to a JSON-able tree (see :func:`term_from_json`)."""
+    if isinstance(term, I):
+        return {"op": "I", "n": term.n}
+    if isinstance(term, F2):
+        return {"op": "F2"}
+    if isinstance(term, DFT):
+        return {"op": "DFT", "n": term.n}
+    if isinstance(term, L):
+        return {"op": "L", "size": term.mn, "stride": term.m}
+    if isinstance(term, Twiddle):
+        return {"op": "Twiddle", "m": term.m, "n": term.n}
+    if isinstance(term, Diag):
+        return {
+            "op": "Diag",
+            "values": [[float(v.real), float(v.imag)] for v in term.values],
+        }
+    if isinstance(term, Perm):
+        return {"op": "Perm", "perm": [int(k) for k in term.perm]}
+    if isinstance(term, Compose):
+        return {"op": "Compose", "factors": [term_to_json(f) for f in term.factors]}
+    if isinstance(term, Tensor):
+        return {"op": "Tensor", "factors": [term_to_json(f) for f in term.factors]}
+    if isinstance(term, ParTensor):
+        return {"op": "ParTensor", "p": term.p, "child": term_to_json(term.child)}
+    if isinstance(term, ParDirectSum):
+        return {
+            "op": "ParDirectSum",
+            "blocks": [term_to_json(b) for b in term.blocks],
+        }
+    if isinstance(term, DirectSum):
+        return {
+            "op": "DirectSum",
+            "blocks": [term_to_json(b) for b in term.blocks],
+        }
+    if isinstance(term, LinePerm):
+        return {
+            "op": "LinePerm",
+            "mu": term.mu,
+            "perm": term_to_json(term.perm_expr),
+        }
+    if isinstance(term, SMP):
+        return {
+            "op": "SMP", "p": term.p, "mu": term.mu,
+            "child": term_to_json(term.child),
+        }
+    raise TermSerializationError(
+        f"cannot serialize SPL node {type(term).__name__}"
+    )
+
+
+def term_from_json(data: dict) -> Expr:
+    """Inverse of :func:`term_to_json`."""
+    op = data.get("op")
+    if op == "I":
+        return I(data["n"])
+    if op == "F2":
+        return F2()
+    if op == "DFT":
+        return DFT(data["n"])
+    if op == "L":
+        return L(data["size"], data["stride"])
+    if op == "Twiddle":
+        return Twiddle(data["m"], data["n"])
+    if op == "Diag":
+        return Diag(np.array([complex(re, im) for re, im in data["values"]]))
+    if op == "Perm":
+        return Perm(data["perm"])
+    if op == "Compose":
+        return Compose(*[term_from_json(f) for f in data["factors"]])
+    if op == "Tensor":
+        return Tensor(*[term_from_json(f) for f in data["factors"]])
+    if op == "ParTensor":
+        return ParTensor(data["p"], term_from_json(data["child"]))
+    if op == "ParDirectSum":
+        return ParDirectSum([term_from_json(b) for b in data["blocks"]])
+    if op == "DirectSum":
+        return DirectSum(*[term_from_json(b) for b in data["blocks"]])
+    if op == "LinePerm":
+        return LinePerm(term_from_json(data["perm"]), data["mu"])
+    if op == "SMP":
+        return SMP(data["p"], data["mu"], term_from_json(data["child"]))
+    raise TermSerializationError(f"unknown SPL op {op!r}")
+
+
+@dataclass
+class Reproducer:
+    """One corpus entry: a minimized failing case plus its provenance."""
+
+    case: HuntCase
+    term: Optional[Expr] = None
+    #: the recorded failure this case originally exhibited
+    failure_kind: str = ""
+    failure_oracle: str = ""
+    failure_detail: str = ""
+    #: the un-reduced originating case and its formula node count
+    origin: Optional[HuntCase] = None
+    origin_nodes: int = 0
+    #: free-form triage note (who filed it, what bug it pinned)
+    note: str = ""
+    #: accepted shrink kinds, in order (provenance for triage)
+    trail: list = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        data = {
+            "version": CORPUS_VERSION,
+            "case": self.case.to_json(),
+            "term": None if self.term is None else term_to_json(self.term),
+            "failure": {
+                "kind": self.failure_kind,
+                "oracle": self.failure_oracle,
+                "detail": self.failure_detail,
+            },
+            "note": self.note,
+            "trail": list(self.trail),
+        }
+        if self.origin is not None:
+            data["origin"] = {
+                "case": self.origin.to_json(),
+                "nodes": self.origin_nodes,
+            }
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Reproducer":
+        version = data.get("version")
+        if version != CORPUS_VERSION:
+            raise ValueError(
+                f"corpus version {version!r} != {CORPUS_VERSION}"
+            )
+        failure = data.get("failure", {})
+        origin = data.get("origin")
+        return cls(
+            case=HuntCase.from_json(data["case"]),
+            term=(
+                None if data.get("term") is None
+                else term_from_json(data["term"])
+            ),
+            failure_kind=failure.get("kind", ""),
+            failure_oracle=failure.get("oracle", ""),
+            failure_detail=failure.get("detail", ""),
+            origin=(
+                None if origin is None
+                else HuntCase.from_json(origin["case"])
+            ),
+            origin_nodes=0 if origin is None else int(origin["nodes"]),
+            note=data.get("note", ""),
+            trail=list(data.get("trail", [])),
+        )
+
+    @classmethod
+    def from_failure(
+        cls,
+        case: HuntCase,
+        verdict: Verdict,
+        term: Optional[Expr] = None,
+        origin: Optional[HuntCase] = None,
+        origin_nodes: int = 0,
+        trail: Optional[list] = None,
+        note: str = "",
+    ) -> "Reproducer":
+        """Build an entry from a failing oracle verdict."""
+        return cls(
+            case=case,
+            term=term,
+            failure_kind=verdict.kind or "",
+            failure_oracle=verdict.oracle or "",
+            failure_detail=verdict.detail,
+            origin=origin,
+            origin_nodes=origin_nodes,
+            note=note,
+            trail=list(trail or []),
+        )
+
+    def slug(self) -> str:
+        """Stable content-derived filename stem."""
+        payload = json.dumps(self.to_json(), sort_keys=True)
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:10]
+        return f"{self.case.label()}-{digest}"
+
+
+def file_reproducer(repro: Reproducer, corpus_dir: str | Path) -> Path:
+    """Write ``repro`` into ``corpus_dir`` (created if needed); return the path.
+
+    Filenames are content-addressed, so re-hunting the same bug is
+    idempotent and distinct bugs never collide.
+    """
+    corpus = Path(corpus_dir)
+    corpus.mkdir(parents=True, exist_ok=True)
+    path = corpus / f"{repro.slug()}.json"
+    path.write_text(
+        json.dumps(repro.to_json(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_corpus(corpus_dir: str | Path) -> list[tuple[Path, Reproducer]]:
+    """Load every ``*.json`` reproducer under ``corpus_dir``, sorted by name."""
+    corpus = Path(corpus_dir)
+    if not corpus.is_dir():
+        return []
+    out = []
+    for path in sorted(corpus.glob("*.json")):
+        out.append((path, Reproducer.from_json(
+            json.loads(path.read_text(encoding="utf-8"))
+        )))
+    return out
+
+
+def replay(repro: Reproducer, pools=None, seed: int = 0) -> Verdict:
+    """Re-run a corpus entry's recorded oracle on the live code.
+
+    Replays run with **no fault plan manipulation**: a committed entry
+    documents a bug that has been fixed, so the expected verdict is OK —
+    a failing replay means a regression resurrected the original bug.
+    """
+    from .oracles import run_oracle
+
+    return run_oracle(repro.case, term=repro.term, pools=pools, seed=seed)

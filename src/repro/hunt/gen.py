@@ -1,0 +1,167 @@
+"""Seeded case generation for the ``repro hunt`` differential fuzzer.
+
+One sampler, two consumers: the hunt sweep draws full :class:`HuntCase`
+configurations (size, requested threads, µ, breakdown strategy, batch
+shape, execution backend, runtime), and the fuzz regression battery
+(``tests/fuzz/test_differential.py``) draws the base 5-tuples through
+:func:`sample_config_tuples` — the same dimension pools, the same draw
+order, the same :mod:`repro.seeding` derivation, so ``REPRO_SEED``
+reproduces both sweeps from one knob and the two lanes can never drift
+apart.
+
+Every dimension pool is deliberately adversarial: sizes span the whole
+small-transform range, thread requests include non-powers-of-two (the
+clamp path of :func:`repro.frontend.feasible_threads`), µ includes 1
+(no false-sharing constraint) through 4, and every registered breakdown
+strategy is drawn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..rewrite.breakdown import RADIX_STRATEGIES
+from ..seeding import default_seed, derive_rng
+
+#: transform sizes the sweep samples (powers of two; the paper's range)
+SIZES: list[int] = [16, 32, 64, 128, 256, 512]
+
+#: requested processor counts — non-powers-of-two exercise thread clamping
+THREAD_REQUESTS: list[int] = [1, 2, 3, 4, 5, 6, 8]
+
+#: cache-line lengths (complex elements) the false-sharing oracle certifies
+MUS: list[int] = [1, 2, 4]
+
+#: every registered breakdown strategy, in deterministic order
+STRATEGIES: list[str] = sorted(RADIX_STRATEGIES)
+
+#: runtime pool, in narrowing order (the reducer shrinks leftward)
+RUNTIMES: tuple[str, ...] = ("sequential", "pthreads", "process")
+
+#: backend pool, in narrowing order (the reducer shrinks leftward)
+BACKENDS: tuple[str, ...] = ("numpy", "compiled", "simulator")
+
+
+@dataclass(frozen=True)
+class HuntCase:
+    """One sampled configuration of the whole executor cross-product.
+
+    ``req_threads`` is the *requested* processor count; the admissible
+    count actually planned is :attr:`threads` (Eq. (14) clamping).
+    Frozen and hashable so cases key caches and replay corpora directly.
+    """
+
+    n: int
+    req_threads: int
+    mu: int
+    strategy: str
+    batch: int
+    backend: str = "numpy"
+    runtime: str = "sequential"
+
+    @property
+    def threads(self) -> int:
+        """The clamped (admissible) thread count for this configuration."""
+        from ..frontend import feasible_threads
+
+        return feasible_threads(self.n, self.req_threads, self.mu)
+
+    def label(self) -> str:
+        """Compact test-id style label, e.g. ``n64-p3-mu2-balanced-b2-numpy-seq``."""
+        return (
+            f"n{self.n}-p{self.req_threads}-mu{self.mu}-{self.strategy}"
+            f"-b{self.batch}-{self.backend}-{self.runtime}"
+        )
+
+    def to_json(self) -> dict:
+        """JSON-able form (the corpus format's ``case`` object)."""
+        return {
+            "n": self.n,
+            "req_threads": self.req_threads,
+            "mu": self.mu,
+            "strategy": self.strategy,
+            "batch": self.batch,
+            "backend": self.backend,
+            "runtime": self.runtime,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "HuntCase":
+        """Inverse of :meth:`to_json` (unknown keys rejected loudly)."""
+        known = {
+            "n", "req_threads", "mu", "strategy", "batch", "backend",
+            "runtime",
+        }
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown HuntCase fields: {sorted(extra)}")
+        return cls(**data)
+
+    def with_(self, **kw) -> "HuntCase":
+        """A copy with some fields replaced (the reducer's shrink step)."""
+        return replace(self, **kw)
+
+
+def sample_config_tuples(
+    count: int, seed: int | None = None, label: str = "fuzz-sweep"
+) -> list[tuple[int, int, int, str, int]]:
+    """The base ``(n, req_threads, mu, strategy, batch)`` sampler.
+
+    This is the exact draw sequence the fuzz battery has always used
+    (sizes, thread requests, µ, strategy, then batch rows in [1, 4]),
+    now shared: ``tests/fuzz/test_differential.py`` imports it instead
+    of keeping a duplicate, and :func:`sample_cases` extends the same
+    stream shape with backend/runtime draws under a different label.
+    """
+    base = default_seed() if seed is None else seed
+    rng = derive_rng(base, label)
+    cases = []
+    for _ in range(count):
+        cases.append(
+            (
+                SIZES[rng.integers(len(SIZES))],
+                THREAD_REQUESTS[rng.integers(len(THREAD_REQUESTS))],
+                MUS[rng.integers(len(MUS))],
+                STRATEGIES[rng.integers(len(STRATEGIES))],
+                int(rng.integers(1, 5)),  # batch rows
+            )
+        )
+    return cases
+
+
+def sample_cases(
+    budget: int,
+    seed: int | None = None,
+    backends: tuple[str, ...] = ("numpy",),
+    runtimes: tuple[str, ...] = RUNTIMES,
+    label: str = "hunt-sweep",
+) -> list[HuntCase]:
+    """Sample ``budget`` :class:`HuntCase` configurations deterministically.
+
+    The first five dimensions use the same pools and draw order as
+    :func:`sample_config_tuples`; backend and runtime are drawn from the
+    given pools afterwards, so the hunt's sweep is fully determined by
+    ``(budget, seed, backends, runtimes)``.
+    """
+    for b in backends:
+        if b not in BACKENDS:
+            raise ValueError(f"unknown backend {b!r}; known: {BACKENDS}")
+    for r in runtimes:
+        if r not in RUNTIMES:
+            raise ValueError(f"unknown runtime {r!r}; known: {RUNTIMES}")
+    base = default_seed() if seed is None else seed
+    rng = derive_rng(base, label)
+    cases = []
+    for _ in range(budget):
+        cases.append(
+            HuntCase(
+                n=SIZES[rng.integers(len(SIZES))],
+                req_threads=THREAD_REQUESTS[rng.integers(len(THREAD_REQUESTS))],
+                mu=MUS[rng.integers(len(MUS))],
+                strategy=STRATEGIES[rng.integers(len(STRATEGIES))],
+                batch=int(rng.integers(1, 5)),
+                backend=backends[rng.integers(len(backends))],
+                runtime=runtimes[rng.integers(len(runtimes))],
+            )
+        )
+    return cases

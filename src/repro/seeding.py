@@ -40,3 +40,16 @@ def derive_seed(base: int, *labels: object) -> int:
     """A stable sub-seed for one named stream under ``base``."""
     text = ":".join([str(base)] + [str(x) for x in labels])
     return zlib.crc32(text.encode("utf-8"))
+
+
+def derive_rng(base: int, *labels: object):
+    """A numpy :class:`~numpy.random.Generator` for one named stream.
+
+    Shorthand for ``np.random.default_rng(derive_seed(base, *labels))`` —
+    the idiom every seeded sampler (the fuzz sweep, the ``repro hunt``
+    case generator, loadgen payloads) uses to obtain a decorrelated but
+    replayable stream under the one ``REPRO_SEED`` knob.
+    """
+    import numpy as np
+
+    return np.random.default_rng(derive_seed(base, *labels))

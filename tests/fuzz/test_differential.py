@@ -7,7 +7,9 @@ sequential, pthreads, and multiprocess runtimes and compared against
 numpy to 1e-10 absolute (measured headroom is ~2e-12 at n=512).
 
 ``REPRO_SEED`` reseeds the sweep; the default (0) makes it a fixed
-regression battery.  See ``repro.seeding``.
+regression battery.  The case sampler itself lives in
+:func:`repro.hunt.gen.sample_config_tuples` — one seeded sampler shared
+with the ``repro hunt`` sweep, so the two lanes can never drift apart.
 """
 
 import numpy as np
@@ -16,8 +18,8 @@ import pytest
 from repro.check import check_program
 from repro.faults import FaultPlan, FaultSpec, fault_plan
 from repro.frontend import feasible_threads, generate_fft, spiral_formula
+from repro.hunt.gen import sample_cases, sample_config_tuples
 from repro.mp import PlanSpec, ProcessPoolRuntime, segment_stats
-from repro.rewrite.breakdown import RADIX_STRATEGIES
 from repro.seeding import default_seed, derive_seed
 from repro.serve.batch_exec import batched_plan, run_batched
 from repro.smp import PThreadsRuntime, SequentialRuntime
@@ -25,30 +27,9 @@ from repro.spl import is_fully_optimized
 
 ATOL = 1e-10
 
-SIZES = [16, 32, 64, 128, 256, 512]
-THREAD_REQUESTS = [1, 2, 3, 4, 5, 6, 8]  # non-powers-of-two included
-MUS = [1, 2, 4]
-STRATEGIES = sorted(RADIX_STRATEGIES)
 N_CASES = 32  # sampled from the ~750-combo cross product
 
-
-def _sample_cases():
-    rng = np.random.default_rng(derive_seed(default_seed(), "fuzz-sweep"))
-    cases = []
-    for _ in range(N_CASES):
-        cases.append(
-            (
-                SIZES[rng.integers(len(SIZES))],
-                THREAD_REQUESTS[rng.integers(len(THREAD_REQUESTS))],
-                MUS[rng.integers(len(MUS))],
-                STRATEGIES[rng.integers(len(STRATEGIES))],
-                int(rng.integers(1, 5)),  # batch rows
-            )
-        )
-    return cases
-
-
-CASES = _sample_cases()
+CASES = sample_config_tuples(N_CASES)
 
 #: multiprocess sweep: every sampled case whose clamped thread count is
 #: parallel, bounded so the (expensive) process pools stay few
@@ -218,7 +199,28 @@ def test_sabotage_flips_only_the_dynamic_verdict(n, threads, mu, strategy):
 
 def test_sweep_is_deterministic():
     """The sampled case list replays identically for a fixed seed."""
-    assert _sample_cases() == CASES
+    assert sample_config_tuples(N_CASES) == CASES
+
+
+def test_hunt_and_fuzz_sweeps_share_determinism():
+    """Both sweeps replay under one ``REPRO_SEED`` (shared sampler).
+
+    The fuzz battery's tuples and the hunt's :class:`HuntCase` sweep
+    derive from the same :mod:`repro.seeding` stream machinery; for any
+    explicit seed each is a pure function of that seed.
+    """
+    assert sample_config_tuples(8, seed=123) == sample_config_tuples(
+        8, seed=123
+    )
+    assert sample_cases(8, seed=123) == sample_cases(8, seed=123)
+    # distinct labels decorrelate the two sweeps even at the same seed
+    tuples = [
+        (c.n, c.req_threads, c.mu, c.strategy, c.batch)
+        for c in sample_cases(8, seed=123)
+    ]
+    assert tuples != sample_config_tuples(8, seed=123)
+    # and the default-seed path answers to REPRO_SEED alone
+    assert sample_config_tuples(N_CASES) == CASES
 
 
 def test_non_power_of_two_requests_clamp_feasibly():

@@ -1,0 +1,145 @@
+"""The corpus replay lane plus serialization round-trips.
+
+Every JSON reproducer committed under ``tests/hunt/corpus/`` is a bug
+that was found, minimized, and fixed; this lane replays each one through
+the live oracle stack and fails if any regresses.  It runs in tier-1, so
+every future backend or rewrite PR is verified against all previously
+found bugs.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.hunt import (
+    ExecutorPools,
+    HuntCase,
+    Reproducer,
+    TermSerializationError,
+    Verdict,
+    file_reproducer,
+    load_corpus,
+    replay,
+    term_from_json,
+    term_to_json,
+)
+from repro.spl.expr import Compose, DirectSum, Tensor
+from repro.spl.matrices import DFT, F2, Diag, I, L, Perm, Twiddle
+from repro.spl.parallel import SMP, LinePerm, ParDirectSum, ParTensor
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+COMMITTED = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_never_empty():
+    """The replay lane must always have cases (the hand-seeded floor)."""
+    assert len(COMMITTED) >= 2
+
+
+def test_corpus_has_the_thread_clamp_seed_case():
+    cases = [r.case for _, r in COMMITTED]
+    assert any(
+        c.req_threads == 6 and c.n == 64 and c.threads < 6 for c in cases
+    ), "the hand-seeded non-power-of-two clamp case is missing"
+
+
+def test_corpus_has_a_term_bearing_case():
+    assert any(r.term is not None for _, r in COMMITTED)
+
+
+@pytest.fixture(scope="module")
+def pools():
+    p = ExecutorPools()
+    yield p
+    p.close()
+
+
+@pytest.mark.parametrize(
+    "path,repro",
+    COMMITTED,
+    ids=[p.name for p, _ in COMMITTED],
+)
+def test_replay_committed_reproducer(pools, path, repro):
+    """Each committed bug stays fixed: its recorded oracle passes."""
+    verdict = replay(repro, pools=pools)
+    assert verdict.ok, (
+        f"{path.name} regressed: recorded failure "
+        f"[{repro.failure_kind}] {repro.failure_detail!r} resurfaced "
+        f"as {verdict}"
+    )
+
+
+#: one of every serializable SPL node shape
+ROUND_TRIP_TERMS = [
+    I(8),
+    F2(),
+    DFT(16),
+    L(16, 4),
+    Twiddle(4, 4),
+    Diag(np.exp(2j * np.pi * np.arange(6) / 6)),
+    Perm([2, 0, 1, 3]),
+    Compose(DFT(8), L(8, 2)),
+    Tensor(I(2), DFT(4)),
+    DirectSum(DFT(4), I(4)),
+    ParTensor(2, DFT(8)),
+    ParDirectSum([Diag([1, 1j]), Diag([1, -1j])]),
+    LinePerm(L(4, 2), 2),
+    SMP(2, 4, Tensor(DFT(2), I(4))),
+]
+
+
+@pytest.mark.parametrize(
+    "term", ROUND_TRIP_TERMS, ids=[type(t).__name__ for t in ROUND_TRIP_TERMS]
+)
+def test_term_json_round_trip(term):
+    back = term_from_json(term_to_json(term))
+    assert back == term
+    np.testing.assert_allclose(back.to_matrix(), term.to_matrix())
+
+
+def test_unserializable_term_raises():
+    from repro.spl.matrices import DiagFunc
+
+    fn = DiagFunc(4, lambda k: np.ones(4), tag=("test",))
+    with pytest.raises(TermSerializationError):
+        term_to_json(fn)
+
+
+def test_term_from_json_rejects_unknown_op():
+    with pytest.raises(TermSerializationError, match="unknown SPL op"):
+        term_from_json({"op": "Wavelet", "n": 8})
+
+
+def test_reproducer_round_trip(tmp_path):
+    repro = Reproducer.from_failure(
+        HuntCase(n=32, req_threads=2, mu=2, strategy="balanced", batch=1),
+        Verdict(False, "numeric", "differential:numpy/sequential", "boom"),
+        term=Tensor(I(2), DFT(16)),
+        origin=HuntCase(n=256, req_threads=8, mu=4, strategy="radix2",
+                        batch=3, runtime="process"),
+        origin_nodes=30,
+        trail=["halve-size", "prune-term"],
+        note="round-trip fixture",
+    )
+    path = file_reproducer(repro, tmp_path)
+    [(loaded_path, loaded)] = load_corpus(tmp_path)
+    assert loaded_path == path
+    assert loaded == repro
+
+
+def test_filing_is_idempotent(tmp_path):
+    repro = Reproducer.from_failure(
+        HuntCase(n=16, req_threads=1, mu=1, strategy="balanced", batch=1),
+        Verdict(False, "numeric", "differential", "x"),
+    )
+    p1 = file_reproducer(repro, tmp_path)
+    p2 = file_reproducer(repro, tmp_path)
+    assert p1 == p2
+    assert len(load_corpus(tmp_path)) == 1
+
+
+def test_version_mismatch_rejected():
+    with pytest.raises(ValueError, match="corpus version"):
+        Reproducer.from_json({"version": 999, "case": {}})

@@ -1,0 +1,76 @@
+"""The hunt case sampler: determinism, pools, and round-trips."""
+
+import pytest
+
+from repro.frontend import feasible_threads
+from repro.hunt.gen import (
+    BACKENDS,
+    MUS,
+    RUNTIMES,
+    SIZES,
+    STRATEGIES,
+    THREAD_REQUESTS,
+    HuntCase,
+    sample_cases,
+    sample_config_tuples,
+)
+
+
+def test_sample_cases_deterministic_per_seed():
+    a = sample_cases(16, seed=42)
+    assert a == sample_cases(16, seed=42)
+    assert a != sample_cases(16, seed=43)
+
+
+def test_sample_cases_draw_from_declared_pools():
+    for c in sample_cases(64, seed=5, backends=BACKENDS):
+        assert c.n in SIZES
+        assert c.req_threads in THREAD_REQUESTS
+        assert c.mu in MUS
+        assert c.strategy in STRATEGIES
+        assert 1 <= c.batch <= 4
+        assert c.backend in BACKENDS
+        assert c.runtime in RUNTIMES
+
+
+def test_sample_cases_rejects_unknown_pools():
+    with pytest.raises(ValueError, match="unknown backend"):
+        sample_cases(1, backends=("cuda",))
+    with pytest.raises(ValueError, match="unknown runtime"):
+        sample_cases(1, runtimes=("fiber",))
+
+
+def test_config_tuples_prefix_stable():
+    """A longer sweep extends a shorter one (one stream, one draw order)."""
+    assert sample_config_tuples(8, seed=9) == sample_config_tuples(
+        24, seed=9
+    )[:8]
+
+
+def test_case_threads_is_the_eq14_clamp():
+    c = HuntCase(n=64, req_threads=6, mu=2, strategy="balanced", batch=1)
+    assert c.threads == feasible_threads(64, 6, 2)
+    assert (c.threads * c.mu) ** 2 % 1 == 0
+    assert 64 % ((c.threads * c.mu) ** 2) == 0
+
+
+def test_case_json_round_trip():
+    c = HuntCase(
+        n=128, req_threads=3, mu=4, strategy="radix2", batch=2,
+        backend="simulator", runtime="process",
+    )
+    assert HuntCase.from_json(c.to_json()) == c
+
+
+def test_case_json_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown HuntCase fields"):
+        HuntCase.from_json({"n": 16, "req_threads": 1, "mu": 1,
+                            "strategy": "balanced", "batch": 1,
+                            "gpu": True})
+
+
+def test_with_replaces_fields():
+    c = HuntCase(n=64, req_threads=4, mu=2, strategy="balanced", batch=2)
+    d = c.with_(n=32, runtime="pthreads")
+    assert (d.n, d.runtime) == (32, "pthreads")
+    assert (d.req_threads, d.mu, d.strategy, d.batch) == (4, 2, "balanced", 2)

@@ -1,0 +1,171 @@
+"""Property-based reducer tests (the satellite contract).
+
+Three properties, each checked both on a cheap synthetic oracle (so
+hypothesis can hammer the greedy loop itself) and end-to-end on the real
+oracle stack under seeded sabotage:
+
+1. reduction preserves interestingness at every accepted step;
+2. the final state is 1-minimal — no single further shrink candidate
+   stays interesting;
+3. reduction terminates within a bounded number of accepted steps (the
+   strictly-decreasing size order, not the step cap, stops it).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultPlan, FaultSpec, fault_plan
+from repro.hunt import (
+    ExecutorPools,
+    HuntCase,
+    Reducer,
+    ReductionState,
+    Verdict,
+    run_oracle,
+    sample_cases,
+    shrink_candidates,
+    state_size,
+)
+
+#: the synthetic sweep hypothesis draws from (sequential only: the
+#: synthetic oracle never executes anything)
+SYNTH_CASES = sample_cases(48, seed=1, runtimes=("sequential",))
+
+#: predicate families for the synthetic oracle: each decides
+#: interestingness from one dimension of the state, so minimization
+#: pressure lands on every *other* dimension
+PREDICATES = {
+    "n>=32": lambda st_: st_.case.n >= 32,
+    "mu>=2": lambda st_: st_.case.mu >= 2,
+    "batch>=2": lambda st_: st_.case.batch >= 2,
+    "nodes>=4": lambda st_: state_size(st_)[0] >= 4,
+    "always": lambda st_: True,
+}
+
+
+def synthetic_oracle(predicate):
+    def oracle(state: ReductionState) -> Verdict:
+        if predicate(state):
+            return Verdict(False, "numeric", "synthetic", "planted")
+        return Verdict(True)
+
+    return oracle
+
+
+def assert_one_minimal(final, interesting):
+    """No strictly-smaller single shrink of ``final`` stays interesting."""
+    fsize = state_size(final)
+    for _, cand in shrink_candidates(final):
+        if state_size(cand) < fsize:
+            assert not interesting(cand), (
+                f"not 1-minimal: {cand} still interesting"
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    case=st.sampled_from(SYNTH_CASES),
+    pred_name=st.sampled_from(sorted(PREDICATES)),
+)
+def test_reduction_properties_synthetic(case, pred_name):
+    predicate = PREDICATES[pred_name]
+    state = ReductionState(case)
+    if not predicate(state):  # not a failure: nothing to reduce
+        return
+    reducer = Reducer(synthetic_oracle(predicate))
+    result = reducer.reduce(state)
+
+    # (3) terminates well inside the bound, and not via the step cap
+    assert result.minimal
+    assert len(result.steps) < reducer.max_steps
+
+    # (1) every accepted step stays interesting, sizes strictly decrease
+    last = state_size(state)
+    for step in result.steps:
+        assert predicate(step.state), f"step {step.kind} lost the failure"
+        assert step.size < last
+        last = step.size
+
+    # (2) 1-minimality, re-verified independently of the reducer's loop
+    assert_one_minimal(result.final, predicate)
+
+
+@settings(max_examples=15, deadline=None)
+@given(case=st.sampled_from(SYNTH_CASES))
+def test_reduction_is_idempotent_synthetic(case):
+    """Reducing an already-minimal state accepts no further step."""
+    predicate = PREDICATES["n>=32"]
+    state = ReductionState(case)
+    if not predicate(state):
+        return
+    reducer = Reducer(synthetic_oracle(predicate))
+    first = reducer.reduce(state)
+    again = reducer.reduce(first.final)
+    assert again.minimal
+    assert again.steps == []
+    assert again.final == first.final
+
+
+def test_passing_state_reduces_to_itself():
+    reducer = Reducer(lambda s: Verdict(True))
+    state = ReductionState(SYNTH_CASES[0])
+    result = reducer.reduce(state)
+    assert result.minimal and result.final == state and not result.steps
+
+
+def test_step_cap_is_honoured():
+    reducer = Reducer(synthetic_oracle(PREDICATES["always"]), max_steps=2)
+    result = reducer.reduce(ReductionState(SYNTH_CASES[0]))
+    assert len(result.steps) == 2
+    assert not result.minimal  # cap cut it short, and says so
+
+
+@pytest.fixture(scope="module")
+def pools():
+    p = ExecutorPools()
+    yield p
+    p.close()
+
+
+@pytest.mark.parametrize(
+    "point,kind",
+    [
+        ("hunt.exec_corrupt", "numeric"),
+        ("hunt.plan_sabotage", "dynamic-check"),
+    ],
+)
+def test_reduction_properties_real_sabotage(pools, point, kind):
+    """End-to-end: seeded sabotage reduces to a 1-minimal reproducer."""
+    case = HuntCase(
+        n=64, req_threads=4, mu=2, strategy="radix2", batch=2,
+        runtime="pthreads",
+    )
+
+    def oracle(state: ReductionState) -> Verdict:
+        return run_oracle(state.case, term=state.term, pools=pools)
+
+    with fault_plan(FaultPlan([FaultSpec(point, rate=1.0)])):
+        base = oracle(ReductionState(case))
+        assert not base.ok and base.kind == kind, base
+        reducer = Reducer(oracle)
+        result = reducer.reduce(ReductionState(case), failure=base)
+
+        # (3) bounded termination, via minimality not the cap
+        assert result.minimal
+        assert len(result.steps) <= 32
+
+        # strictly smaller than the originating formula
+        assert result.final_size < result.original_size
+        assert result.final_size[0] < result.original_size[0]
+
+        # (1) every accepted step still fails with the original kind
+        for step in result.steps:
+            v = oracle(step.state)
+            assert (not v.ok) and v.kind == kind, (step.kind, v)
+
+        # (2) 1-minimality against the live oracle
+        def interesting(st_):
+            v = oracle(st_)
+            return (not v.ok) and v.kind == kind
+
+        assert_one_minimal(result.final, interesting)

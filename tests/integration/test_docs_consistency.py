@@ -149,6 +149,22 @@ class TestParserIsDocumented:
         assert args.shards == 2 and args.kill_after == 0.5
         assert args.window_ms == 100.0 and args.no_baseline is True
 
+    def test_hunt_acceptance_invocation_parses(self, parser):
+        """The documented hunt lanes (clean + inverted) must stay parseable."""
+        args = parser.parse_args(
+            "hunt --budget 60 --seed 0 --backend all "
+            "--corpus tests/hunt/corpus".split()
+        )
+        assert args.budget == 60 and args.seed == 0
+        assert args.backend == "all" and args.corpus == "tests/hunt/corpus"
+        assert args.reduce is True  # reduction is the default
+        inverted = parser.parse_args(
+            "hunt --budget 5 --chaos hunt.exec_corrupt:1.0 "
+            "--no-reduce".split()
+        )
+        assert inverted.chaos == "hunt.exec_corrupt:1.0"
+        assert inverted.reduce is False
+
 
 #: an injection point inside a documented chaos spec: ``name.name:rate``
 CHAOS_POINT_RE = re.compile(r"\b([a-z][a-z0-9_]*\.[a-z][a-z0-9_]*):[0-9]")
