@@ -8,12 +8,20 @@ Commands
               measure real multiprocess speedup (``--runtime process``), or
               measure an execution backend against the NumPy interpreter
               (``--backend compiled``)
-``search``    autotune a factorization on a simulated machine
+``search``    autotune a factorization on a simulated machine, or with
+              ``--measure`` rank candidates by measured wall-clock on
+              the real executor registry (FFTW-planner style)
+``tune``      offline measured-search sweep over sizes; persists the
+              rankings as wisdom for serve/shard to reuse
 ``profile``   trace one transform end to end and print the per-stage report
-``serve``     run the TCP/JSON FFT service (plan cache + request batching)
+``serve``     run the TCP/JSON FFT service (plan cache + request batching);
+              ``--tune`` adds the online autotuner (knob walking + plan
+              hot-swap; see docs/tuning.md)
 ``shard``     run a consistent-hash router over a fleet of serve shards
 ``loadgen``   drive a running server; throughput/latency report + JSON
-              (``--shards N`` instead spins up and measures a shard fleet)
+              (``--shards N`` instead spins up and measures a shard
+              fleet; ``--tune`` runs the self-improving tuning-lifetime
+              lane and writes BENCH_tune.json)
 ``check``     dynamic concurrency certification: replay the pipeline's
               plans and verify race freedom, false-sharing freedom at µ,
               and load balance (non-zero exit on any violation)
@@ -102,6 +110,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.prune_cache:
+        return _cmd_bench_prune_cache(args)
     if args.backend is not None:
         return _cmd_bench_backend(args)
     if args.runtime == "process":
@@ -137,6 +147,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"{fftw.cost_sequential(n).pseudo_mflops(spec):.0f},"
                 f"{plan.pseudo_mflops(spec):.0f},{plan.threads}"
             )
+    return 0
+
+
+def _cmd_bench_prune_cache(args: argparse.Namespace) -> int:
+    """``bench --prune-cache``: GC the content-addressed codelet cache."""
+    from .codegen import prune_codelet_cache
+
+    report = prune_codelet_cache(max_entries=args.cache_max)
+    print(
+        f"# codelet cache: {report['entries']} entr(ies), "
+        f"pruned {report['pruned']} "
+        f"({report['bytes_freed']} bytes), kept {report['kept']}"
+    )
+    if args.cache_max is None:
+        print(
+            "# (report only: pass --cache-max N, or set "
+            "$REPRO_CODELET_CACHE_MAX to prune after every compile)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -192,6 +221,8 @@ def _cmd_bench_backend(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
+    if args.measure:
+        return _cmd_search_measure(args)
     from .machine import machine, SyncProfile
     from .search import dp_search, model_objective
 
@@ -206,6 +237,96 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print(f"tree: {res.tree}")
         print(f"modeled cycles: {res.value:.0f}")
         print(f"objective evaluations: {res.evaluations}")
+    return 0
+
+
+def _cmd_search_measure(args: argparse.Namespace) -> int:
+    """``search --measure``: time real candidates instead of the model."""
+    from .tune import measured_search
+    from .wisdom import Wisdom
+
+    wisdom = Wisdom(args.wisdom) if args.wisdom else None
+    with _maybe_tracing(args):
+        result = measured_search(
+            args.n,
+            threads=args.threads,
+            mu=args.mu,
+            backend=args.backend,
+            runtime=args.runtime,
+            budget=args.budget,
+            repeats=args.repeats,
+            batch=args.batch,
+            seed=args.seed,
+            wisdom=wisdom,
+        )
+    print(
+        f"# measured search for DFT_{args.n} "
+        f"(threads={result.threads}, mu={result.mu}, "
+        f"backend={result.backend}, runtime={result.runtime}, "
+        f"batch={result.batch}, best-of-{result.repeats}, "
+        f"seed={result.seed})"
+    )
+    print("rank,candidate,per_vector_ms,pseudo_mflops")
+    for i, m in enumerate(result.ranking):
+        print(
+            f"{i},{m.strategy}/leaf{m.min_leaf},"
+            f"{m.per_vector_ms:.4f},{m.pseudo_mflops:.0f}"
+        )
+    if wisdom is not None:
+        print(f"# ranking persisted to {args.wisdom}", file=sys.stderr)
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """Offline measured-search sweep; persists rankings as wisdom."""
+    import json
+
+    from .tune import measured_search
+    from .hunt.oracles import ExecutorPools
+    from .wisdom import Wisdom
+
+    sizes = [int(s) for s in args.sizes.split(",") if s]
+    wisdom = Wisdom(args.wisdom) if args.wisdom else None
+    results = []
+    pools = ExecutorPools()
+    try:
+        with _maybe_tracing(args):
+            print(
+                f"# measured tune sweep: sizes={sizes} "
+                f"threads={args.threads} mu={args.mu} "
+                f"backend={args.backend} runtime={args.runtime} "
+                f"budget={args.budget} best-of-{args.repeats}"
+            )
+            print("n,best,per_vector_ms,pseudo_mflops,candidates")
+            for n in sizes:
+                result = measured_search(
+                    n,
+                    threads=args.threads,
+                    mu=args.mu,
+                    backend=args.backend,
+                    runtime=args.runtime,
+                    budget=args.budget,
+                    repeats=args.repeats,
+                    batch=args.batch,
+                    seed=args.seed,
+                    pools=pools,
+                    wisdom=wisdom,
+                )
+                best = result.best
+                print(
+                    f"{n},{best.strategy}/leaf{best.min_leaf},"
+                    f"{best.per_vector_ms:.4f},{best.pseudo_mflops:.0f},"
+                    f"{len(result.ranking)}"
+                )
+                results.append(result.to_json())
+    finally:
+        pools.close()
+    if wisdom is not None:
+        print(f"# rankings persisted to {args.wisdom}", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w") as f:
+            json.dump({"sweeps": results}, f, indent=2)
+        print(f"# report written to {args.output}", file=sys.stderr)
     return 0
 
 
@@ -243,6 +364,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         wisdom_path=args.wisdom,
         runtime=args.runtime,
         backend=args.backend,
+        tune=args.tune,
+        tune_interval_s=args.tune_interval_ms / 1e3,
+        p99_target_ms=args.p99_target_ms,
     )
     if args.chaos:
         from .faults import parse_chaos_spec, set_fault_plan
@@ -256,12 +380,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     with _maybe_tracing(args):
         service = FFTService(config)
         server = FFTServer((args.host, args.port), service)
+        tune_note = (
+            f", tuner on (interval={args.tune_interval_ms}ms, "
+            f"p99-target={args.p99_target_ms}ms)" if args.tune else ""
+        )
         print(
             f"# repro serve listening on {args.host}:{server.port} "
             f"(runtime={args.runtime}, backend={args.backend}, "
             f"threads={args.threads}, "
             f"mu={args.mu}, window={args.window_ms}ms, "
-            f"max-batch={args.max_batch}, queue-limit={args.queue_limit})",
+            f"max-batch={args.max_batch}, queue-limit={args.queue_limit}"
+            f"{tune_note})",
             file=sys.stderr,
         )
         done = install_signal_handlers(server, service)
@@ -411,6 +540,7 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         backends=backends,
         reduce=args.reduce,
         corpus_dir=args.corpus,
+        wisdom_path=args.wisdom,
     )
     with chaos_ctx, _maybe_tracing(args):
         report = run_hunt(config)
@@ -511,10 +641,47 @@ def _cmd_loadgen_shards(args: argparse.Namespace) -> int:
     return 1 if report["measured"]["lost"] else 0
 
 
+def _cmd_loadgen_tune(args: argparse.Namespace) -> int:
+    """``loadgen --tune``: self-driving tuning lifetime demonstration."""
+    from .tune import TuneLoadgenConfig, render_tune_report, \
+        run_tune_loadgen
+
+    sizes = [int(s) for s in args.sizes.split(",") if s]
+    output = args.output
+    if output == "BENCH_serve.json":  # the plain-loadgen default
+        output = "BENCH_tune.json"
+    cfg = TuneLoadgenConfig(
+        sizes=tuple(sizes),
+        threads=args.threads if args.threads is not None else 1,
+        mu=args.mu if args.mu is not None else 4,
+        clients=args.clients,
+        pipeline=args.pipeline,
+        windows=args.windows,
+        window_duration_s=args.window_duration_ms / 1e3,
+        p99_target_ms=args.p99_target_ms,
+        initial_window_ms=args.initial_window_ms,
+        tune_interval_s=args.tune_interval_ms / 1e3,
+        swap_window=args.swap_window,
+        chaos=args.chaos,
+        chaos_seed=args.chaos_seed,
+        output=output,
+    )
+    if args.seed is not None:
+        cfg.seed = args.seed
+    report = run_tune_loadgen(cfg)
+    print(render_tune_report(report))
+    if output:
+        print(f"# report written to {output}", file=sys.stderr)
+    integ = report["integrity"]
+    return 1 if (integ["lost"] or integ["corrupt"]) else 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from .serve import LoadgenConfig, render_report, run_loadgen
 
     sys.setswitchinterval(0.0005)  # same rationale as in serve
+    if args.tune:
+        return _cmd_loadgen_tune(args)
     if args.shards is not None:
         return _cmd_loadgen_shards(args)
     sizes = [int(s) for s in args.sizes.split(",") if s]
@@ -633,15 +800,136 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON report path (default: BENCH_mp.json for --runtime "
         "process, BENCH_backend.json for --backend)",
     )
+    b.add_argument(
+        "--prune-cache",
+        action="store_true",
+        help="garbage-collect the content-addressed compiled-codelet "
+        "cache (LRU by last use) and exit; without --cache-max this "
+        "only reports",
+    )
+    b.add_argument(
+        "--cache-max",
+        type=int,
+        metavar="N",
+        default=None,
+        help="with --prune-cache: keep at most N cached codelet "
+        "artifacts ($REPRO_CODELET_CACHE_MAX makes every compile "
+        "auto-prune to the same bound)",
+    )
     add_trace_flag(b)
     b.set_defaults(fn=_cmd_bench)
 
-    s = sub.add_parser("search", help="autotune a factorization")
+    s = sub.add_parser(
+        "search",
+        help="autotune a factorization (modeled cycles by default; "
+        "--measure times real candidates on this host)",
+    )
     s.add_argument("n", type=int)
     s.add_argument("--machine", default="core_duo")
     s.add_argument("--leaf-max", type=int, default=32)
+    s.add_argument(
+        "--measure",
+        action="store_true",
+        help="rank candidates by measured wall-clock on the real "
+        "executor registry instead of the analytic cycle model "
+        "(FFTW-planner style; see docs/tuning.md)",
+    )
+    s.add_argument(
+        "--threads", "-p", type=int, default=1,
+        help="with --measure: worker count for the timed executor",
+    )
+    s.add_argument(
+        "--mu", type=int, default=4,
+        help="with --measure: cache-line length of the timed plans",
+    )
+    s.add_argument(
+        "--backend",
+        choices=["numpy", "compiled", "simulator"],
+        default="numpy",
+        help="with --measure: execution backend the candidates run on",
+    )
+    s.add_argument(
+        "--runtime",
+        choices=["sequential", "pthreads", "process"],
+        default="sequential",
+        help="with --measure: runtime the candidates are timed under",
+    )
+    s.add_argument(
+        "--budget", type=int, default=8,
+        help="with --measure: max candidates timed (seeded-shuffle "
+        "prefix of the space)",
+    )
+    s.add_argument(
+        "--repeats", type=int, default=3,
+        help="with --measure: timing repeats, best-of",
+    )
+    s.add_argument(
+        "--batch", type=int, default=1,
+        help="with --measure: stacked vectors per timed execution",
+    )
+    s.add_argument(
+        "--wisdom", metavar="PATH", default=None,
+        help="with --measure: persist the ranking into this wisdom "
+        "JSON (the record repro serve --tune reads)",
+    )
+    s.add_argument(
+        "--seed", type=int, default=None,
+        help="with --measure: candidate-order/input seed "
+        "(default: $REPRO_SEED, else 0)",
+    )
     add_trace_flag(s)
     s.set_defaults(fn=_cmd_search)
+
+    tn = sub.add_parser(
+        "tune",
+        help="offline measured-search sweep over sizes; persists "
+        "rankings as wisdom for serve/shard to reuse",
+    )
+    tn.add_argument(
+        "--sizes",
+        default="64,128,256",
+        help="comma-separated transform sizes to tune",
+    )
+    tn.add_argument("--threads", "-p", type=int, default=1)
+    tn.add_argument("--mu", type=int, default=4)
+    tn.add_argument(
+        "--backend",
+        choices=["numpy", "compiled", "simulator"],
+        default="numpy",
+        help="execution backend the candidates run on",
+    )
+    tn.add_argument(
+        "--runtime",
+        choices=["sequential", "pthreads", "process"],
+        default="sequential",
+        help="runtime the candidates are timed under",
+    )
+    tn.add_argument(
+        "--budget", type=int, default=8,
+        help="max candidates timed per size",
+    )
+    tn.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats, best-of",
+    )
+    tn.add_argument(
+        "--batch", type=int, default=8,
+        help="stacked vectors per timed execution (serving-shaped)",
+    )
+    tn.add_argument(
+        "--wisdom", metavar="PATH", default=None,
+        help="persist rankings into this wisdom JSON file",
+    )
+    tn.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="also write the full sweep report as JSON here",
+    )
+    tn.add_argument(
+        "--seed", type=int, default=None,
+        help="candidate-order/input seed (default: $REPRO_SEED, else 0)",
+    )
+    add_trace_flag(tn)
+    tn.set_defaults(fn=_cmd_tune)
 
     pr = sub.add_parser(
         "profile",
@@ -715,6 +1003,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for plan stages (compiled JITs C "
         "codelets when a compiler is present; falls back to numpy "
         "otherwise — see docs/codegen.md)",
+    )
+    sv.add_argument(
+        "--tune",
+        action="store_true",
+        help="run the background autotuner: records per-plan latency "
+        "into wisdom, AIMD-tunes the batcher knobs toward "
+        "--p99-target-ms, and hot-swaps regressed plans with zero "
+        "dropped requests (see docs/tuning.md)",
+    )
+    sv.add_argument(
+        "--tune-interval-ms",
+        type=float,
+        default=500.0,
+        help="tuner tick period in milliseconds",
+    )
+    sv.add_argument(
+        "--p99-target-ms",
+        type=float,
+        default=None,
+        help="with --tune: latency goal the batcher knobs walk toward "
+        "(omit to leave the knobs alone and only re-search regressions)",
     )
     sv.add_argument(
         "--chaos",
@@ -915,6 +1224,66 @@ def build_parser() -> argparse.ArgumentParser:
         default=512,
         help="with --shards: per-shard pending-vector admission bound",
     )
+    lg.add_argument(
+        "--tune",
+        action="store_true",
+        help="tuning-lifetime lane: start an in-process, deliberately "
+        "mistuned server with the autotuner on and prove throughput/p99 "
+        "improve over the run (writes BENCH_tune.json; a mid-run hot-"
+        "swap under load must lose zero acknowledged requests)",
+    )
+    lg.add_argument(
+        "--windows",
+        type=int,
+        default=6,
+        help="with --tune: consecutive measurement windows",
+    )
+    lg.add_argument(
+        "--window-duration-ms",
+        type=float,
+        default=600.0,
+        help="with --tune: length of each measurement window",
+    )
+    lg.add_argument(
+        "--p99-target-ms",
+        type=float,
+        default=5.0,
+        help="with --tune: the tuner's latency goal",
+    )
+    lg.add_argument(
+        "--initial-window-ms",
+        type=float,
+        default=25.0,
+        help="with --tune: the deliberately mistuned starting batch "
+        "window the tuner must walk down from",
+    )
+    lg.add_argument(
+        "--tune-interval-ms",
+        type=float,
+        default=150.0,
+        help="with --tune: tuner tick period",
+    )
+    lg.add_argument(
+        "--swap-window",
+        type=int,
+        default=2,
+        help="with --tune: window (0-based) at whose start every hot "
+        "plan is force-retuned and hot-swapped under load (-1 disables)",
+    )
+    lg.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="with --tune: inject faults, e.g. 'tune.swap_corrupt:1.0' "
+        "(every swap dies mid-commit; the old plan must keep serving "
+        "with a clean integrity block)",
+    )
+    lg.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="with --tune: seed for the chaos fault plan's random stream",
+    )
     lg.set_defaults(fn=_cmd_loadgen)
 
     ck = sub.add_parser(
@@ -1018,6 +1387,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="file minimized reproducers into this directory as JSON "
         "(the committed lane uses tests/hunt/corpus)",
+    )
+    hu.add_argument(
+        "--wisdom",
+        metavar="PATH",
+        default=None,
+        help="extend the config space with tuned-plan provenance: cases "
+        "whose lane carries a measured ranking in this wisdom file "
+        "adopt its best strategy (provenance=wisdom), so the fuzzer "
+        "hammers exactly the plans production would load",
     )
     hu.add_argument(
         "--chaos",

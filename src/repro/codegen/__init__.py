@@ -27,6 +27,7 @@ from .compiled_backend import (
     compiled_available,
     compiler_fingerprint,
     emit_plan_source,
+    prune_codelet_cache,
 )
 from .python_backend import GeneratedProgram, generate
 from .registry import (
@@ -62,6 +63,7 @@ __all__ = [
     "emit_plan_source",
     "generate",
     "get_backend",
+    "prune_codelet_cache",
     "dft_codelet",
     "generate_c",
     "register_backend",

@@ -73,6 +73,10 @@ NO_CC_ENV = "REPRO_NO_CC"
 #: environment variable overriding the on-disk codelet cache directory
 CACHE_ENV = "REPRO_CODELET_CACHE"
 
+#: environment variable bounding the on-disk cache (entries); when set,
+#: every compile prunes least-recently-used entries past the bound
+CACHE_MAX_ENV = "REPRO_CODELET_CACHE_MAX"
+
 _FINGERPRINT_LOCK = threading.Lock()
 _FINGERPRINT: Optional[dict] = None
 
@@ -549,6 +553,10 @@ def compile_plan(
         _MEMO.move_to_end(key)
         while len(_MEMO) > _MEMO_MAX:
             _MEMO.popitem(last=False)
+    if os.environ.get(CACHE_MAX_ENV):
+        # bounded-cache mode: GC after every compile, never dropping the
+        # object this plan just loaded
+        prune_codelet_cache(keep={key})
     return plan
 
 
@@ -556,6 +564,81 @@ def clear_compiled_memo() -> None:
     """Drop the in-process CompiledPlan memo (tests, cache-dir changes)."""
     with _MEMO_LOCK:
         _MEMO.clear()
+
+
+def prune_codelet_cache(
+    max_entries: Optional[int] = None, keep: Optional[set] = None
+) -> dict:
+    """GC the content-addressed ``.so`` cache down to ``max_entries``.
+
+    Repeated measured searches (``repro search --measure --backend
+    compiled``, the online tuner) each compile new candidate plans; the
+    cache is content-addressed so nothing is ever *wrong*, but without a
+    bound it grows forever.  Entries — a ``plan_<size>_<key>.so`` plus
+    its ``.c`` sibling — are ranked by access recency (``st_atime``,
+    falling back to ``st_mtime``) and the oldest are deleted until
+    ``max_entries`` remain.  ``keep`` protects specific source-hash keys
+    (e.g. artifacts a wisdom file still references).  ``max_entries=None``
+    reads ``$REPRO_CODELET_CACHE_MAX`` (unset/invalid → no pruning).
+
+    Returns ``{"entries", "pruned", "kept", "bytes_freed"}``.  Deleting
+    a shared object another process has already ``dlopen``\\ ed is safe
+    (the mapping survives the unlink), and a missing file mid-prune is
+    ignored — concurrent pruners simply race to the same end state.
+    """
+    if max_entries is None:
+        raw = os.environ.get(CACHE_MAX_ENV, "")
+        try:
+            max_entries = int(raw)
+        except ValueError:
+            max_entries = -1
+        if max_entries < 0:
+            cache = codelet_cache_dir()
+            count = len(list(cache.glob("plan_*.so")))
+            return {"entries": count, "pruned": 0, "kept": count,
+                    "bytes_freed": 0}
+    if max_entries < 0:
+        raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+    keep = keep or set()
+    cache = codelet_cache_dir()
+    entries = []
+    for so in cache.glob("plan_*.so"):
+        try:
+            st = so.stat()
+        except OSError:
+            continue  # raced with a concurrent pruner
+        key = so.stem.rsplit("_", 1)[-1]
+        entries.append((max(st.st_atime, st.st_mtime), so, key, st.st_size))
+    entries.sort()  # oldest-accessed first
+    total = len(entries)
+    protected = [e for e in entries if e[2] in keep]
+    evictable = [e for e in entries if e[2] not in keep]
+    overflow = total - max_entries
+    pruned = 0
+    freed = 0
+    for _, so, _key, size in evictable:
+        if pruned >= overflow:
+            break
+        c_path = so.with_suffix(".c")
+        try:
+            so.unlink()
+            freed += size
+        except OSError:
+            continue
+        try:
+            freed += c_path.stat().st_size
+            c_path.unlink()
+        except OSError:
+            pass
+        pruned += 1
+    get_tracer().count("codegen.cache_pruned", pruned)
+    return {
+        "entries": total,
+        "pruned": pruned,
+        "kept": total - pruned,
+        "bytes_freed": freed,
+        "protected": len(protected),
+    }
 
 
 __all__ = [
@@ -569,4 +652,5 @@ __all__ = [
     "compiler_fingerprint",
     "emit_plan_source",
     "find_compiler",
+    "prune_codelet_cache",
 ]

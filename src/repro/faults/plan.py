@@ -61,6 +61,9 @@ INJECTION_POINTS: dict[str, str] = {
     "hunt.plan_sabotage": "repro.hunt dynamic-check oracle hands the "
     "checker a mu-misaligned-split copy of the plan (end-to-end proof "
     "the hunt catches Definition 1 violations)",
+    "tune.swap_corrupt": "Tuner plan hot-swap fails mid-commit; the "
+    "PlanCache must keep serving the old plan with zero dropped "
+    "requests",
 }
 
 

@@ -33,6 +33,9 @@ class HuntConfig:
     reduce: bool = True
     corpus_dir: Optional[str] = None
     max_steps: int = 256
+    #: wisdom file whose measured rankings extend the config space with
+    #: tuned-plan provenance (``repro hunt --wisdom``); None = generated only
+    wisdom_path: Optional[str] = None
 
 
 @dataclass
@@ -90,11 +93,17 @@ class HuntReport:
 
 def run_hunt(config: HuntConfig) -> HuntReport:
     """Execute one differential-fuzzing sweep (see module docstring)."""
+    wisdom = None
+    if config.wisdom_path is not None:
+        from ..wisdom import Wisdom
+
+        wisdom = Wisdom(config.wisdom_path)
     cases = sample_cases(
         config.budget,
         seed=config.seed,
         backends=config.backends,
         runtimes=config.runtimes,
+        wisdom=wisdom,
     )
     report = HuntReport(config=config, cases=len(cases))
     pools = ExecutorPools()

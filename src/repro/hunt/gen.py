@@ -58,6 +58,9 @@ class HuntCase:
     batch: int
     backend: str = "numpy"
     runtime: str = "sequential"
+    #: where the strategy came from: "generated" (pool draw) or "wisdom"
+    #: (replaced by a measured-search ranking; see :mod:`repro.tune`)
+    provenance: str = "generated"
 
     @property
     def threads(self) -> int:
@@ -68,14 +71,22 @@ class HuntCase:
 
     def label(self) -> str:
         """Compact test-id style label, e.g. ``n64-p3-mu2-balanced-b2-numpy-seq``."""
-        return (
+        base = (
             f"n{self.n}-p{self.req_threads}-mu{self.mu}-{self.strategy}"
             f"-b{self.batch}-{self.backend}-{self.runtime}"
         )
+        if self.provenance != "generated":
+            base += f"-{self.provenance}"
+        return base
 
     def to_json(self) -> dict:
-        """JSON-able form (the corpus format's ``case`` object)."""
-        return {
+        """JSON-able form (the corpus format's ``case`` object).
+
+        ``provenance`` is emitted only when non-default, so corpora filed
+        before the tuning PR stay byte-identical and content hashes of
+        purely generated cases never move.
+        """
+        data = {
             "n": self.n,
             "req_threads": self.req_threads,
             "mu": self.mu,
@@ -84,13 +95,16 @@ class HuntCase:
             "backend": self.backend,
             "runtime": self.runtime,
         }
+        if self.provenance != "generated":
+            data["provenance"] = self.provenance
+        return data
 
     @classmethod
     def from_json(cls, data: dict) -> "HuntCase":
         """Inverse of :meth:`to_json` (unknown keys rejected loudly)."""
         known = {
             "n", "req_threads", "mu", "strategy", "batch", "backend",
-            "runtime",
+            "runtime", "provenance",
         }
         extra = set(data) - known
         if extra:
@@ -135,6 +149,7 @@ def sample_cases(
     backends: tuple[str, ...] = ("numpy",),
     runtimes: tuple[str, ...] = RUNTIMES,
     label: str = "hunt-sweep",
+    wisdom=None,
 ) -> list[HuntCase]:
     """Sample ``budget`` :class:`HuntCase` configurations deterministically.
 
@@ -142,6 +157,15 @@ def sample_cases(
     :func:`sample_config_tuples`; backend and runtime are drawn from the
     given pools afterwards, so the hunt's sweep is fully determined by
     ``(budget, seed, backends, runtimes)``.
+
+    A non-None ``wisdom`` (:class:`repro.wisdom.Wisdom`) extends the
+    config space with tuned-plan provenance: any drawn case whose
+    ``(n, threads, mu, backend, runtime)`` lane carries a measured-search
+    ranking (see :func:`repro.tune.measured_search`) adopts the ranked
+    best strategy and is marked ``provenance="wisdom"`` — the fuzzer
+    then hammers exactly the plans production traffic would load.  The
+    substitution consumes no extra rng draws, so every pinned
+    ``wisdom=None`` stream is bit-identical to before.
     """
     for b in backends:
         if b not in BACKENDS:
@@ -153,15 +177,21 @@ def sample_cases(
     rng = derive_rng(base, label)
     cases = []
     for _ in range(budget):
-        cases.append(
-            HuntCase(
-                n=SIZES[rng.integers(len(SIZES))],
-                req_threads=THREAD_REQUESTS[rng.integers(len(THREAD_REQUESTS))],
-                mu=MUS[rng.integers(len(MUS))],
-                strategy=STRATEGIES[rng.integers(len(STRATEGIES))],
-                batch=int(rng.integers(1, 5)),
-                backend=backends[rng.integers(len(backends))],
-                runtime=runtimes[rng.integers(len(runtimes))],
-            )
+        case = HuntCase(
+            n=SIZES[rng.integers(len(SIZES))],
+            req_threads=THREAD_REQUESTS[rng.integers(len(THREAD_REQUESTS))],
+            mu=MUS[rng.integers(len(MUS))],
+            strategy=STRATEGIES[rng.integers(len(STRATEGIES))],
+            batch=int(rng.integers(1, 5)),
+            backend=backends[rng.integers(len(backends))],
+            runtime=runtimes[rng.integers(len(runtimes))],
         )
+        if wisdom is not None:
+            record = wisdom.tuning(
+                case.n, case.threads, case.mu, case.backend, case.runtime
+            )
+            best = (record or {}).get("best", {}).get("strategy")
+            if best in RADIX_STRATEGIES:
+                case = case.with_(strategy=best, provenance="wisdom")
+        cases.append(case)
     return cases

@@ -18,23 +18,44 @@ from __future__ import annotations
 import threading
 
 
-def percentile(sorted_vals: list[float], q: float) -> float:
-    """Nearest-rank percentile of pre-sorted samples; 0.0 when empty."""
+def percentile(sorted_vals: list[float], q: float) -> float | None:
+    """Nearest-rank percentile of pre-sorted samples.
+
+    An empty window has no percentile: returns ``None`` rather than a
+    fake 0.0 (the tuner polls windows that can legitimately be empty and
+    must not mistake "no traffic" for "zero latency").  A singleton
+    window returns its single sample for every ``q``.
+    """
     if not sorted_vals:
-        return 0.0
+        return None
+    if len(sorted_vals) == 1:
+        return sorted_vals[0]
     idx = min(len(sorted_vals) - 1, int(round(q * (len(sorted_vals) - 1))))
     return sorted_vals[idx]
 
 
 def latency_summary(latencies_s: list[float]) -> dict:
-    """The standard p50/p95/p99/mean/max block (milliseconds)."""
+    """The standard p50/p95/p99/mean/max block (milliseconds).
+
+    Empty input keeps the all-zero shape every BENCH consumer expects;
+    callers that need to distinguish "no samples" check ``requests`` or
+    call :func:`percentile` directly.
+    """
     vals = sorted(latencies_s)
+    if not vals:
+        return {
+            "p50_ms": 0.0,
+            "p95_ms": 0.0,
+            "p99_ms": 0.0,
+            "mean_ms": 0.0,
+            "max_ms": 0.0,
+        }
     return {
         "p50_ms": percentile(vals, 0.50) * 1e3,
         "p95_ms": percentile(vals, 0.95) * 1e3,
         "p99_ms": percentile(vals, 0.99) * 1e3,
-        "mean_ms": (sum(vals) / len(vals) * 1e3) if vals else 0.0,
-        "max_ms": (vals[-1] * 1e3) if vals else 0.0,
+        "mean_ms": sum(vals) / len(vals) * 1e3,
+        "max_ms": vals[-1] * 1e3,
     }
 
 
@@ -74,6 +95,22 @@ class LatencyRecorder:
         """True per-key totals (before any decimation)."""
         with self._lock:
             return dict(self._seen)
+
+    def drain(self) -> dict[str, list[float]]:
+        """Take-and-clear: every key's samples, then reset the reservoir.
+
+        The tuner's observation windows are built on this: each tick
+        drains the window recorder, so samples are counted exactly once
+        and the next window starts empty.  Returns the (possibly
+        decimated) samples per key; keys observed but fully decimated
+        away still appear with their surviving samples.
+        """
+        with self._lock:
+            samples = self._samples
+            self._samples = {}
+            self._stride = {}
+            self._seen = {}
+        return samples
 
     def summary(self) -> dict[str, dict]:
         """Per-key ``latency_summary`` blocks plus true request counts."""

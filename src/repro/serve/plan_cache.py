@@ -41,6 +41,10 @@ class PlanKey(NamedTuple):
     mu: int = 4
     strategy: str = "balanced"
 
+    def label(self) -> str:
+        """Stable string form for stats/JSON maps keyed by plan."""
+        return f"n{self.n}:t{self.threads}:mu{self.mu}:{self.strategy}"
+
 
 @dataclass
 class CachedPlan:
@@ -66,6 +70,7 @@ class CacheStats:
     evictions: int = 0
     single_flight_waits: int = 0
     plans_built: int = 0
+    swaps: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -79,6 +84,7 @@ class CacheStats:
             "evictions": self.evictions,
             "single_flight_waits": self.single_flight_waits,
             "plans_built": self.plans_built,
+            "swaps": self.swaps,
             "hit_rate": self.hit_rate,
         }
 
@@ -231,3 +237,39 @@ class PlanCache:
         flight.plan = plan
         flight.event.set()
         return plan
+
+    def swap(self, key: PlanKey, plan: CachedPlan) -> bool:
+        """Atomically install ``plan`` as the entry for ``key``.
+
+        The tuner's hot-swap commit point.  The replacement happens
+        entirely under the cache lock, so a concurrent ``get()`` sees
+        either the old plan or the new one — never a half-installed
+        entry; batches already executing keep their own plan reference
+        and are unaffected.  Returns ``False`` (and installs nothing)
+        when a single-flight build for ``key`` is in progress: the swap
+        defers rather than race the builder, and the tuner simply
+        retries on a later tick.  Installing into a cache at capacity
+        evicts LRU entries exactly like a built plan would, so eviction
+        accounting stays consistent.
+
+        Chaos: ``tune.swap_corrupt`` fires *before* the commit, so an
+        injected mid-swap failure leaves the old plan serving.
+        """
+        if plan.key != key:
+            raise ValueError(f"plan.key {plan.key} does not match {key}")
+        tr = get_tracer()
+        get_fault_plan().raise_if("tune.swap_corrupt")
+        with self._lock:
+            if key in self._inflight:
+                return False
+            present = key in self._entries
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            self.stats.swaps += 1
+            tr.count("serve.plan_cache.swap", 1)
+            if not present:
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+                    tr.count("serve.plan_cache.eviction", 1)
+        return True

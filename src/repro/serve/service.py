@@ -51,6 +51,7 @@ from ..smp.runtime import (
 from ..trace import get_tracer
 from ..wisdom import Wisdom
 from .batch_exec import run_batched
+from .metrics import LatencyRecorder
 from .plan_cache import PlanCache, PlanKey
 
 
@@ -96,6 +97,9 @@ class ServeConfig:
     supervise_interval_s: float = 0.05  #: supervisor health-check period
     max_pool_rebuilds: int = 2  #: pool failures tolerated before degrading
     degrade_cooldown_s: float = 1.0  #: quiet time before re-promoting a pool
+    tune: bool = False  #: run a background Tuner (see repro.tune)
+    tune_interval_s: float = 0.5  #: tuner tick period
+    p99_target_ms: Optional[float] = None  #: batcher-knob autotuning goal
 
 
 class FFTTicket:
@@ -165,11 +169,17 @@ class FFTService:
             if self.config.wisdom_path
             else None
         )
+        self.wisdom = wisdom
         self.plans = PlanCache(
             capacity=self.config.cache_capacity,
             wisdom=wisdom,
             backend=self.config.backend,
         )
+        #: cumulative per-plan-key latency (stats endpoint), and the
+        #: tuner's observation window (drained every tick; keys are
+        #: PlanKey tuples, stringified only at the stats boundary)
+        self.latencies = LatencyRecorder()
+        self.tune_window = LatencyRecorder()
         self._cond = threading.Condition()
         self._queue: list[_Request] = []
         self._pending_vectors = 0
@@ -206,6 +216,19 @@ class FFTService:
             daemon=True,
         )
         self._supervisor.start()
+        self.tuner = None
+        if self.config.tune:
+            from ..tune import Tuner, TunerConfig
+
+            self.tuner = Tuner(
+                self,
+                TunerConfig(
+                    interval_s=self.config.tune_interval_s,
+                    p99_target_ms=self.config.p99_target_ms,
+                ),
+                wisdom=wisdom,
+            )
+            self.tuner.start()
 
     # -- public API ----------------------------------------------------------
 
@@ -289,6 +312,10 @@ class FFTService:
         m["plan_cache"] = self.plans.stats_snapshot()
         m["plans_cached"] = len(self.plans)
         m["health"] = self.health()
+        m["per_plan_latency"] = {
+            k.label(): block for k, block in self.latencies.summary().items()
+        }
+        m["tuner"] = self.tuner.snapshot() if self.tuner else None
         m["config"] = {
             "threads": self.config.threads,
             "mu": self.config.mu,
@@ -297,6 +324,7 @@ class FFTService:
             "queue_limit": self.config.queue_limit,
             "cache_capacity": self.config.cache_capacity,
             "backend": self.config.backend,
+            "tune": self.config.tune,
         }
         return m
 
@@ -417,8 +445,11 @@ class FFTService:
                 return
             self._closing = True
             self._cond.notify_all()
-        # stop the supervisor first so it cannot resurrect the dispatcher
-        # (or rebuild pools) underneath the shutdown sequence
+        # stop the tuner first so no hot-swap lands mid-shutdown, then the
+        # supervisor so it cannot resurrect the dispatcher (or rebuild
+        # pools) underneath the shutdown sequence
+        if self.tuner is not None:
+            self.tuner.close()
         self._stop_supervisor.set()
         self._supervisor.join(timeout=10)
         self._dispatcher.join(timeout=10)
@@ -740,7 +771,10 @@ class FFTService:
             result = Y[row] if req.squeeze else Y[row:row + req.rows]
             req.ticket._resolve(result=result)
             row += req.rows
-            tr.count("serve.request_wall_s", done - req.arrival)
+            wall = done - req.arrival
+            self.latencies.record(key, wall)
+            self.tune_window.record(key, wall)
+            tr.count("serve.request_wall_s", wall)
         with self._metrics_lock:
             self._metrics["batches"] += 1
             self._metrics["batched_vectors"] += int(Y.shape[0])

@@ -28,8 +28,11 @@ Mechanics per client connection:
   failure), so failover lands on a warm plan cache;
 * the ``health`` op aggregates per-shard health into the familiar
   :meth:`~repro.serve.service.FFTService.health` shape, and ``stats``
-  sums shard counters and adds per-shard latency percentiles measured at
-  the router.
+  sums shard counters and adds per-shard *and per-plan* latency
+  percentiles measured at the router; when the fleet shares a wisdom
+  file, each stats poll also flushes the windowed per-plan latencies
+  into it as tuning observations (see :mod:`repro.tune`), so
+  router-measured truth feeds the same records the serving tuner reads.
 
 The ``shard.route_flap`` fault point diverts single requests to the
 owner's successor — exercising the invariant that *any* shard can serve
@@ -47,10 +50,11 @@ from typing import Optional
 
 from ..faults import get_fault_plan
 from ..serve.client import ServeClient
-from ..serve.metrics import LatencyRecorder
+from ..serve.metrics import LatencyRecorder, latency_summary
 from ..serve.protocol import dump_line, error_response, read_frame_raw, \
     write_frame_raw
 from ..trace import get_tracer
+from ..wisdom import Wisdom
 from .fleet import NoShardsAvailable, ShardFleet
 
 #: replay attempts for a request orphaned by a dying shard
@@ -283,9 +287,9 @@ class _Session:
         with self._lock:
             pend = self._pending.pop(msg.get("id"), None)
         if pend is not None:
-            self.router.record_latency(
-                shard_id, time.perf_counter() - pend.t0
-            )
+            dt = time.perf_counter() - pend.t0
+            self.router.record_latency(shard_id, dt)
+            self.router.record_plan_latency(pend.key, dt)
         self.reply(msg, payload)
 
     def on_upstream_dead(self, shard_id: str) -> None:
@@ -403,6 +407,14 @@ class ShardRouter(socketserver.ThreadingTCPServer):
         self.fleet = fleet
         self.prewarm_enabled = prewarm
         self.latencies = LatencyRecorder()
+        # per-plan observations: cumulative (for stats) + a window the
+        # wisdom flush drains, mirroring FFTService.latencies/tune_window
+        self.plan_latencies = LatencyRecorder()
+        self._wisdom_window = LatencyRecorder()
+        self._wisdom: Optional[Wisdom] = (
+            Wisdom(fleet.config.wisdom_path)
+            if fleet.config.wisdom_path else None
+        )
         self._mlock = threading.Lock()
         self._counters = {
             "routed": 0,
@@ -446,6 +458,52 @@ class ShardRouter(socketserver.ThreadingTCPServer):
 
     def record_latency(self, shard_id: str, seconds: float) -> None:
         self.latencies.record(shard_id, seconds)
+
+    def record_plan_latency(self, key: str, seconds: float) -> None:
+        """One routed response, keyed by its plan routing string."""
+        self.plan_latencies.record(key, seconds)
+        if self._wisdom is not None:
+            self._wisdom_window.record(key, seconds)
+
+    def flush_observations(self) -> int:
+        """Merge windowed per-plan latencies into the fleet's wisdom file.
+
+        Route keys are ``n:threads:mu:strategy:backend``
+        (:func:`~repro.shard.ring.route_key`); each becomes one
+        :meth:`~repro.wisdom.Wisdom.record_observation` under the lane
+        the fleet actually runs (sequential / pthreads / process per the
+        shard :class:`~repro.serve.ServeConfig`), so router-measured
+        latency lands in the same records the serve-side Tuner reads.
+        Returns the number of plan keys flushed.  Called from
+        :meth:`stats_snapshot`, so any stats poller doubles as the
+        flush cadence.
+        """
+        if self._wisdom is None:
+            return 0
+        cfg = self.fleet.config
+        flushed = 0
+        for key, samples in self._wisdom_window.drain().items():
+            try:
+                n_s, threads_s, mu_s, _strategy, backend = \
+                    key.split(":", 4)
+                n, threads, mu = int(n_s), int(threads_s), int(mu_s)
+            except ValueError:
+                continue
+            if threads <= 1:
+                runtime = "sequential"
+            elif cfg.runtime == "process":
+                runtime = "process"
+            else:
+                runtime = "pthreads"
+            summary = {"requests": len(samples),
+                       **latency_summary(samples)}
+            self._wisdom.record_observation(
+                n, threads, mu, backend, runtime, summary
+            )
+            flushed += 1
+        if flushed:
+            get_tracer().count("shard.wisdom_flushes", flushed)
+        return flushed
 
     # -- aggregation -----------------------------------------------------------
 
@@ -504,6 +562,8 @@ class ShardRouter(socketserver.ThreadingTCPServer):
         agg["router"] = {
             "counters": self.counters(),
             "per_shard_latency": self.latencies.summary(),
+            "per_plan_latency": self.plan_latencies.summary(),
+            "wisdom_flushed": self.flush_observations(),
             "fleet": self.fleet.counters(),
         }
         agg["shards"] = per_shard

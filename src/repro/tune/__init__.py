@@ -1,0 +1,45 @@
+"""repro.tune: online autotuning — measured search, live wisdom, hot-swap.
+
+The subsystem closes the paper's feedback loop against *production*
+telemetry instead of an offline timer (see ``docs/tuning.md``):
+
+* :func:`measured_search` — time real candidates on the executor
+  registry (numpy | compiled | simulator × sequential | pthreads |
+  process), FFTW-planner style, with a budget and a ``REPRO_SEED``-
+  stable candidate order; rankings persist as versioned
+  :class:`repro.wisdom.Wisdom` tune records.
+* :class:`Tuner` — a background thread inside a live
+  :class:`~repro.serve.FFTService`: drains per-plan latency windows,
+  records fleet-shared observations, AIMD-tunes the batcher knobs
+  (``window_ms``, ``max_batch``) toward a p99 target, and re-searches
+  regressed plans, hot-swapping the winner through the
+  :class:`~repro.serve.plan_cache.PlanCache` with zero dropped or
+  misrouted in-flight requests.
+* :func:`run_tune_loadgen` — the ``repro loadgen --tune`` lane: a
+  deliberately mistuned server measurably improves over its own run
+  lifetime (``BENCH_tune.json``), including a forced mid-run hot-swap
+  under load (and an inverted ``tune.swap_corrupt`` chaos mode).
+"""
+
+from .loadgen import TuneLoadgenConfig, render_tune_report, run_tune_loadgen
+from .measure import (
+    Candidate,
+    Measurement,
+    MeasuredSearchResult,
+    candidate_space,
+    measured_search,
+)
+from .tuner import Tuner, TunerConfig
+
+__all__ = [
+    "Candidate",
+    "Measurement",
+    "MeasuredSearchResult",
+    "TuneLoadgenConfig",
+    "Tuner",
+    "TunerConfig",
+    "candidate_space",
+    "measured_search",
+    "render_tune_report",
+    "run_tune_loadgen",
+]

@@ -1,0 +1,345 @@
+"""The ``repro loadgen --tune`` lane: prove autotuning pays off live.
+
+One in-process server is started deliberately mistuned (a large batching
+window) with the background :class:`~repro.tune.Tuner` enabled, then
+driven by closed-loop pipelined clients through ``windows`` consecutive
+measurement windows.  The run demonstrates the two tentpole claims:
+
+* **the run improves over its own lifetime** — the tuner walks the
+  batcher knobs toward the p99 target, so the last window's p99 drops
+  (and throughput rises) versus the first; per-window numbers land in
+  ``BENCH_tune.json``;
+* **hot-swap loses nothing** — at the start of ``swap_window`` a forced
+  measured re-search hot-swaps every hot plan *while traffic flows*;
+  every response in the whole run is verified against ``np.fft``, so
+  the report's integrity block proves zero lost acknowledged requests
+  and zero wrong answers across the swap.
+
+With ``chaos="tune.swap_corrupt:1.0"`` the same lane becomes the
+inverted CI check: every swap attempt dies mid-commit, the tuner counts
+``swap_failures``, and the integrity block must still be clean — the
+old plan keeps serving.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+import time
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..seeding import default_seed, derive_seed
+from ..serve.client import RetryPolicy, ServeClient
+from ..serve.loadgen import _LOADGEN_RETRY
+from ..serve.metrics import latency_summary
+from ..serve.server import FFTServer, graceful_shutdown
+from ..serve.service import FFTService, ServeConfig
+
+
+@dataclass
+class TuneLoadgenConfig:
+    sizes: tuple = (64, 128, 256)
+    threads: int = 1
+    mu: int = 4
+    backend: str = "numpy"
+    clients: int = 3
+    pipeline: int = 8            #: in-flight requests per client
+    windows: int = 6             #: consecutive measurement windows
+    window_duration_s: float = 0.6
+    p99_target_ms: float = 5.0   #: the tuner's latency goal
+    initial_window_ms: float = 25.0  #: deliberately mistuned starting knob
+    tune_interval_s: float = 0.15
+    #: force measured re-search + hot-swap of every hot plan at the start
+    #: of this window (0-based); -1 disables the forced swap
+    swap_window: int = 2
+    chaos: Optional[str] = None  #: e.g. "tune.swap_corrupt:1.0"
+    chaos_seed: int = 0
+    seed: int = field(default_factory=default_seed)
+    output: Optional[str] = "BENCH_tune.json"
+
+
+def _worker(wid: int, cfg: TuneLoadgenConfig, port: int,
+            start: threading.Event, stop: threading.Event,
+            records: list, errors: list[str]) -> None:
+    """Closed-loop pipelined client; records (t_done, latency_s, ok)."""
+    rng = np.random.default_rng(derive_seed(cfg.seed, "tune-loadgen", wid))
+    recs: list[tuple[float, float, bool]] = []
+    lost = 0
+    try:
+        client = ServeClient(
+            "127.0.0.1", port,
+            retry=RetryPolicy(
+                attempts=_LOADGEN_RETRY.attempts,
+                seed=derive_seed(cfg.seed, "tune-retry", wid),
+            ),
+        )
+    except OSError as exc:
+        errors.append(f"worker {wid}: connect failed: {exc}")
+        records.append((recs, 0))
+        return
+    try:
+        start.wait()
+        i = 0
+        while not stop.is_set():
+            xs = []
+            for j in range(cfg.pipeline):
+                n = cfg.sizes[(wid + i + j) % len(cfg.sizes)]
+                xs.append(
+                    rng.standard_normal(n) + 1j * rng.standard_normal(n)
+                )
+            i += len(xs)
+            try:
+                outcomes = client.fft_pipeline(xs)
+            except (ConnectionError, OSError):
+                # connection died mid-burst: redial and replay this chunk
+                # one at a time (fft is idempotent)
+                outcomes = []
+                for x in xs:
+                    t0 = time.perf_counter()
+                    try:
+                        y = client.fft_retry(x, policy=_LOADGEN_RETRY)
+                        outcomes.append((y, time.perf_counter() - t0, None))
+                    except Exception as exc:  # noqa: BLE001 - counted
+                        lost += 1
+                        errors.append(f"worker {wid}: request lost: {exc}")
+                        outcomes.append((None, 0.0, False))
+            for x, (y, dt, err) in zip(xs, outcomes):
+                if err is False:
+                    continue  # already counted as lost above
+                if err is not None:
+                    if err.code not in _LOADGEN_RETRY.retry_codes:
+                        lost += 1
+                        errors.append(f"worker {wid}: {err}")
+                        continue
+                    time.sleep(err.retry_after or 0.005)
+                    t0 = time.perf_counter()
+                    try:
+                        y = client.fft_retry(x, policy=_LOADGEN_RETRY)
+                        dt = time.perf_counter() - t0
+                    except Exception as exc:  # noqa: BLE001 - counted
+                        lost += 1
+                        errors.append(f"worker {wid}: request lost: {exc}")
+                        continue
+                ok = bool(np.allclose(y, np.fft.fft(x), atol=1e-6))
+                recs.append((time.perf_counter(), dt, ok))
+    except Exception as exc:  # noqa: BLE001 - surfaced in the report
+        errors.append(f"worker {wid}: {exc}")
+    finally:
+        with contextlib.suppress(Exception):
+            client.close()
+        records.append((recs, lost))
+
+
+def run_tune_loadgen(cfg: TuneLoadgenConfig) -> dict:
+    """Run the tune lane end to end; returns (and optionally writes) the report."""
+    from ..faults import fault_plan, parse_chaos_spec
+
+    chaos_ctx = (
+        fault_plan(parse_chaos_spec(cfg.chaos, seed=cfg.chaos_seed))
+        if cfg.chaos else contextlib.nullcontext()
+    )
+    with chaos_ctx:
+        return _run(cfg)
+
+
+def _run(cfg: TuneLoadgenConfig) -> dict:
+    service = FFTService(ServeConfig(
+        threads=cfg.threads,
+        mu=cfg.mu,
+        backend=cfg.backend,
+        window_s=cfg.initial_window_ms / 1e3,
+        tune=True,
+        tune_interval_s=cfg.tune_interval_s,
+        p99_target_ms=cfg.p99_target_ms,
+    ))
+    server = FFTServer(("127.0.0.1", 0), service)
+    port = server.server_address[1]
+    server.serve_background()
+    try:
+        # warmup: build every plan once, verified, outside the windows
+        probe = ServeClient("127.0.0.1", port)
+        rng = np.random.default_rng(cfg.seed)
+        for n in cfg.sizes:
+            x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+            y = probe.fft_retry(x, no_batch=True, policy=_LOADGEN_RETRY)
+            if not np.allclose(y, np.fft.fft(x), atol=1e-6):
+                raise RuntimeError(f"warmup: result mismatch for n={n}")
+
+        records: list = []
+        errors: list[str] = []
+        start = threading.Event()
+        stop = threading.Event()
+        workers = [
+            threading.Thread(
+                target=_worker,
+                args=(wid, cfg, port, start, stop, records, errors),
+                daemon=True,
+            )
+            for wid in range(cfg.clients)
+        ]
+        for w in workers:
+            w.start()
+
+        t0 = time.perf_counter()
+        start.set()
+        boundaries: list[float] = []
+        knob_trace: list[dict] = []
+        forced = {"attempted": 0, "committed": 0}
+        for w in range(cfg.windows):
+            if w == cfg.swap_window and service.tuner is not None:
+                # the acceptance scenario: hot-swap every hot plan while
+                # the clients are mid-flight
+                for n in cfg.sizes:
+                    key = service._plan_key(n, None, None, None)
+                    forced["attempted"] += 1
+                    if service.tuner.retune(key):
+                        forced["committed"] += 1
+            time.sleep(cfg.window_duration_s)
+            boundaries.append(time.perf_counter() - t0)
+            knob_trace.append({
+                "window": w,
+                "window_ms_knob": service.config.window_s * 1e3,
+                "max_batch_knob": service.config.max_batch,
+            })
+        stop.set()
+        for w in workers:
+            w.join(timeout=30)
+        stats_final = probe.stats()
+        probe.close()
+    finally:
+        graceful_shutdown(server, service)
+
+    # -- bin every response into its measurement window -----------------------
+    per_window = [
+        {"latencies": [], "ok": 0, "corrupt": 0} for _ in range(cfg.windows)
+    ]
+    acknowledged = 0
+    corrupt = 0
+    lost = 0
+    for recs, worker_lost in records:
+        lost += worker_lost
+        for t_done, dt, ok in recs:
+            acknowledged += 1
+            if not ok:
+                corrupt += 1
+            idx = bisect_left(boundaries, t_done - t0)
+            if idx >= cfg.windows:
+                idx = cfg.windows - 1
+            bucket = per_window[idx]
+            bucket["latencies"].append(dt)
+            bucket["ok" if ok else "corrupt"] += 1
+
+    windows = []
+    for w, bucket in enumerate(per_window):
+        lat = bucket["latencies"]
+        windows.append({
+            "window": w,
+            "requests": len(lat),
+            "throughput_rps": len(lat) / cfg.window_duration_s,
+            **latency_summary(lat),
+            **{k: v for k, v in knob_trace[w].items() if k != "window"},
+        })
+
+    nonempty = [w for w in windows if w["requests"]]
+    first = nonempty[0] if nonempty else None
+    last = nonempty[-1] if nonempty else None
+    improvement = {
+        "first_window": first["window"] if first else None,
+        "last_window": last["window"] if last else None,
+        "first_p99_ms": first["p99_ms"] if first else None,
+        "last_p99_ms": last["p99_ms"] if last else None,
+        "first_throughput_rps": first["throughput_rps"] if first else None,
+        "last_throughput_rps": last["throughput_rps"] if last else None,
+        "improved": bool(
+            first and last and first is not last and (
+                last["p99_ms"] < first["p99_ms"]
+                or last["throughput_rps"] > first["throughput_rps"]
+            )
+        ),
+    }
+
+    report = {
+        "config": {
+            "sizes": list(cfg.sizes),
+            "threads": cfg.threads,
+            "mu": cfg.mu,
+            "backend": cfg.backend,
+            "clients": cfg.clients,
+            "pipeline": cfg.pipeline,
+            "windows": cfg.windows,
+            "window_duration_s": cfg.window_duration_s,
+            "p99_target_ms": cfg.p99_target_ms,
+            "initial_window_ms": cfg.initial_window_ms,
+            "swap_window": cfg.swap_window,
+            "chaos": cfg.chaos,
+            "seed": cfg.seed,
+        },
+        "windows": windows,
+        "improvement": improvement,
+        "integrity": {
+            "acknowledged": acknowledged,
+            "corrupt": corrupt,
+            "lost": lost,
+            "errors": errors[:20],
+        },
+        "forced_retunes": forced,
+        "tuner": stats_final.get("tuner"),
+        "plan_cache": stats_final.get("plan_cache"),
+        "server_stats": stats_final,
+    }
+    if cfg.output:
+        with open(cfg.output, "w") as fh:
+            json.dump(report, fh, indent=1)
+    return report
+
+
+def render_tune_report(report: dict) -> str:
+    """Human summary of a tune-lane report (the CLI output)."""
+    cfg = report["config"]
+    lines = [
+        f"# repro loadgen --tune: {cfg['clients']} clients x pipeline "
+        f"{cfg['pipeline']}, sizes={cfg['sizes']}, "
+        f"p99 target {cfg['p99_target_ms']:.1f} ms, "
+        f"initial window {cfg['initial_window_ms']:.1f} ms"
+        + (f", chaos={cfg['chaos']}" if cfg["chaos"] else ""),
+        f"{'win':>4} {'req':>6} {'req/s':>8} {'p50 ms':>8} {'p99 ms':>8} "
+        f"{'knob ms':>8} {'batch':>6}",
+    ]
+    for w in report["windows"]:
+        lines.append(
+            f"{w['window']:>4} {w['requests']:>6} "
+            f"{w['throughput_rps']:>8.1f} {w['p50_ms']:>8.2f} "
+            f"{w['p99_ms']:>8.2f} {w['window_ms_knob']:>8.2f} "
+            f"{w['max_batch_knob']:>6}"
+        )
+    imp = report["improvement"]
+    if imp["first_p99_ms"] is not None:
+        lines.append(
+            f"lifetime: p99 {imp['first_p99_ms']:.2f} -> "
+            f"{imp['last_p99_ms']:.2f} ms, throughput "
+            f"{imp['first_throughput_rps']:.1f} -> "
+            f"{imp['last_throughput_rps']:.1f} req/s "
+            f"({'IMPROVED' if imp['improved'] else 'no improvement'})"
+        )
+    tuner = report.get("tuner") or {}
+    forced = report["forced_retunes"]
+    lines.append(
+        f"tuner: {tuner.get('ticks', 0)} ticks, "
+        f"{tuner.get('knob_adjustments', 0)} knob adjustments, "
+        f"{tuner.get('swaps', 0)} swaps "
+        f"({forced['attempted']} forced, {forced['committed']} committed, "
+        f"{tuner.get('swap_failures', 0)} failures, "
+        f"{tuner.get('swaps_deferred', 0)} deferred)"
+    )
+    integ = report["integrity"]
+    lines.append(
+        f"integrity: {integ['acknowledged']} acknowledged, "
+        f"{integ['corrupt']} corrupt, {integ['lost']} lost "
+        f"({'OK' if not integ['corrupt'] and not integ['lost'] else 'BAD'})"
+    )
+    return "\n".join(lines)

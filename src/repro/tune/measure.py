@@ -1,0 +1,241 @@
+"""Measured-backend search: time real candidates, FFTW-planner style.
+
+The analytic cycle model (:func:`repro.search.dp.model_objective`) ranks
+factorizations without touching hardware; this module is the other half
+of the paper's feedback loop — candidates are *executed* on the real
+executor registry (numpy | compiled | simulator × sequential | pthreads
+| process) and ranked by best-of-``repeats`` wall-clock time, exactly
+the way the serving layer will run them (stacked ``(batch, n)``
+execution through :func:`repro.serve.batch_exec.run_batched`).
+
+The candidate space is the cross product of breakdown strategies
+(:data:`repro.rewrite.breakdown.RADIX_STRATEGIES`) and codelet leaf
+bounds; the evaluation *order* is a seeded shuffle derived from
+``REPRO_SEED`` (:mod:`repro.seeding`), so a truncated budget times a
+stable, reproducible prefix rather than whatever ``dict`` order happens
+to be.  Results feed :meth:`repro.wisdom.Wisdom.record_tuning`, the
+versioned fleet-shared record the online :class:`~repro.tune.Tuner`
+reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..frontend import feasible_threads, generate_fft
+from ..hunt.oracles import ExecutorPools
+from ..rewrite.breakdown import RADIX_STRATEGIES
+from ..search.timer import pseudo_mflops_from_seconds, time_batched_callable
+from ..seeding import default_seed, derive_rng
+from ..trace import get_tracer
+
+#: runtimes a measured search can time against
+RUNTIMES = ("sequential", "pthreads", "process")
+
+#: codelet leaf bounds explored per strategy (in-process runtimes only;
+#: the process runtime plans from a PlanSpec, which fixes the default)
+LEAF_BOUNDS = (16, 32)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the measured search space."""
+
+    strategy: str
+    min_leaf: int = 32
+
+    @property
+    def label(self) -> str:
+        return f"{self.strategy}/leaf{self.min_leaf}"
+
+
+@dataclass
+class Measurement:
+    """One timed candidate: best-of-repeats seconds per batch application."""
+
+    strategy: str
+    min_leaf: int
+    seconds: float
+    batch: int = 1
+    n: int = 0
+
+    @property
+    def per_vector_ms(self) -> float:
+        return self.seconds / max(1, self.batch) * 1e3
+
+    @property
+    def pseudo_mflops(self) -> float:
+        if not self.n:
+            return 0.0
+        return pseudo_mflops_from_seconds(
+            self.n, self.seconds / max(1, self.batch)
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "min_leaf": self.min_leaf,
+            "seconds": self.seconds,
+            "per_vector_ms": self.per_vector_ms,
+            "pseudo_mflops": self.pseudo_mflops,
+        }
+
+
+@dataclass
+class MeasuredSearchResult:
+    """Ranked outcome of one measured search (fastest first)."""
+
+    n: int
+    threads: int
+    mu: int
+    backend: str
+    runtime: str
+    batch: int
+    repeats: int
+    budget: int
+    seed: int
+    ranking: list[Measurement] = field(default_factory=list)
+
+    @property
+    def best(self) -> Measurement:
+        return self.ranking[0]
+
+    def record(self) -> dict:
+        """The wisdom-persisted form (see ``Wisdom.record_tuning``)."""
+        return {
+            "best": self.best.to_json(),
+            "ranking": [m.to_json() for m in self.ranking],
+            "batch": self.batch,
+            "repeats": self.repeats,
+            "seed": self.seed,
+        }
+
+    def to_json(self) -> dict:
+        return {
+            "n": self.n,
+            "threads": self.threads,
+            "mu": self.mu,
+            "backend": self.backend,
+            "runtime": self.runtime,
+            "budget": self.budget,
+            **self.record(),
+        }
+
+
+def candidate_space(runtime: str = "sequential") -> list[Candidate]:
+    """Every candidate a measured search may time, in a canonical order.
+
+    Strategies are sorted by name so the space is stable across Python
+    versions; the seeded shuffle in :func:`measured_search` decides
+    which prefix a budget actually pays for.
+    """
+    strategies = sorted(RADIX_STRATEGIES)
+    if runtime == "process":
+        # process workers regenerate plans from a PlanSpec, which carries
+        # no leaf bound — only the strategy axis is reachable
+        return [Candidate(s) for s in strategies]
+    return [
+        Candidate(s, leaf) for s in strategies for leaf in LEAF_BOUNDS
+    ]
+
+
+def _timed_fn(cand, n, t, mu, backend, runtime, pools, seq):
+    """The callable a candidate is timed through, on its real executor."""
+    from ..codegen.registry import resolve_backend
+    from ..serve.batch_exec import run_batched
+
+    if runtime == "process" and t > 1:
+        from ..mp import PlanSpec
+
+        spec = PlanSpec(
+            n=n, threads=t, mu=mu, strategy=cand.strategy, backend=backend
+        )
+        pool = pools.process(t)
+        return lambda X: pool.execute_spec(spec, X)[0]
+
+    program = generate_fft(
+        n, threads=t, mu=mu, strategy=cand.strategy, min_leaf=cand.min_leaf
+    )
+    stages = resolve_backend(backend).build_stages(program.program)
+    rt = pools.pthreads(t) if runtime == "pthreads" and t > 1 else seq
+    return lambda X: run_batched(stages, n, X, rt)[0]
+
+
+def measured_search(
+    n: int,
+    threads: int = 1,
+    mu: int = 4,
+    backend: str = "numpy",
+    runtime: str = "sequential",
+    budget: int = 8,
+    repeats: int = 3,
+    batch: int = 1,
+    seed: Optional[int] = None,
+    pools: Optional[ExecutorPools] = None,
+    wisdom=None,
+) -> MeasuredSearchResult:
+    """Time up to ``budget`` candidates on the real executor; rank them.
+
+    Every candidate sees the identical deterministic input (derived from
+    ``seed``, defaulting to ``$REPRO_SEED``), is warmed up once, and is
+    timed best-of-``repeats`` with GC paused
+    (:func:`repro.search.timer.time_batched_callable`).  ``pools`` lets
+    a sweep share thread/process pools across searches; when omitted a
+    private set is built and torn down.  Passing ``wisdom`` persists the
+    ranking via :meth:`~repro.wisdom.Wisdom.record_tuning`.
+    """
+    if runtime not in RUNTIMES:
+        raise ValueError(
+            f"unknown runtime {runtime!r}; expected one of {RUNTIMES}"
+        )
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    seed = default_seed() if seed is None else seed
+    t = feasible_threads(n, threads, mu) if threads > 1 else 1
+
+    space = candidate_space(runtime)
+    rng = derive_rng(seed, "tune-candidates", n, t, mu, backend, runtime)
+    order = [space[i] for i in rng.permutation(len(space))][:budget]
+
+    tr = get_tracer()
+    own_pools = pools is None
+    pools = pools or ExecutorPools()
+    from ..smp import SequentialRuntime
+
+    seq = SequentialRuntime()
+    ranking: list[Measurement] = []
+    try:
+        with tr.span("tune.measured_search", "search", n=n, threads=t,
+                     mu=mu, backend=backend, runtime=runtime,
+                     budget=len(order)):
+            for cand in order:
+                fn = _timed_fn(cand, n, t, mu, backend, runtime, pools, seq)
+                seconds = time_batched_callable(
+                    fn, n, batch=batch, repeats=repeats,
+                    rng=derive_rng(seed, "tune-input", n),
+                )
+                tr.count("tune.candidates_timed", 1, n=n)
+                ranking.append(
+                    Measurement(
+                        strategy=cand.strategy,
+                        min_leaf=cand.min_leaf,
+                        seconds=seconds,
+                        batch=batch,
+                        n=n,
+                    )
+                )
+    finally:
+        seq.close()
+        if own_pools:
+            pools.close()
+
+    ranking.sort(key=lambda m: m.seconds)
+    result = MeasuredSearchResult(
+        n=n, threads=t, mu=mu, backend=backend, runtime=runtime,
+        batch=batch, repeats=repeats, budget=budget, seed=seed,
+        ranking=ranking,
+    )
+    if wisdom is not None:
+        wisdom.record_tuning(n, t, mu, backend, runtime, result.record())
+    return result

@@ -1,0 +1,250 @@
+"""The online tuner: production telemetry back into the plan cache.
+
+A :class:`Tuner` rides inside a live :class:`~repro.serve.FFTService`.
+Each tick it drains the service's per-plan observation window
+(:meth:`repro.serve.metrics.LatencyRecorder.drain`), and then:
+
+* **records** every window into the shared :class:`~repro.wisdom.Wisdom`
+  store (versioned per-lane observation records), so the whole fleet
+  sees what each plan measured in production;
+* **auto-tunes the batcher** toward a p99 target with AIMD: a window
+  whose p99 overshoots the target halves the batching window
+  (multiplicative decrease), one comfortably under it grows the window
+  and batch bound (additive-ish increase) to win throughput back —
+  the dispatcher re-reads both knobs every loop, so adjustments apply
+  live with no restart;
+* **re-searches** hot plan keys whose observed median regressed past
+  ``regress_factor`` × their best window, using the measured cost model
+  (:func:`~repro.tune.measured_search`), and **hot-swaps** the winner
+  into the :class:`~repro.serve.plan_cache.PlanCache`.
+
+The swap protocol is zero-drop by construction: the cache replacement is
+atomic under the cache lock, defers (rather than races) when a
+single-flight build is in progress for the key, and batches already
+executing hold their own plan reference — no request ever observes a
+half-installed plan.  The ``tune.swap_corrupt`` injection point fires
+*before* the commit, so a chaos-injected mid-swap failure leaves the old
+plan serving and only increments ``swap_failures``.
+
+The process runtime plans from picklable specs inside its workers and
+bypasses the in-process PlanCache, so hot-swap covers the sequential and
+pthreads lanes; process-lane observations still flow into wisdom.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from ..faults import FaultInjected
+from ..frontend import generate_fft
+from ..serve.metrics import latency_summary, percentile
+from ..serve.plan_cache import CachedPlan, PlanKey
+from ..trace import get_tracer
+from .measure import measured_search
+
+
+@dataclass
+class TunerConfig:
+    """Knobs of one background :class:`Tuner`."""
+
+    interval_s: float = 0.5        #: tick period of the background thread
+    p99_target_ms: Optional[float] = None  #: batcher-knob goal; None = off
+    regress_factor: float = 1.5    #: window p50 vs best-ever triggering retune
+    min_requests: int = 16         #: window size before a key is judged
+    search_budget: int = 4         #: measured-search candidates per retune
+    search_repeats: int = 2        #: timer repeats per candidate
+    min_window_s: float = 0.0      #: batching window floor
+    max_window_s: float = 0.05     #: batching window ceiling
+    min_batch: int = 1             #: max_batch floor
+    max_batch: int = 256           #: max_batch ceiling
+    headroom: float = 0.7          #: grow knobs only under this × target
+
+
+class Tuner:
+    """Background autotuner bound to one :class:`~repro.serve.FFTService`.
+
+    ``start()`` launches the daemon tick thread; ``close()`` stops and
+    joins it.  ``tick()`` and ``retune()`` are public and thread-safe so
+    tests and the bench lane can drive the tuner deterministically (a
+    forced mid-run ``retune`` under load is exactly the acceptance
+    scenario).
+    """
+
+    def __init__(self, service, config: Optional[TunerConfig] = None,
+                 wisdom=None):
+        self.service = service
+        self.config = config or TunerConfig()
+        self.wisdom = wisdom
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        #: best observed window p50 (ms) per plan key — regression baseline
+        self._best_p50: dict[PlanKey, float] = {}
+        self._metrics = {
+            "ticks": 0,
+            "windows_observed": 0,
+            "retunes": 0,
+            "swaps": 0,
+            "swap_failures": 0,
+            "swaps_deferred": 0,
+            "knob_adjustments": 0,
+            "last_p99_ms": None,
+        }
+        self._thread = threading.Thread(
+            target=self._loop, name="fft-serve-tuner", daemon=True
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=10)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.config.interval_s):
+            try:
+                self.tick()
+            except Exception:  # noqa: BLE001 - the tuner must never kill serve
+                get_tracer().count("tune.tick_errors", 1)
+
+    # -- observation + control ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able tuner state for the ``stats`` endpoint."""
+        with self._lock:
+            m = dict(self._metrics)
+        cfg = self.service.config
+        m["window_ms"] = cfg.window_s * 1e3
+        m["max_batch"] = cfg.max_batch
+        m["p99_target_ms"] = self.config.p99_target_ms
+        m["tracked_keys"] = len(self._best_p50)
+        return m
+
+    def _lane_runtime(self, key: PlanKey) -> str:
+        """The executor-lane name a key's latency is attributed to."""
+        if key.threads <= 1:
+            return "sequential"
+        return (
+            "process" if self.service.config.runtime == "process"
+            else "pthreads"
+        )
+
+    def tick(self) -> list[PlanKey]:
+        """One observe/record/adjust/retune pass; returns retuned keys."""
+        with self._lock:
+            drained = self.service.tune_window.drain()
+            self._metrics["ticks"] += 1
+            all_samples: list[float] = []
+            regressed: list[PlanKey] = []
+            for key, samples in drained.items():
+                if not samples:
+                    continue
+                self._metrics["windows_observed"] += 1
+                all_samples.extend(samples)
+                summary = {"requests": len(samples),
+                           **latency_summary(samples)}
+                if self.wisdom is not None:
+                    self.wisdom.record_observation(
+                        key.n, key.threads, key.mu,
+                        self.service.config.backend,
+                        self._lane_runtime(key), summary,
+                    )
+                if len(samples) < self.config.min_requests:
+                    continue
+                p50 = summary["p50_ms"]
+                best = self._best_p50.get(key)
+                if best is None or p50 < best:
+                    self._best_p50[key] = p50
+                elif p50 > best * self.config.regress_factor:
+                    regressed.append(key)
+            self._adjust_knobs_locked(all_samples)
+            for key in regressed:
+                self._retune_locked(key)
+            return regressed
+
+    def _adjust_knobs_locked(self, samples: list[float]) -> None:
+        """AIMD on (window_s, max_batch) toward the p99 target."""
+        target = self.config.p99_target_ms
+        if target is None or not samples:
+            return
+        p99_ms = percentile(sorted(samples), 0.99) * 1e3
+        self._metrics["last_p99_ms"] = p99_ms
+        cfg = self.service.config
+        c = self.config
+        window, batch = cfg.window_s, cfg.max_batch
+        if p99_ms > target:
+            # over target: shed latency fast (multiplicative decrease)
+            window = max(c.min_window_s, cfg.window_s * 0.5)
+        elif p99_ms < c.headroom * target:
+            # comfortable headroom: buy throughput back (gentle increase)
+            window = min(c.max_window_s, max(cfg.window_s, 0.0005) * 1.25)
+            batch = min(c.max_batch, cfg.max_batch + max(1,
+                                                         cfg.max_batch // 4))
+        batch = max(c.min_batch, batch)
+        if window != cfg.window_s or batch != cfg.max_batch:
+            cfg.window_s = window
+            cfg.max_batch = batch
+            self._metrics["knob_adjustments"] += 1
+            get_tracer().count("tune.knob_adjustments", 1)
+
+    # -- retune + hot-swap ----------------------------------------------------
+
+    def retune(self, key: PlanKey) -> bool:
+        """Measured re-search + hot-swap for ``key`` (thread-safe).
+
+        Public so load benches can force a mid-run swap under traffic;
+        the background tick uses the same path.  Returns True when a new
+        plan was committed to the cache.
+        """
+        with self._lock:
+            return self._retune_locked(key)
+
+    def _retune_locked(self, key: PlanKey) -> bool:
+        tr = get_tracer()
+        self._metrics["retunes"] += 1
+        tr.count("tune.retunes", 1, n=key.n)
+        backend = self.service.config.backend
+        # rank candidates in-process on the sequential runtime: cheap,
+        # safe next to live traffic, and strategy order carries over
+        result = measured_search(
+            key.n, threads=key.threads, mu=key.mu, backend=backend,
+            runtime="sequential", budget=self.config.search_budget,
+            repeats=self.config.search_repeats, wisdom=self.wisdom,
+        )
+        best = result.best
+        program = generate_fft(
+            key.n, threads=key.threads, mu=key.mu,
+            strategy=best.strategy, min_leaf=best.min_leaf,
+        )
+        from ..codegen.registry import resolve_backend
+
+        exec_backend = resolve_backend(backend)
+        stages = exec_backend.build_stages(program.program)
+        plan = CachedPlan(
+            key=key, program=program, stages=stages,
+            backend=exec_backend.name,
+        )
+        try:
+            committed = self.service.plans.swap(key, plan)
+        except FaultInjected:
+            # chaos: the swap died mid-commit; the cache still holds the
+            # old plan, so traffic degrades gracefully to "not retuned"
+            self._metrics["swap_failures"] += 1
+            tr.count("tune.swap_failures", 1)
+            return False
+        if committed:
+            self._metrics["swaps"] += 1
+            tr.count("tune.swaps", 1, n=key.n)
+            # the new plan starts a fresh regression baseline
+            self._best_p50.pop(key, None)
+        else:
+            # a single-flight build is in progress for this key; the
+            # tuner defers and will retry on a later tick
+            self._metrics["swaps_deferred"] += 1
+            tr.count("tune.swaps_deferred", 1)
+        return committed

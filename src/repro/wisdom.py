@@ -36,6 +36,13 @@ from .sigma.lower import lower
 from .trace import get_tracer
 
 
+#: schema version of the ``tune`` block inside a wisdom entry.  Bumped
+#: whenever the measured-record layout changes; readers ignore records
+#: from other versions, so stale fleet wisdom degrades to "no record"
+#: instead of misguiding the tuner.
+TUNE_VERSION = 1
+
+
 def _tree_to_json(tree):
     if isinstance(tree, int):
         return tree
@@ -144,19 +151,22 @@ class Wisdom:
                     tr.count("wisdom.hit", 1, kind="program")
                     return program
                 entry = self._store.get(key)
-            if entry is None:
+            if entry is None or "tree" not in entry:
+                # no tree yet — the entry may still carry tune/observation
+                # records written by the measured-search side; merge into
+                # it rather than clobbering those
                 tr.count("wisdom.miss", 1)
                 with tr.span("wisdom.search", "search", key=key):
                     res = dp_search(
                         n, objective or flop_objective, leaf_max=leaf_max
                     )
-                entry = {
-                    "tree": _tree_to_json(res.tree),
-                    "value": res.value,
-                    "evaluations": res.evaluations,
-                }
                 with self._lock:
-                    self._store[key] = entry
+                    entry = self._store.setdefault(key, {})
+                    entry.update(
+                        tree=_tree_to_json(res.tree),
+                        value=res.value,
+                        evaluations=res.evaluations,
+                    )
                     self._save()
             else:
                 tr.count("wisdom.hit", 1, kind="store")
@@ -213,3 +223,115 @@ class Wisdom:
             if not entry:
                 return None
             return entry.get("artifacts", {}).get(backend)
+
+    # -- measured tuning records (the live-fleet side) ---------------------------
+
+    @staticmethod
+    def _lane(backend: str, runtime: str) -> str:
+        return f"{backend}/{runtime}"
+
+    def _tune_block(self, entry: dict) -> dict:
+        """The version-stamped ``tune`` block of ``entry``, creating or
+        resetting it when the stored version does not match."""
+        tune = entry.get("tune")
+        if not isinstance(tune, dict) or tune.get("version") != TUNE_VERSION:
+            tune = {"version": TUNE_VERSION}
+            entry["tune"] = tune
+        return tune
+
+    def record_tuning(
+        self,
+        n: int,
+        threads: int,
+        mu: int,
+        backend: str,
+        runtime: str,
+        record: dict,
+    ) -> None:
+        """Persist a measured-search ranking for one executor lane.
+
+        ``record`` comes from :func:`repro.tune.measured_search` — the
+        strategy ranking with measured seconds per candidate.  Stored
+        under a :data:`TUNE_VERSION` stamp so readers on other schema
+        versions skip it, and keyed ``backend/runtime`` so the fleet
+        shares rankings per (n, threads, mu, backend, runtime).
+        """
+        key = self._key(n, threads, mu)
+        with self._lock:
+            entry = self._store.setdefault(key, {})
+            tune = self._tune_block(entry)
+            tune.setdefault("rankings", {})[self._lane(backend, runtime)] = (
+                dict(record)
+            )
+            self._save()
+        get_tracer().count("wisdom.tune_record", 1, kind="ranking")
+
+    def tuning(
+        self, n: int, threads: int, mu: int, backend: str, runtime: str
+    ) -> Optional[dict]:
+        """The stored measured ranking for one lane, or None.
+
+        Records written under a different :data:`TUNE_VERSION` are
+        treated as absent.
+        """
+        with self._lock:
+            entry = self._store.get(self._key(n, threads, mu))
+            if not entry:
+                return None
+            tune = entry.get("tune")
+            if not isinstance(tune, dict) or tune.get("version") != TUNE_VERSION:
+                return None
+            return tune.get("rankings", {}).get(self._lane(backend, runtime))
+
+    def record_observation(
+        self,
+        n: int,
+        threads: int,
+        mu: int,
+        backend: str,
+        runtime: str,
+        summary: dict,
+    ) -> None:
+        """Merge one observed-latency window into the fleet record.
+
+        ``summary`` is a :func:`repro.serve.metrics.latency_summary`
+        block plus a ``requests`` count (what FFTServer/shard stats
+        report per plan key).  ``requests`` accumulates across windows;
+        ``last`` holds the most recent window; ``best_p50_ms`` keeps the
+        fastest median any window achieved — the tuner's regression
+        baseline.
+        """
+        key = self._key(n, threads, mu)
+        requests = int(summary.get("requests", 0))
+        p50 = summary.get("p50_ms")
+        with self._lock:
+            entry = self._store.setdefault(key, {})
+            tune = self._tune_block(entry)
+            obs = tune.setdefault("observations", {})
+            slot = obs.setdefault(
+                self._lane(backend, runtime), {"requests": 0}
+            )
+            slot["requests"] = int(slot.get("requests", 0)) + requests
+            slot["last"] = {k: v for k, v in summary.items()
+                            if k != "requests"}
+            if isinstance(p50, (int, float)) and requests > 0:
+                best = slot.get("best_p50_ms")
+                if best is None or p50 < best:
+                    slot["best_p50_ms"] = p50
+            self._save()
+        get_tracer().count("wisdom.tune_record", 1, kind="observation")
+
+    def observation(
+        self, n: int, threads: int, mu: int, backend: str, runtime: str
+    ) -> Optional[dict]:
+        """The merged observation record for one lane, or None."""
+        with self._lock:
+            entry = self._store.get(self._key(n, threads, mu))
+            if not entry:
+                return None
+            tune = entry.get("tune")
+            if not isinstance(tune, dict) or tune.get("version") != TUNE_VERSION:
+                return None
+            return tune.get("observations", {}).get(
+                self._lane(backend, runtime)
+            )

@@ -1,0 +1,102 @@
+"""Content-addressed codelet-cache GC: prune_codelet_cache + env bound."""
+
+import os
+import time
+
+import pytest
+
+from repro.codegen import prune_codelet_cache
+from repro.codegen.compiled_backend import CACHE_MAX_ENV
+
+
+def _fake_entry(cache, name, age_s=0.0, body=b"x" * 64):
+    """One plan_<size>_<key>.so + .c pair with a back-dated access time."""
+    so = cache / f"{name}.so"
+    so.write_bytes(body)
+    c = cache / f"{name}.c"
+    c.write_bytes(b"/* src */")
+    when = time.time() - age_s
+    os.utime(so, (when, when))
+    return so
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODELET_CACHE", str(tmp_path))
+    monkeypatch.delenv(CACHE_MAX_ENV, raising=False)
+    return tmp_path
+
+
+class TestPrune:
+    def test_report_only_without_bound(self, cache):
+        _fake_entry(cache, "plan_64_aaaa")
+        report = prune_codelet_cache()
+        assert report == {"entries": 1, "pruned": 0, "kept": 1,
+                          "bytes_freed": 0}
+        assert (cache / "plan_64_aaaa.so").exists()
+
+    def test_prunes_oldest_first(self, cache):
+        _fake_entry(cache, "plan_64_old", age_s=1000)
+        _fake_entry(cache, "plan_64_mid", age_s=100)
+        _fake_entry(cache, "plan_64_new", age_s=0)
+        report = prune_codelet_cache(max_entries=2)
+        assert report["pruned"] == 1 and report["kept"] == 2
+        assert not (cache / "plan_64_old.so").exists()
+        assert not (cache / "plan_64_old.c").exists()  # sibling removed too
+        assert (cache / "plan_64_mid.so").exists()
+        assert (cache / "plan_64_new.so").exists()
+        assert report["bytes_freed"] > 0
+
+    def test_keep_set_protects_entries(self, cache):
+        _fake_entry(cache, "plan_64_prot", age_s=1000)
+        _fake_entry(cache, "plan_64_newer", age_s=0)
+        report = prune_codelet_cache(max_entries=1, keep={"prot"})
+        # the protected key survives even though it is the oldest
+        assert (cache / "plan_64_prot.so").exists()
+        assert not (cache / "plan_64_newer.so").exists()
+        assert report["pruned"] == 1
+
+    def test_prune_to_zero(self, cache):
+        _fake_entry(cache, "plan_64_a")
+        _fake_entry(cache, "plan_128_b")
+        report = prune_codelet_cache(max_entries=0)
+        assert report["pruned"] == 2
+        assert not list(cache.glob("plan_*.so"))
+
+    def test_negative_bound_rejected(self, cache):
+        with pytest.raises(ValueError):
+            prune_codelet_cache(max_entries=-1)
+
+    def test_env_bound_is_read(self, cache, monkeypatch):
+        _fake_entry(cache, "plan_64_old", age_s=1000)
+        _fake_entry(cache, "plan_64_new", age_s=0)
+        monkeypatch.setenv(CACHE_MAX_ENV, "1")
+        report = prune_codelet_cache()
+        assert report["pruned"] == 1
+        assert (cache / "plan_64_new.so").exists()
+
+    def test_invalid_env_means_report_only(self, cache, monkeypatch):
+        _fake_entry(cache, "plan_64_a")
+        monkeypatch.setenv(CACHE_MAX_ENV, "banana")
+        report = prune_codelet_cache()
+        assert report["pruned"] == 0
+        assert (cache / "plan_64_a.so").exists()
+
+
+class TestCompileAutoPrune:
+    def test_compile_plan_autoprunes_under_env(self, cache, monkeypatch):
+        compiled = pytest.importorskip("repro.codegen.compiled_backend")
+        if not compiled.compiled_available():
+            pytest.skip("no C compiler on this host")
+        from repro.frontend import generate_fft
+
+        # stale fakes that the post-compile auto-prune should remove
+        _fake_entry(cache, "plan_64_stale1", age_s=1000)
+        _fake_entry(cache, "plan_64_stale2", age_s=900)
+        monkeypatch.setenv(CACHE_MAX_ENV, "1")
+        program = generate_fft(64).program
+        compiled.compile_plan(program)
+        sos = list(cache.glob("plan_*.so"))
+        # the freshly compiled artifact survived its own prune
+        assert len(sos) == 1
+        assert "stale" not in sos[0].name

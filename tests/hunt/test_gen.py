@@ -74,3 +74,59 @@ def test_with_replaces_fields():
     d = c.with_(n=32, runtime="pthreads")
     assert (d.n, d.runtime) == (32, "pthreads")
     assert (d.req_threads, d.mu, d.strategy, d.batch) == (4, 2, "balanced", 2)
+
+
+class TestWisdomProvenance:
+    """Tuned-plan provenance: the fuzzer hammers production's plans."""
+
+    @pytest.fixture
+    def wisdom(self, tmp_path):
+        from repro.wisdom import Wisdom
+
+        return Wisdom(tmp_path / "w.json")
+
+    def test_default_provenance_is_generated(self):
+        c = HuntCase(n=64, req_threads=1, mu=4, strategy="radix2", batch=1)
+        assert c.provenance == "generated"
+        # generated cases serialize exactly as before the tuning PR
+        assert "provenance" not in c.to_json()
+
+    def test_wisdom_provenance_round_trips(self):
+        c = HuntCase(n=64, req_threads=1, mu=4, strategy="radix2", batch=1,
+                     provenance="wisdom")
+        data = c.to_json()
+        assert data["provenance"] == "wisdom"
+        assert HuntCase.from_json(data) == c
+        assert c.label().endswith("-wisdom")
+
+    def test_sampler_adopts_ranked_strategy(self, wisdom):
+        baseline = sample_cases(12, seed=42)
+        # rank every lane the baseline draw touches
+        for c in baseline:
+            wisdom.record_tuning(
+                c.n, c.threads, c.mu, c.backend, c.runtime,
+                {"best": {"strategy": "radix2", "min_leaf": 16}},
+            )
+        tuned = sample_cases(12, seed=42, wisdom=wisdom)
+        assert all(c.provenance == "wisdom" for c in tuned)
+        assert all(c.strategy == "radix2" for c in tuned)
+        # only (strategy, provenance) moved; the draw stream did not
+        for b, t in zip(baseline, tuned):
+            assert (b.n, b.req_threads, b.mu, b.batch, b.backend,
+                    b.runtime) == (t.n, t.req_threads, t.mu, t.batch,
+                                   t.backend, t.runtime)
+
+    def test_unranked_lanes_stay_generated(self, wisdom):
+        # empty wisdom: nothing changes
+        assert sample_cases(12, seed=42, wisdom=wisdom) \
+            == sample_cases(12, seed=42)
+
+    def test_unknown_ranked_strategy_is_ignored(self, wisdom):
+        baseline = sample_cases(4, seed=42)
+        c = baseline[0]
+        wisdom.record_tuning(
+            c.n, c.threads, c.mu, c.backend, c.runtime,
+            {"best": {"strategy": "does-not-exist"}},
+        )
+        tuned = sample_cases(4, seed=42, wisdom=wisdom)
+        assert tuned == baseline

@@ -149,6 +149,37 @@ class TestParserIsDocumented:
         assert args.shards == 2 and args.kill_after == 0.5
         assert args.window_ms == 100.0 and args.no_baseline is True
 
+    def test_tune_acceptance_invocations_parse(self, parser):
+        """The documented tuning lanes must stay parseable."""
+        sweep = parser.parse_args(
+            "tune --sizes 64,128,256 --budget 4 --repeats 2 "
+            "--wisdom wisdom.json".split()
+        )
+        assert sweep.sizes == "64,128,256" and sweep.budget == 4
+        assert sweep.wisdom == "wisdom.json"
+        measure = parser.parse_args(
+            "search 4096 --measure --backend compiled "
+            "--runtime pthreads --threads 2 --budget 6".split()
+        )
+        assert measure.measure is True and measure.n == 4096
+        assert measure.backend == "compiled" and measure.runtime == "pthreads"
+        serve = parser.parse_args(
+            "serve --tune --p99-target-ms 5 --tune-interval-ms 250 "
+            "--wisdom wisdom.json".split()
+        )
+        assert serve.tune is True and serve.p99_target_ms == 5.0
+        clean = parser.parse_args(
+            "loadgen --tune --windows 6 --p99-target-ms 5 "
+            "--initial-window-ms 25".split()
+        )
+        assert clean.tune is True and clean.windows == 6
+        inverted = parser.parse_args(
+            "loadgen --tune --chaos tune.swap_corrupt:1.0".split()
+        )
+        assert inverted.chaos == "tune.swap_corrupt:1.0"
+        prune = parser.parse_args("bench --prune-cache --cache-max 32".split())
+        assert prune.prune_cache is True and prune.cache_max == 32
+
     def test_hunt_acceptance_invocation_parses(self, parser):
         """The documented hunt lanes (clean + inverted) must stay parseable."""
         args = parser.parse_args(

@@ -8,12 +8,19 @@ from repro.serve.metrics import LatencyRecorder, latency_summary, percentile
 
 
 class TestPercentile:
-    def test_empty_is_zero(self):
-        assert percentile([], 0.5) == 0.0
+    def test_empty_is_none(self):
+        # an empty window has no percentile — None, not a fake 0.0, so
+        # the tuner can tell "no traffic" apart from "zero latency"
+        assert percentile([], 0.5) is None
+        assert percentile([], 0.0) is None
+        assert percentile([], 1.0) is None
 
     def test_single_value(self):
+        # a singleton window returns its sample for every q
+        assert percentile([7.0], 0.0) == 7.0
         assert percentile([7.0], 0.5) == 7.0
         assert percentile([7.0], 0.99) == 7.0
+        assert percentile([7.0], 1.0) == 7.0
 
     def test_nearest_rank_on_known_data(self):
         vals = [float(i) for i in range(101)]  # 0..100, sorted
@@ -63,6 +70,21 @@ class TestLatencyRecorder:
         assert rec.counts()["k"] == 1000  # requests counted exactly
         assert rec.summary()["k"]["requests"] == 1000
         assert rec.summary()["k"]["p50_ms"] == pytest.approx(1.0)
+
+    def test_drain_takes_and_clears(self):
+        rec = LatencyRecorder()
+        rec.record("a", 0.001)
+        rec.record("a", 0.002)
+        rec.record("b", 0.5)
+        drained = rec.drain()
+        assert drained["a"] == [0.001, 0.002]
+        assert drained["b"] == [0.5]
+        # the reservoir restarts empty: next window counts from zero
+        assert rec.counts() == {}
+        assert rec.summary() == {}
+        assert rec.drain() == {}
+        rec.record("a", 0.003)
+        assert rec.counts() == {"a": 1}
 
     def test_thread_safety_smoke(self):
         rec = LatencyRecorder()

@@ -1,0 +1,134 @@
+"""The online Tuner against a real FFTService: observe, adjust, swap."""
+
+import numpy as np
+import pytest
+
+from repro.faults import fault_plan, parse_chaos_spec
+from repro.serve.plan_cache import PlanKey
+from repro.serve.service import FFTService, ServeConfig
+from repro.tune import Tuner, TunerConfig
+from repro.wisdom import Wisdom
+
+
+@pytest.fixture
+def service():
+    svc = FFTService(ServeConfig(window_s=0.0, max_batch=16))
+    yield svc
+    svc.close()
+
+
+def _drive(svc, n=64, count=20):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    for _ in range(count):
+        y = svc.submit(x).result(timeout=10)
+        np.testing.assert_allclose(y, np.fft.fft(x), atol=1e-6)
+
+
+class TestTick:
+    def test_tick_drains_window_and_counts(self, service):
+        tuner = Tuner(service, TunerConfig())
+        _drive(service, count=8)
+        tuner.tick()
+        snap = tuner.snapshot()
+        assert snap["ticks"] == 1
+        assert snap["windows_observed"] == 1
+        # the window was drained: a second tick sees nothing
+        tuner.tick()
+        assert tuner.snapshot()["windows_observed"] == 1
+
+    def test_tick_records_wisdom_observation(self, service, tmp_path):
+        w = Wisdom(tmp_path / "w.json")
+        tuner = Tuner(service, TunerConfig(), wisdom=w)
+        _drive(service, count=8)
+        tuner.tick()
+        obs = w.observation(64, 1, 4, "numpy", "sequential")
+        assert obs is not None and obs["requests"] == 8
+
+    def test_no_regression_below_min_requests(self, service):
+        tuner = Tuner(service, TunerConfig(min_requests=1000))
+        _drive(service, count=8)
+        assert tuner.tick() == []
+        assert tuner.snapshot()["tracked_keys"] == 0
+
+
+class TestKnobs:
+    def test_overshoot_halves_window(self, service):
+        service.config.window_s = 0.02
+        tuner = Tuner(service, TunerConfig(p99_target_ms=0.000001))
+        _drive(service, count=8)
+        tuner.tick()
+        assert service.config.window_s == pytest.approx(0.01)
+        assert tuner.snapshot()["knob_adjustments"] == 1
+        assert tuner.snapshot()["last_p99_ms"] > 0
+
+    def test_headroom_grows_window_and_batch(self, service):
+        service.config.window_s = 0.001
+        service.config.max_batch = 16
+        tuner = Tuner(service, TunerConfig(p99_target_ms=1e9))
+        _drive(service, count=8)
+        tuner.tick()
+        assert service.config.window_s == pytest.approx(0.00125)
+        assert service.config.max_batch == 20
+
+    def test_window_respects_ceiling(self, service):
+        service.config.window_s = 0.05
+        tuner = Tuner(service, TunerConfig(p99_target_ms=1e9,
+                                           max_window_s=0.05,
+                                           max_batch=16))
+        _drive(service, count=8)
+        tuner.tick()
+        assert service.config.window_s <= 0.05
+        assert service.config.max_batch <= 16
+
+    def test_no_target_no_adjustment(self, service):
+        before = service.config.window_s
+        tuner = Tuner(service, TunerConfig(p99_target_ms=None))
+        _drive(service, count=8)
+        tuner.tick()
+        assert service.config.window_s == before
+        assert tuner.snapshot()["knob_adjustments"] == 0
+
+
+class TestRetune:
+    def test_retune_commits_a_runnable_plan(self, service):
+        tuner = Tuner(service, TunerConfig(search_budget=2,
+                                           search_repeats=1))
+        _drive(service, count=4)  # populate the cache
+        key = PlanKey(64, 1, 4, service.config.strategy)
+        assert tuner.retune(key) is True
+        snap = tuner.snapshot()
+        assert snap["retunes"] == 1 and snap["swaps"] == 1
+        assert service.plans.stats.swaps == 1
+        _drive(service, count=4)  # the swapped plan still answers correctly
+
+    def test_swap_corrupt_degrades_gracefully(self, service):
+        tuner = Tuner(service, TunerConfig(search_budget=1,
+                                           search_repeats=1))
+        _drive(service, count=4)
+        key = PlanKey(64, 1, 4, service.config.strategy)
+        with fault_plan(parse_chaos_spec("tune.swap_corrupt:1.0")):
+            assert tuner.retune(key) is False
+        snap = tuner.snapshot()
+        assert snap["swap_failures"] == 1 and snap["swaps"] == 0
+        assert service.plans.stats.swaps == 0
+        _drive(service, count=4)  # the old plan keeps serving
+
+
+class TestServiceIntegration:
+    def test_service_runs_tuner_when_configured(self):
+        svc = FFTService(ServeConfig(tune=True, tune_interval_s=0.01,
+                                     p99_target_ms=5.0))
+        try:
+            assert svc.tuner is not None
+            _drive(svc, count=8)
+            stats = svc.stats()
+            assert stats["tuner"] is not None
+            assert "n64:t1:mu4:balanced" in stats["per_plan_latency"]
+            assert stats["config"]["tune"] is True
+        finally:
+            svc.close()
+
+    def test_tuner_absent_by_default(self, service):
+        assert service.tuner is None
+        assert service.stats()["tuner"] is None
