@@ -80,28 +80,24 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     from .frontend import generate_fft, verify_program
 
     with _maybe_tracing(args):
-        gen = generate_fft(args.n, threads=args.threads, mu=args.mu)
+        gen = generate_fft(
+            args.n, threads=args.threads, mu=args.mu, nu=args.nu
+        )
         ok = verify_program(gen)
+        nu_note = f", nu={args.nu}" if args.nu > 1 else ""
         print(
-            f"# DFT_{args.n}, p={args.threads}, mu={args.mu}: "
+            f"# DFT_{args.n}, p={args.threads}, mu={args.mu}{nu_note}: "
             f"{len(gen.stages)} stages, verified={ok}",
             file=sys.stderr,
         )
         if args.emit_c:
-            from .rewrite import (
-                derive_multicore_ct,
-                derive_sequential_ct,
-                expand_dft,
-            )
+            from .frontend import spiral_formula
             from .codegen import generate_c
             from .sigma import lower
 
-            base = (
-                derive_multicore_ct(args.n, args.threads, args.mu)
-                if args.threads > 1
-                else derive_sequential_ct(args.n)
+            f = spiral_formula(
+                args.n, args.threads, args.mu, "balanced", 32, nu=args.nu
             )
-            f = expand_dft(base, "balanced", min_leaf=32)
             src = generate_c(lower(f, barrier_mu=args.mu), mode=args.mode)
             print(src.source)
         else:
@@ -208,12 +204,15 @@ def _cmd_bench_backend(args: argparse.Namespace) -> int:
                 batch=args.batch,
                 repeats=args.repeats,
                 strict=True,
+                nu=args.nu,
             )
     except BackendUnavailable as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_backend_bench(result))
-    out = args.output or "BENCH_backend.json"
+    out = args.output or (
+        "BENCH_simd.json" if args.nu > 1 else "BENCH_backend.json"
+    )
     with open(out, "w") as f:
         json.dump(result, f, indent=2)
     print(f"# report written to {out}", file=sys.stderr)
@@ -268,8 +267,9 @@ def _cmd_search_measure(args: argparse.Namespace) -> int:
     )
     print("rank,candidate,per_vector_ms,pseudo_mflops")
     for i, m in enumerate(result.ranking):
+        vec = f"/v{m.nu}" if m.nu > 1 else ""
         print(
-            f"{i},{m.strategy}/leaf{m.min_leaf},"
+            f"{i},{m.strategy}/leaf{m.min_leaf}{vec},"
             f"{m.per_vector_ms:.4f},{m.pseudo_mflops:.0f}"
         )
     if wisdom is not None:
@@ -313,8 +313,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
                     wisdom=wisdom,
                 )
                 best = result.best
+                vec = f"/v{best.nu}" if best.nu > 1 else ""
                 print(
-                    f"{n},{best.strategy}/leaf{best.min_leaf},"
+                    f"{n},{best.strategy}/leaf{best.min_leaf}{vec},"
                     f"{best.per_vector_ms:.4f},{best.pseudo_mflops:.0f},"
                     f"{len(result.ranking)}"
                 )
@@ -364,6 +365,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         wisdom_path=args.wisdom,
         runtime=args.runtime,
         backend=args.backend,
+        nu=args.nu,
         tune=args.tune,
         tune_interval_s=args.tune_interval_ms / 1e3,
         p99_target_ms=args.p99_target_ms,
@@ -451,12 +453,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
                     programs = {}
                     if "thread" in runtimes:
                         programs["thread"] = generate_fft(
-                            n, threads=t, mu=mu, strategy=args.strategy
+                            n, threads=t, mu=mu, strategy=args.strategy,
+                            nu=args.nu,
                         ).program
                     if "process" in runtimes:
                         # the plan the process pool workers compile locally
                         spec = PlanSpec(
-                            n=n, threads=t, mu=mu, strategy=args.strategy
+                            n=n, threads=t, mu=mu, strategy=args.strategy,
+                            nu=args.nu,
                         )
                         programs["process"] = compile_spec(spec).program.program
                     for rt, prog in programs.items():
@@ -541,6 +545,7 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         reduce=args.reduce,
         corpus_dir=args.corpus,
         wisdom_path=args.wisdom,
+        nus=tuple(int(v) for v in args.nus.split(",") if v),
     )
     with chaos_ctx, _maybe_tracing(args):
         report = run_hunt(config)
@@ -736,6 +741,14 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--mu", type=int, default=4)
     g.add_argument("--emit-c", action="store_true")
     g.add_argument(
+        "--nu",
+        type=int,
+        default=1,
+        help="vec(ν) granularity: rewrite the formula into ν-way "
+        "vector form before lowering (1 = scalar; inadmissible ν "
+        "degrades to the scalar plan with a warning)",
+    )
+    g.add_argument(
         "--mode",
         choices=["pthreads", "openmp", "sequential"],
         default="pthreads",
@@ -794,11 +807,20 @@ def build_parser() -> argparse.ArgumentParser:
         "is unavailable on this host)",
     )
     b.add_argument(
+        "--nu",
+        type=int,
+        default=1,
+        help="with --backend: vec(ν) plan granularity; nu > 1 adds a "
+        "scalar-compiled lane so each row reports the pure SIMD "
+        "speedup, and the default report becomes BENCH_simd.json",
+    )
+    b.add_argument(
         "--output",
         metavar="PATH",
         default=None,
         help="JSON report path (default: BENCH_mp.json for --runtime "
-        "process, BENCH_backend.json for --backend)",
+        "process, BENCH_backend.json for --backend, BENCH_simd.json "
+        "for --backend with --nu > 1)",
     )
     b.add_argument(
         "--prune-cache",
@@ -1003,6 +1025,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for plan stages (compiled JITs C "
         "codelets when a compiler is present; falls back to numpy "
         "otherwise — see docs/codegen.md)",
+    )
+    sv.add_argument(
+        "--nu",
+        type=int,
+        default=1,
+        help="default vec(ν) granularity for served plans (nu > 1 "
+        "emits ν-wide SIMD stage bodies on the compiled backend; "
+        "inadmissible ν degrades to the scalar plan)",
     )
     sv.add_argument(
         "--tune",
@@ -1333,6 +1363,14 @@ def build_parser() -> argparse.ArgumentParser:
         "checked plan (strict: errors if unavailable)",
     )
     ck.add_argument(
+        "--nu",
+        type=int,
+        default=1,
+        help="vec(ν) granularity for the checked plans: certifies the "
+        "vector-lowered loop structure (and, with --backend, the ν-wide "
+        "compiled stages) instead of the scalar plans",
+    )
+    ck.add_argument(
         "--chaos",
         metavar="SPEC",
         default=None,
@@ -1396,6 +1434,13 @@ def build_parser() -> argparse.ArgumentParser:
         "whose lane carries a measured ranking in this wisdom file "
         "adopt its best strategy (provenance=wisdom), so the fuzzer "
         "hammers exactly the plans production would load",
+    )
+    hu.add_argument(
+        "--nus",
+        default="1,2,4",
+        help="comma-separated vec(ν) pool for the vectorized-term lane "
+        "(e.g. '1' restores the scalar-only sweep; '2,4' fuzzes only "
+        "ν-way plans)",
     )
     hu.add_argument(
         "--chaos",

@@ -29,6 +29,13 @@ from .compiled_backend import (
     emit_plan_source,
     prune_codelet_cache,
 )
+from .flags import (
+    NO_SIMD_ENV,
+    exe_cflags,
+    optimization_tier,
+    shared_cflags,
+    simd_disabled,
+)
 from .python_backend import GeneratedProgram, generate
 from .registry import (
     BACKEND_NAMES,
@@ -47,6 +54,11 @@ __all__ = [
     "BACKEND_NAMES",
     "BackendUnavailable",
     "Codelet",
+    "NO_SIMD_ENV",
+    "exe_cflags",
+    "optimization_tier",
+    "shared_cflags",
+    "simd_disabled",
     "CodeletCompileError",
     "CompiledPlan",
     "ExecutionBackend",

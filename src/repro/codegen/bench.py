@@ -36,6 +36,7 @@ def run_backend_bench(
     repeats: int = 5,
     codelet_max: int = 32,
     strict: bool = True,
+    nu: int = 1,
 ) -> dict:
     """Time NumPy vs ``backend`` stages for n = 2^kmin .. 2^kmax.
 
@@ -45,12 +46,20 @@ def run_backend_bench(
     CLI default) raises :class:`~repro.codegen.registry.BackendUnavailable`
     when the requested backend cannot run here — an explicit benchmark
     request should fail loudly, not silently time NumPy against itself.
+
+    ``nu > 1`` plans through the vec(ν) rewriting and adds a third lane:
+    the *scalar* plan on the same backend, so each row also reports
+    ``simd_speedup`` (scalar-compiled vs ν-compiled — what the SIMD
+    emission alone buys, the ``repro bench --backend compiled --nu 4``
+    CI artifact).  Rows record ``nu_effective`` (0-fallback plans show 1).
     Returns the JSON-able report dict.
     """
     if kmin > kmax:
         raise ValueError(f"need kmin <= kmax, got {kmin} > {kmax}")
     if threads < 1:
         raise ValueError(f"need threads >= 1, got {threads}")
+    if nu < 1:
+        raise ValueError(f"need nu >= 1, got {nu}")
     from ..frontend import feasible_threads, generate_fft
     from ..mp.bench import host_metadata
 
@@ -64,7 +73,11 @@ def run_backend_bench(
         for k in range(kmin, kmax + 1):
             n = 1 << k
             t = feasible_threads(n, threads, 4) if threads > 1 else 1
-            gen = generate_fft(n, threads=t)
+            gen = generate_fft(n, threads=t, nu=nu)
+            nu_eff = max(
+                (lp.nu for st in gen.program.stages for lp in st.loops),
+                default=1,
+            )
             base_stages = baseline.build_stages(gen.program, codelet_max)
             test_stages = exec_backend.build_stages(gen.program, codelet_max)
             rng = np.random.default_rng(k)
@@ -76,11 +89,13 @@ def run_backend_bench(
                 lambda x: run_batched(test_stages, n, x, runtime)[0],
                 n, batch=batch, repeats=repeats, rng=rng,
             )
-            rows.append({
+            row = {
                 "k": k,
                 "n": n,
                 "batch": batch,
                 "threads_used": t,
+                "nu": nu,
+                "nu_effective": nu_eff,
                 "numpy_s": base_s,
                 "backend_s": test_s,
                 "speedup": base_s / test_s if test_s > 0 else float("inf"),
@@ -88,7 +103,21 @@ def run_backend_bench(
                 "backend_mflops": pseudo_mflops_from_seconds(
                     n, test_s / batch
                 ),
-            })
+            }
+            if nu > 1:
+                scalar_gen = generate_fft(n, threads=t)
+                scalar_stages = exec_backend.build_stages(
+                    scalar_gen.program, codelet_max
+                )
+                scalar_s = time_batched_callable(
+                    lambda x: run_batched(scalar_stages, n, x, runtime)[0],
+                    n, batch=batch, repeats=repeats, rng=rng,
+                )
+                row["scalar_backend_s"] = scalar_s
+                row["simd_speedup"] = (
+                    scalar_s / test_s if test_s > 0 else float("inf")
+                )
+            rows.append(row)
     finally:
         runtime.close()
     describe = exec_backend.describe()
@@ -104,17 +133,24 @@ def run_backend_bench(
         "host": host_metadata(compiler=compiler),
         "threads": threads,
         "repeats": repeats,
+        "nu": nu,
         "rows": rows,
         "best_speedup": max((r["speedup"] for r in rows), default=0.0),
+        "best_simd_speedup": max(
+            (r["simd_speedup"] for r in rows if "simd_speedup" in r),
+            default=0.0,
+        ),
     }
 
 
 def render_backend_bench(result: dict) -> str:
     """The human-readable table for one :func:`run_backend_bench` report."""
     host = result["host"]
+    nu = result.get("nu", 1)
     header = (
         f"# measured backend speedup — backend={result['backend']}, "
         f"p={result['threads']}, host cpus={host['cpu_count']}"
+        + (f", nu={nu}" if nu > 1 else "")
     )
     cc = host.get("compiler")
     lines = [header]
@@ -123,14 +159,22 @@ def render_backend_bench(result: dict) -> str:
             f"# compiler: {cc.get('cc')} ({cc.get('version')}) "
             f"flags={' '.join(cc.get('flags', ()))}"
         )
+    simd = nu > 1
     lines.append(
         f"{'log2n':>5} {'batch':>5} {'numpy ms':>9} {'bkend ms':>9} "
         f"{'speedup':>8} {'bkend Mflop/s':>14}"
+        + (f" {'scalar ms':>9} {'simd x':>7}" if simd else "")
     )
     for r in result["rows"]:
-        lines.append(
+        line = (
             f"{r['k']:>5} {r['batch']:>5} {r['numpy_s'] * 1e3:>9.3f} "
             f"{r['backend_s'] * 1e3:>9.3f} {r['speedup']:>8.2f} "
             f"{r['backend_mflops']:>14.0f}"
         )
+        if simd and "simd_speedup" in r:
+            line += (
+                f" {r['scalar_backend_s'] * 1e3:>9.3f} "
+                f"{r['simd_speedup']:>7.2f}"
+            )
+        lines.append(line)
     return "\n".join(lines)

@@ -36,6 +36,7 @@ import numpy as np
 from ..sigma.index_map import recover_grid
 from ..sigma.loops import BlockLoop, SigmaProgram
 from ..spl.matrices import F2, I
+from .flags import exe_cflags
 
 MODES = ("sequential", "pthreads", "openmp")
 
@@ -91,8 +92,35 @@ class _CEmitter:
             self.tables.append(Codelet.from_formula(kernel, name).to_c())
         return self.codelet_fns[key]
 
+    def vec_codelet_name(self, kernel, nu: int) -> Optional[str]:
+        """ν-lane split re/im codelet (``Codelet.to_c_vec``), or None."""
+        if kernel.cols > self.unroll_max or kernel.rows != kernel.cols:
+            return None
+        if isinstance(kernel, (F2, I)):
+            return None
+        key = (kernel._key(), nu)
+        if key not in self.codelet_fns:
+            from .unroll import Codelet
+
+            name = f"vcodelet{len(self.codelet_fns)}_v{nu}"
+            self.codelet_fns[key] = name
+            self.tables.append(
+                Codelet.from_formula(kernel, name).to_c_vec(nu)
+            )
+        return self.codelet_fns[key]
+
 
 def _emit_loop_c(em: _CEmitter, loop: BlockLoop, sid: int, lid: int, ind: str):
+    if loop.nu > 1 and loop.gather.shape[0] % loop.nu == 0:
+        # vec(ν) stage: ν-blocked split re/im body (auto-vectorizable);
+        # non-dividing shapes devectorize onto the scalar path below
+        from .vector_emit import emit_vec_loop
+
+        emit_vec_loop(
+            em.tables, em.lines, loop, sid, lid, ind, "src", "dst",
+            em.vec_codelet_name, em.kernel_name, _fmt_int_table,
+        )
+        return
     o = em.lines
     rows, k = loop.gather.shape
     kout = loop.scatter.shape[1]
@@ -260,7 +288,8 @@ def generate_c(
 
     for sid, stage in enumerate(stages):
         em.lines.append(
-            f"static void stage{sid}(int proc, const cplx *src, cplx *dst) {{"
+            f"static void stage{sid}(int proc, const cplx *restrict src,"
+            f" cplx *restrict dst) {{"
         )
         em.lines.append(
             f"  /* {stage.name}: parallel={int(stage.parallel)}"
@@ -431,7 +460,8 @@ def compile_and_time(
         src = Path(workdir) / f"time_{gen.size}_{mode}.c"
         binary = Path(workdir) / f"time_{gen.size}_{mode}"
         src.write_text(gen.source)
-        flags = ["-O2", "-std=gnu99", "-o", str(binary), str(src), "-lm"]
+        # same optimization tier as production .so builds (repro.codegen.flags)
+        flags = [*exe_cflags(cc), "-o", str(binary), str(src), "-lm"]
         if mode == "pthreads":
             flags.append("-lpthread")
         if mode == "openmp":
@@ -472,7 +502,8 @@ def compile_and_run(
         src = workdir / f"dft_{gen.size}_{gen.mode}.c"
         binary = workdir / f"dft_{gen.size}_{gen.mode}"
         src.write_text(gen.source)
-        flags = ["-O2", "-std=gnu99", "-o", str(binary), str(src), "-lm"]
+        # same optimization tier as production .so builds (repro.codegen.flags)
+        flags = [*exe_cflags(cc), "-o", str(binary), str(src), "-lm"]
         if gen.mode == "pthreads":
             flags.append("-lpthread")
         if gen.mode == "openmp":

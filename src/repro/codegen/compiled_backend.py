@@ -20,7 +20,10 @@ Codelet lifecycle (see ``docs/codegen.md``):
    strided index grids become closed-form address arithmetic, and each
    stage is exported as ``repro_stage<k>(int proc, long b, ...)`` with a
    leading batch axis;
-2. **compile** — :func:`compile_plan` invokes gcc (``-O2 -fPIC -shared``);
+2. **compile** — :func:`compile_plan` invokes gcc with the shared flag
+   policy (:func:`repro.codegen.flags.shared_cflags`: the ``-O3
+   -march=native`` tier, or the portable ``-O2`` tier under
+   ``REPRO_NO_SIMD`` / non-native compilers);
 3. **cache** — shared objects land in a content-addressed disk cache keyed
    by source hash *and* compiler fingerprint (:func:`compiler_fingerprint`),
    so equal plans compile once per host and survive process restarts —
@@ -59,10 +62,9 @@ from ..smp.runtime import PlanStage
 from ..spl.matrices import F2, I
 from ..trace import get_tracer
 from .c_backend import _fmt_cplx_table, _fmt_int_table
+from .flags import shared_cflags
 from .unroll import Codelet
-
-#: compile flags baked into every codelet shared object (and its cache key)
-CFLAGS: tuple[str, ...] = ("-O2", "-fPIC", "-shared", "-std=gnu99")
+from .vector_emit import emit_vec_loop
 
 #: kernels up to this size are unrolled into straight-line codelets
 DEFAULT_CODELET_MAX = 32
@@ -78,7 +80,7 @@ CACHE_ENV = "REPRO_CODELET_CACHE"
 CACHE_MAX_ENV = "REPRO_CODELET_CACHE_MAX"
 
 _FINGERPRINT_LOCK = threading.Lock()
-_FINGERPRINT: Optional[dict] = None
+_FINGERPRINT: Optional[dict] = None  # memoized (cc, version) probe only
 
 _MEMO_LOCK = threading.Lock()
 _MEMO: "OrderedDict[str, CompiledPlan]" = OrderedDict()
@@ -112,28 +114,36 @@ def compiler_fingerprint(cc: Optional[str] = None) -> dict:
 
     Returns ``{"cc", "version", "flags"}``; two hosts (or two toolchain
     upgrades on one host) with different fingerprints never share cached
-    shared objects.  The probe result is memoized per process.
+    shared objects.  Only the ``--version`` probe is memoized per process
+    — ``flags`` is recomputed on every call so a flag-policy change
+    (``REPRO_NO_SIMD``, a portable-tier fallback) lands in the cache key
+    immediately, never serving a stale object built under other flags.
     """
     global _FINGERPRINT
+    identity: Optional[dict] = None
     if cc is None:
         with _FINGERPRINT_LOCK:
             if _FINGERPRINT is not None:
-                return dict(_FINGERPRINT)
-    path = cc or find_compiler()
-    if path is None:
-        info = {"cc": None, "version": "unavailable", "flags": list(CFLAGS)}
-    else:
-        try:
-            out = subprocess.run(
-                [path, "--version"], capture_output=True, text=True, timeout=30
-            ).stdout.splitlines()
-            version = out[0].strip() if out else "unknown"
-        except (OSError, subprocess.SubprocessError):
-            version = "unknown"
-        info = {"cc": path, "version": version, "flags": list(CFLAGS)}
-    if cc is None:
-        with _FINGERPRINT_LOCK:
-            _FINGERPRINT = dict(info)
+                identity = dict(_FINGERPRINT)
+    if identity is None:
+        path = cc or find_compiler()
+        if path is None:
+            identity = {"cc": None, "version": "unavailable"}
+        else:
+            try:
+                out = subprocess.run(
+                    [path, "--version"],
+                    capture_output=True, text=True, timeout=30,
+                ).stdout.splitlines()
+                version = out[0].strip() if out else "unknown"
+            except (OSError, subprocess.SubprocessError):
+                version = "unknown"
+            identity = {"cc": path, "version": version}
+        if cc is None:
+            with _FINGERPRINT_LOCK:
+                _FINGERPRINT = dict(identity)
+    info = dict(identity)
+    info["flags"] = list(shared_cflags(info.get("cc")))
     return info
 
 
@@ -187,6 +197,7 @@ class _PlanEmitter:
         self.tables: list[str] = []
         self.lines: list[str] = []
         self._codelets: dict = {}
+        self._vec_codelets: dict = {}
         self._dense: dict = {}
 
     def codelet_name(self, kernel) -> Optional[str]:
@@ -202,6 +213,23 @@ class _PlanEmitter:
                 Codelet.from_formula(_codelet_formula(kernel), name).to_c()
             )
         return self._codelets[key]
+
+    def vec_codelet_name(self, kernel, nu: int) -> Optional[str]:
+        """ν-lane split re/im codelet variant (see ``Codelet.to_c_vec``)."""
+        if isinstance(kernel, (F2, I)):
+            return None
+        if kernel.cols > self.codelet_max or kernel.rows != kernel.cols:
+            return None
+        key = (kernel._key(), nu)
+        if key not in self._vec_codelets:
+            name = f"vcodelet{len(self._vec_codelets)}_v{nu}"
+            self._vec_codelets[key] = name
+            self.tables.append(
+                Codelet.from_formula(
+                    _codelet_formula(kernel), name
+                ).to_c_vec(nu)
+            )
+        return self._vec_codelets[key]
 
     def dense_name(self, kernel) -> str:
         key = kernel._key()
@@ -224,7 +252,17 @@ def _emit_loop(em: _PlanEmitter, loop: BlockLoop, sid: int, lid: int,
     Strided gather/scatter grids recovered by
     :func:`repro.sigma.index_map.recover_grid` become closed-form address
     arithmetic; irregular tables are emitted as ``static const int`` data.
+    Loops carrying ``nu > 1`` from the ``vec(ν)`` rewriting emit through
+    :func:`repro.codegen.vector_emit.emit_vec_loop` instead (ν-blocked
+    split re/im bodies); shapes ν does not divide devectorize onto this
+    scalar path.
     """
+    if loop.nu > 1 and loop.gather.shape[0] % loop.nu == 0:
+        emit_vec_loop(
+            em.tables, em.lines, loop, sid, lid, ind, "s", "d",
+            em.vec_codelet_name, em.dense_name, _fmt_int_table,
+        )
+        return
     o = em.lines
     rows, k = loop.gather.shape
     kout = loop.scatter.shape[1]
@@ -318,7 +356,7 @@ def _emit_stage(em: _PlanEmitter, stage, sid: int, n: int) -> None:
     o = em.lines
     o.append(
         f"void repro_stage{sid}(int proc, long b, "
-        f"const double *srcd, double *dstd) {{"
+        f"const double *restrict srcd, double *restrict dstd) {{"
     )
     o.append(
         f"  /* {stage.name}: parallel={int(stage.parallel)}"
@@ -509,7 +547,7 @@ def compile_plan(
                 with os.fdopen(fd, "w") as fh:
                     fh.write(source)
                 proc = subprocess.run(
-                    [cc, *CFLAGS, "-o", tmp_so, tmp_c, "-lm"],
+                    [cc, *fingerprint["flags"], "-o", tmp_so, tmp_c, "-lm"],
                     capture_output=True,
                     text=True,
                     timeout=300,
@@ -642,7 +680,6 @@ def prune_codelet_cache(
 
 
 __all__ = [
-    "CFLAGS",
     "CodeletCompileError",
     "CompiledPlan",
     "clear_compiled_memo",

@@ -1,0 +1,115 @@
+"""Compiler-flag policy: one source of truth for every codelet build.
+
+Before this module existed the repo had three divergent flag sets:
+``compiled_backend.CFLAGS`` compiled production shared objects at ``-O2``
+while ``compile_and_time``/``compile_and_run`` in :mod:`.c_backend`
+hardcoded their own ``-O2 -std=gnu99`` — so the measured cost model timed
+binaries built differently from the code the serving path actually runs.
+Every builder now derives its flags from :func:`optimization_tier`:
+
+* **native tier** (default): ``-O3 -march=native`` — lets gcc/clang
+  auto-vectorize the ν-wide loop bodies the vector emitter produces
+  (:mod:`repro.vector` → :mod:`repro.sigma.lower` → the C emitters) into
+  SSE/AVX on the build host;
+* **portable tier**: plain ``-O2``, selected when ``REPRO_NO_SIMD`` is
+  set (the forced-scalar CI lane) or when the compiler rejects
+  ``-march=native`` (probed once per compiler path, memoized).
+
+:func:`exe_cflags` (timing/run executables) and :func:`shared_cflags`
+(production ``.so`` builds) share the tier verbatim, and the full
+``shared_cflags`` value is folded into
+:func:`repro.codegen.compiled_backend.compiler_fingerprint` — and through
+it into the content-addressed codelet cache key — so *any* flag change
+recompiles instead of reusing stale objects
+(``tests/codegen/test_flags.py`` proves both properties).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import threading
+from typing import Optional
+
+#: environment variable forcing the portable (scalar-friendly) tier and
+#: disabling ν-way vector plan generation in the frontend
+NO_SIMD_ENV = "REPRO_NO_SIMD"
+
+#: the default optimization tier: auto-vectorization enabled, host ISA
+OPT_NATIVE: tuple[str, ...] = ("-O3", "-march=native")
+
+#: the fallback tier: conservative, runs on any host the binary reaches
+OPT_PORTABLE: tuple[str, ...] = ("-O2",)
+
+_PROBE_LOCK = threading.Lock()
+_PROBE: dict[str, bool] = {}
+
+
+def simd_disabled() -> bool:
+    """True when ``REPRO_NO_SIMD`` forces the portable scalar tier."""
+    return bool(os.environ.get(NO_SIMD_ENV))
+
+
+def _accepts_march_native(cc: str) -> bool:
+    """Does this compiler accept ``-march=native``? (probed once, memoized)"""
+    with _PROBE_LOCK:
+        if cc in _PROBE:
+            return _PROBE[cc]
+    try:
+        proc = subprocess.run(
+            [cc, "-march=native", "-x", "c", "-E", "-"],
+            input="",
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+        ok = proc.returncode == 0
+    except (OSError, subprocess.SubprocessError):
+        ok = False
+    with _PROBE_LOCK:
+        _PROBE[cc] = ok
+    return ok
+
+
+def optimization_tier(cc: Optional[str] = None) -> tuple[str, ...]:
+    """The optimization flags **every** build shares.
+
+    Timing binaries (:func:`repro.codegen.c_backend.compile_and_time`),
+    verification runs (:func:`~repro.codegen.c_backend.compile_and_run`),
+    and production shared objects
+    (:func:`~repro.codegen.compiled_backend.compile_plan`) all call this —
+    the measured cost model times exactly the tier production serves.
+    """
+    if simd_disabled():
+        return OPT_PORTABLE
+    if cc is not None and not _accepts_march_native(cc):
+        return OPT_PORTABLE
+    return OPT_NATIVE
+
+
+def exe_cflags(cc: Optional[str] = None) -> tuple[str, ...]:
+    """Flags for standalone executables (timing and stdin/stdout runs)."""
+    return optimization_tier(cc) + ("-std=gnu99",)
+
+
+def shared_cflags(cc: Optional[str] = None) -> tuple[str, ...]:
+    """Flags for JIT shared objects (the production codelet builds)."""
+    return optimization_tier(cc) + ("-fPIC", "-shared", "-std=gnu99")
+
+
+def clear_flag_probe_cache() -> None:
+    """Drop memoized ``-march=native`` probes (tests, toolchain swaps)."""
+    with _PROBE_LOCK:
+        _PROBE.clear()
+
+
+__all__ = [
+    "NO_SIMD_ENV",
+    "OPT_NATIVE",
+    "OPT_PORTABLE",
+    "clear_flag_probe_cache",
+    "exe_cflags",
+    "optimization_tier",
+    "shared_cflags",
+    "simd_disabled",
+]

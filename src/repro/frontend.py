@@ -18,10 +18,12 @@ stateful planner used by benchmarks.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
+from .codegen.flags import simd_disabled
 from .codegen.python_backend import GeneratedProgram, generate
 from .machine.cost_model import CostBreakdown, SyncProfile, estimate_cost
 from .machine.topology import MachineSpec
@@ -29,7 +31,7 @@ from .rewrite.breakdown import expand_dft
 from .rewrite.derive import derive_multicore_ct, derive_sequential_ct
 from .sigma.loops import SigmaProgram
 from .sigma.lower import lower
-from .spl.expr import Expr
+from .spl.expr import Expr, SPLError
 from .trace import get_tracer
 
 
@@ -46,9 +48,60 @@ def feasible_threads(n: int, p: int, mu: int) -> int:
     return 1
 
 
+_VEC_WARNED = False
+
+
+def _warn_vector_fallback(n: int, threads: int, nu: int, why: str) -> None:
+    """Warn (once per process) that a ν-way plan degraded to scalar."""
+    global _VEC_WARNED
+    if not _VEC_WARNED:
+        _VEC_WARNED = True
+        warnings.warn(
+            f"vec({nu}) rewriting of DFT_{n} (threads={threads}) failed "
+            f"({why}); generating the scalar plan instead",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+
+def vectorize_formula(f: Expr, n: int, threads: int, nu: int) -> tuple[Expr, int]:
+    """Apply ``vec(ν)`` rewriting to an expanded formula, or degrade.
+
+    Returns ``(formula, effective_nu)``.  Mirrors the backend registry's
+    :func:`~repro.codegen.registry.resolve_backend` seam: a formula the
+    vec rules cannot fully discharge (ν ∤ µ LinePerms, bare small-DFT
+    leaves, odd shapes) degrades to the scalar formula with a
+    ``vector.fallback`` trace counter and a once-per-process warning —
+    plan building never fails because a ν was requested.  ``REPRO_NO_SIMD``
+    forces scalar plans outright (counted as ``vector.no_simd``).
+    """
+    from .vector import vectorize, vectorize_smp
+
+    if nu <= 1:
+        return f, 1
+    tr = get_tracer()
+    if simd_disabled():
+        tr.count("vector.no_simd", 1)
+        return f, 1
+    try:
+        with tr.span("frontend.vectorize", "rewrite", nu=nu):
+            v = vectorize_smp(f, nu) if threads > 1 else vectorize(f, nu)
+        return v, nu
+    except SPLError as exc:  # includes VectorizationError
+        tr.count("vector.fallback", 1, nu=nu)
+        _warn_vector_fallback(n, threads, nu, str(exc)[:120])
+        return f, 1
+
+
 def spiral_formula(n: int, threads: int, mu: int, strategy: str = "balanced",
-                   min_leaf: int = 32) -> Expr:
-    """Fully expanded formula for ``DFT_n`` on ``threads`` processors."""
+                   min_leaf: int = 32, nu: int = 1) -> Expr:
+    """Fully expanded formula for ``DFT_n`` on ``threads`` processors.
+
+    ``nu > 1`` additionally applies the short-vector ``vec(ν)`` rewriting
+    (:mod:`repro.vector`) so every compute stage carries ν-lane vector
+    constructs; inadmissible combinations degrade to the scalar formula
+    (see :func:`vectorize_formula`).
+    """
     tr = get_tracer()
     with tr.span("frontend.derive", "rewrite", n=n, threads=threads, mu=mu):
         if threads > 1:
@@ -56,7 +109,9 @@ def spiral_formula(n: int, threads: int, mu: int, strategy: str = "balanced",
         else:
             f = derive_sequential_ct(n)
     with tr.span("frontend.expand", "rewrite", strategy=strategy):
-        return expand_dft(f, strategy, min_leaf=min_leaf)
+        f = expand_dft(f, strategy, min_leaf=min_leaf)
+    f, _ = vectorize_formula(f, n, threads, nu)
+    return f
 
 
 def generate_fft(
@@ -65,6 +120,7 @@ def generate_fft(
     mu: int = 4,
     strategy: str = "balanced",
     min_leaf: int = 32,
+    nu: int = 1,
 ) -> GeneratedProgram:
     """Generate an executable FFT program (the quickstart entry point).
 
@@ -72,13 +128,20 @@ def generate_fft(
     vector, or pass a :class:`repro.smp.PThreadsRuntime` to ``run`` for
     multithreaded execution.
 
+    ``nu`` selects the vector granularity: ``nu > 1`` runs the ``vec(ν)``
+    rewriting so the lowered loops carry ν-lane blocks the compiled
+    backend widens into SIMD-shaped C (interpreted backends execute them
+    identically).  Inadmissible (n, threads, µ, ν) combinations fall back
+    to the scalar plan instead of erroring.
+
     Under an active :mod:`repro.trace` tracer the whole pipeline is recorded
     as a ``generate_fft`` span with derivation, lowering, and codegen child
     spans (see ``docs/profiling.md``).
     """
     tr = get_tracer()
-    with tr.span("generate_fft", "frontend", n=n, threads=threads, mu=mu):
-        f = spiral_formula(n, threads, mu, strategy, min_leaf)
+    with tr.span("generate_fft", "frontend", n=n, threads=threads, mu=mu,
+                 nu=nu):
+        f = spiral_formula(n, threads, mu, strategy, min_leaf, nu=nu)
         # mu-aware elision: unsynchronized chains must be line-disjoint,
         # not just element-disjoint (certified by `repro check`)
         return generate(lower(f, barrier_mu=mu))

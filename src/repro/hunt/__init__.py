@@ -22,6 +22,7 @@ from .corpus import (
 from .driver import HuntConfig, HuntFinding, HuntReport, run_hunt
 from .gen import (
     BACKENDS,
+    NUS,
     RUNTIMES,
     STRATEGIES,
     HuntCase,
@@ -39,6 +40,7 @@ from .reduce import (
 
 __all__ = [
     "BACKENDS",
+    "NUS",
     "RUNTIMES",
     "STRATEGIES",
     "ExecutorPools",

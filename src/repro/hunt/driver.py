@@ -17,7 +17,7 @@ from pathlib import Path
 from typing import Optional
 
 from .corpus import Reproducer, TermSerializationError, file_reproducer
-from .gen import RUNTIMES, HuntCase, sample_cases
+from .gen import NUS, RUNTIMES, HuntCase, sample_cases
 from .oracles import ExecutorPools, Verdict, run_oracle
 from .reduce import ReductionState, Reducer, state_size
 
@@ -36,6 +36,9 @@ class HuntConfig:
     #: wisdom file whose measured rankings extend the config space with
     #: tuned-plan provenance (``repro hunt --wisdom``); None = generated only
     wisdom_path: Optional[str] = None
+    #: vec(ν) granularities the vectorized-term lane samples; ``(1,)``
+    #: reproduces the pre-vectorization scalar sweep exactly
+    nus: tuple[int, ...] = NUS
 
 
 @dataclass
@@ -104,6 +107,7 @@ def run_hunt(config: HuntConfig) -> HuntReport:
         backends=config.backends,
         runtimes=config.runtimes,
         wisdom=wisdom,
+        nus=config.nus,
     )
     report = HuntReport(config=config, cases=len(cases))
     pools = ExecutorPools()

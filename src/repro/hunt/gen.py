@@ -41,6 +41,9 @@ RUNTIMES: tuple[str, ...] = ("sequential", "pthreads", "process")
 #: backend pool, in narrowing order (the reducer shrinks leftward)
 BACKENDS: tuple[str, ...] = ("numpy", "compiled", "simulator")
 
+#: vec(ν) granularities the vectorized-term lane draws (1 = scalar)
+NUS: tuple[int, ...] = (1, 2, 4)
+
 
 @dataclass(frozen=True)
 class HuntCase:
@@ -58,6 +61,10 @@ class HuntCase:
     batch: int
     backend: str = "numpy"
     runtime: str = "sequential"
+    #: vec(ν) granularity the plan is derived at (1 = scalar; ν > 1
+    #: formulas carry vector constructs through lowering — the
+    #: vectorized-term lane of the sweep)
+    nu: int = 1
     #: where the strategy came from: "generated" (pool draw) or "wisdom"
     #: (replaced by a measured-search ranking; see :mod:`repro.tune`)
     provenance: str = "generated"
@@ -75,6 +82,8 @@ class HuntCase:
             f"n{self.n}-p{self.req_threads}-mu{self.mu}-{self.strategy}"
             f"-b{self.batch}-{self.backend}-{self.runtime}"
         )
+        if self.nu != 1:
+            base += f"-v{self.nu}"
         if self.provenance != "generated":
             base += f"-{self.provenance}"
         return base
@@ -82,9 +91,10 @@ class HuntCase:
     def to_json(self) -> dict:
         """JSON-able form (the corpus format's ``case`` object).
 
-        ``provenance`` is emitted only when non-default, so corpora filed
-        before the tuning PR stay byte-identical and content hashes of
-        purely generated cases never move.
+        ``provenance`` and ``nu`` are emitted only when non-default, so
+        corpora filed before the tuning/vectorization PRs stay
+        byte-identical and content hashes of purely generated scalar
+        cases never move.
         """
         data = {
             "n": self.n,
@@ -95,6 +105,8 @@ class HuntCase:
             "backend": self.backend,
             "runtime": self.runtime,
         }
+        if self.nu != 1:
+            data["nu"] = self.nu
         if self.provenance != "generated":
             data["provenance"] = self.provenance
         return data
@@ -104,7 +116,7 @@ class HuntCase:
         """Inverse of :meth:`to_json` (unknown keys rejected loudly)."""
         known = {
             "n", "req_threads", "mu", "strategy", "batch", "backend",
-            "runtime", "provenance",
+            "runtime", "nu", "provenance",
         }
         extra = set(data) - known
         if extra:
@@ -150,6 +162,7 @@ def sample_cases(
     runtimes: tuple[str, ...] = RUNTIMES,
     label: str = "hunt-sweep",
     wisdom=None,
+    nus: tuple[int, ...] = NUS,
 ) -> list[HuntCase]:
     """Sample ``budget`` :class:`HuntCase` configurations deterministically.
 
@@ -166,6 +179,11 @@ def sample_cases(
     then hammers exactly the plans production traffic would load.  The
     substitution consumes no extra rng draws, so every pinned
     ``wisdom=None`` stream is bit-identical to before.
+
+    The vectorized-term lane draws ``nu`` from ``nus`` on a *separately
+    derived* rng stream (label ``"-nu"``), so the base configuration
+    stream is also bit-identical to pre-vectorization sweeps — pinning
+    ``nus=(1,)`` reproduces the old scalar sweep exactly.
     """
     for b in backends:
         if b not in BACKENDS:
@@ -173,8 +191,12 @@ def sample_cases(
     for r in runtimes:
         if r not in RUNTIMES:
             raise ValueError(f"unknown runtime {r!r}; known: {RUNTIMES}")
+    for v in nus:
+        if v not in NUS:
+            raise ValueError(f"unknown nu {v!r}; known: {NUS}")
     base = default_seed() if seed is None else seed
     rng = derive_rng(base, label)
+    nu_rng = derive_rng(base, label + "-nu")
     cases = []
     for _ in range(budget):
         case = HuntCase(
@@ -185,6 +207,7 @@ def sample_cases(
             batch=int(rng.integers(1, 5)),
             backend=backends[rng.integers(len(backends))],
             runtime=runtimes[rng.integers(len(runtimes))],
+            nu=int(nus[nu_rng.integers(len(nus))]),
         )
         if wisdom is not None:
             record = wisdom.tuning(

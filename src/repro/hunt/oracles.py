@@ -104,10 +104,15 @@ class ExecutorPools:
 
 def _input_stack(case: HuntCase, seed: int) -> np.ndarray:
     """The deterministic ``(batch, n)`` input drawn from the case's stream."""
-    rng = derive_rng(
-        seed, "hunt-input", case.n, case.req_threads, case.mu,
+    # nu joins the key only when non-default, so every scalar case keeps
+    # the exact input stream it had before the vectorized-term lane
+    key = [
+        case.n, case.req_threads, case.mu,
         case.strategy, case.batch, case.backend, case.runtime,
-    )
+    ]
+    if case.nu != 1:
+        key.append(f"v{case.nu}")
+    rng = derive_rng(seed, "hunt-input", *key)
     shape = (case.batch, case.n)
     return (
         rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
@@ -139,7 +144,7 @@ def _execute(
 
         spec = PlanSpec(
             n=case.n, threads=t, mu=case.mu, strategy=case.strategy,
-            backend=case.backend,
+            backend=case.backend, nu=case.nu,
         )
         Y, _ = pools.process(t).execute_spec(spec, X)
         return np.asarray(Y)
@@ -186,7 +191,8 @@ def run_oracle(
         try:
             if term is None:
                 formula = spiral_formula(
-                    case.n, case.threads, case.mu, case.strategy
+                    case.n, case.threads, case.mu, case.strategy,
+                    nu=case.nu,
                 )
             else:
                 formula = term
@@ -234,7 +240,10 @@ def run_oracle(
             )
 
         # -- structural oracle ---------------------------------------------
-        if term is None and case.threads > 1:
+        # Definition 1 is stated over scalar constructs; ν > 1 formulas
+        # carry vec tags (their structure is certified at derivation by
+        # the vectorize rules), so the claim applies to scalar plans only.
+        if term is None and case.threads > 1 and case.nu == 1:
             if not is_fully_optimized(formula, case.threads, case.mu):
                 return Verdict(
                     False, "structural", "definition-1",

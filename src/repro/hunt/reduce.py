@@ -13,6 +13,9 @@ Shrink steps, all strictly decreasing under :func:`state_size` (a
 lexicographic well-ordering, so reduction terminates without relying on
 the step cap):
 
+* **vec stripping** — a ν > 1 case (or a pinned term carrying vector
+  constructs) devectorizes to its scalar equivalent, ruling the vec(ν)
+  rewriting in or out of the failure in one step;
 * **formula-tree pruning** — replace any square subterm by the identity,
   or drop one factor of a ``Compose`` (yielding a smaller SPL term whose
   own semantics become the oracle reference);
@@ -60,19 +63,38 @@ class ReductionState:
 
 
 def _term_nodes(state: ReductionState) -> int:
-    """Node count of the state's effective formula (the primary size)."""
+    """Node count of the state's effective formula (the secondary size)."""
     if state.term is not None:
         return state.term.count_nodes()
     from ..frontend import spiral_formula
 
     c = state.case
-    return spiral_formula(c.n, c.threads, c.mu, c.strategy).count_nodes()
+    return spiral_formula(
+        c.n, c.threads, c.mu, c.strategy, nu=c.nu
+    ).count_nodes()
+
+
+def _has_vec_constructs(term: Expr) -> bool:
+    """True when any node of ``term`` is a vector construct."""
+    from ..vector import InRegisterTranspose, Vec, VecDiag, VecTensor
+
+    return any(
+        isinstance(e, (VecTensor, VecDiag, InRegisterTranspose, Vec))
+        for e in term.preorder()
+    )
 
 
 def state_size(state: ReductionState) -> tuple:
-    """Lexicographic size key; every shrink step strictly decreases it."""
+    """Lexicographic size key; every shrink step strictly decreases it.
+
+    ``nu`` leads the order: devectorizing a term can *grow* its node
+    count (untagged ``A ⊗ I_ν`` has one node more than ``A ⊗v I_ν``), so
+    the strip-vec step shrinks the leading component instead — every
+    scalar state keeps the exact ordering it had before the vec lane.
+    """
     c = state.case
     return (
+        c.nu,
         _term_nodes(state),
         c.n,
         c.req_threads,
@@ -154,6 +176,20 @@ def shrink_candidates(
     term pruning apply throughout.
     """
     c = state.case
+
+    # vec stripping first (most aggressive: rules the ν-way rewriting in
+    # or out wholesale) — a tagged term devectorizes alongside the case
+    # so term semantics and the plan the config would derive stay aligned
+    if c.nu > 1:
+        term = state.term
+        if term is not None and _has_vec_constructs(term):
+            from ..vector import devectorize
+
+            try:
+                term = simplify(devectorize(term))
+            except Exception:  # noqa: BLE001 - malformed strip: keep tags
+                term = state.term
+        yield "strip-vec", ReductionState(c.with_(nu=1), term)
 
     if state.term is None:
         if c.n % 2 == 0 and c.n // 2 >= 4:

@@ -49,28 +49,36 @@ class PlanSpec:
     #: the requested backend (e.g. no C compiler) falls back to numpy —
     #: the *plan structure* is backend-independent, so lockstep holds
     backend: str = "numpy"
+    #: vec(ν) granularity; the deterministic frontend fallback means every
+    #: process degrades a non-vectorizable (n, threads, µ, ν) identically,
+    #: so lockstep holds for ν too
+    nu: int = 1
 
     def __post_init__(self):
         if self.n < 2:
             raise ValueError(f"need a transform size >= 2, got {self.n}")
         if self.threads < 1:
             raise ValueError(f"need threads >= 1, got {self.threads}")
+        if self.nu < 1:
+            raise ValueError(f"need nu >= 1, got {self.nu}")
 
     @classmethod
     def for_request(cls, n: int, threads: int = 1, mu: int = 4,
                     strategy: str = "balanced",
-                    backend: str = "numpy") -> "PlanSpec":
+                    backend: str = "numpy", nu: int = 1) -> "PlanSpec":
         """A spec with the thread count clamped to an admissible Eq. (14)."""
         from ..frontend import feasible_threads
 
         t = feasible_threads(n, threads, mu) if threads > 1 else 1
-        return cls(n=n, threads=t, mu=mu, strategy=strategy, backend=backend)
+        return cls(n=n, threads=t, mu=mu, strategy=strategy, backend=backend,
+                   nu=nu)
 
     @classmethod
     def from_plan_key(cls, key, backend: str = "numpy") -> "PlanSpec":
         """From a serving-layer :class:`repro.serve.plan_cache.PlanKey`."""
         return cls(n=key.n, threads=key.threads, mu=key.mu,
-                   strategy=key.strategy, backend=backend)
+                   strategy=key.strategy, backend=backend,
+                   nu=getattr(key, "nu", 1))
 
 
 @dataclass
@@ -104,6 +112,7 @@ def compile_spec(spec: PlanSpec) -> CompiledSpec:
         mu=spec.mu,
         strategy=spec.strategy,
         min_leaf=spec.min_leaf,
+        nu=spec.nu,
     )
     compiled = CompiledSpec(
         spec=spec,

@@ -34,16 +34,25 @@ from ..wisdom import Wisdom
 
 
 class PlanKey(NamedTuple):
-    """One plan configuration; the cache and the batcher coalesce on this."""
+    """One plan configuration; the cache and the batcher coalesce on this.
+
+    ``nu`` is the vec(ν) granularity: ν > 1 plans lower through the
+    vector rewriting so the compiled backend emits ν-wide SIMD bodies
+    (interpreted backends execute them identically).  Scalar and ν-way
+    plans are distinct cache entries — the tuner hot-swaps between them
+    on measured time.
+    """
 
     n: int
     threads: int = 1
     mu: int = 4
     strategy: str = "balanced"
+    nu: int = 1
 
     def label(self) -> str:
         """Stable string form for stats/JSON maps keyed by plan."""
-        return f"n{self.n}:t{self.threads}:mu{self.mu}:{self.strategy}"
+        tag = f":v{self.nu}" if self.nu > 1 else ""
+        return f"n{self.n}:t{self.threads}:mu{self.mu}:{self.strategy}{tag}"
 
 
 @dataclass
@@ -112,11 +121,15 @@ def _default_builder(
     from ..codegen.registry import resolve_backend
 
     def build(key: PlanKey) -> CachedPlan:
-        if wisdom is not None and key.strategy == "balanced":
+        if wisdom is not None and key.strategy == "balanced" and key.nu == 1:
             program = wisdom.plan(key.n, key.threads, key.mu)
         else:
+            # ν-way keys always plan through the frontend: wisdom trees
+            # describe scalar factorizations, and vectorize_formula
+            # degrades inadmissible ν to the scalar plan deterministically
             program = generate_fft(
-                key.n, threads=key.threads, mu=key.mu, strategy=key.strategy
+                key.n, threads=key.threads, mu=key.mu, strategy=key.strategy,
+                nu=key.nu,
             )
         exec_backend = resolve_backend(backend)
         stages = exec_backend.build_stages(program.program)

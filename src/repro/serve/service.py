@@ -86,6 +86,7 @@ class ServeConfig:
     threads: int = 1          #: default plan thread count
     mu: int = 4               #: default cache-line size (complex elements)
     strategy: str = "balanced"
+    nu: int = 1               #: default vec(ν) granularity (SIMD width hint)
     runtime: str = "threads"  #: worker pool kind: "threads" or "process"
     backend: str = "numpy"    #: execution backend: numpy|compiled|simulator
     window_s: float = 0.0     #: max batching wait; 0 = continuous batching
@@ -238,6 +239,7 @@ class FFTService:
         threads: Optional[int] = None,
         mu: Optional[int] = None,
         strategy: Optional[str] = None,
+        nu: Optional[int] = None,
         timeout: Optional[float] = None,
         no_batch: bool = False,
     ) -> FFTTicket:
@@ -255,7 +257,7 @@ class FFTService:
         if x.ndim != 2 or x.shape[1] < 2:
             raise ValueError(f"expected (batch, n) input, got shape {x.shape}")
         n = int(x.shape[1])
-        key = self._plan_key(n, threads, mu, strategy)
+        key = self._plan_key(n, threads, mu, strategy, nu)
         if timeout is None:
             timeout = self.config.default_timeout_s
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -319,6 +321,7 @@ class FFTService:
         m["config"] = {
             "threads": self.config.threads,
             "mu": self.config.mu,
+            "nu": self.config.nu,
             "window_ms": self.config.window_s * 1e3,
             "max_batch": self.config.max_batch,
             "queue_limit": self.config.queue_limit,
@@ -472,12 +475,13 @@ class FFTService:
 
     # -- internals -----------------------------------------------------------
 
-    def _plan_key(self, n, threads, mu, strategy) -> PlanKey:
+    def _plan_key(self, n, threads, mu, strategy, nu=None) -> PlanKey:
         threads = self.config.threads if threads is None else threads
         mu = self.config.mu if mu is None else mu
         strategy = strategy or self.config.strategy
+        nu = self.config.nu if nu is None else nu
         t = feasible_threads(n, threads, mu) if threads > 1 else 1
-        return PlanKey(n=n, threads=t, mu=mu, strategy=strategy)
+        return PlanKey(n=n, threads=t, mu=mu, strategy=strategy, nu=nu)
 
     def _retry_after_locked(self) -> float:
         """Backpressure hint: roughly the time to drain the current backlog."""

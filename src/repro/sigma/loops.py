@@ -32,6 +32,13 @@ class BlockLoop:
     ``gather``/``scatter`` are ``count x k`` index tables; ``pre_scale`` /
     ``post_scale`` are optional ``count x k`` complex factors (``None`` means
     all-ones).  ``proc`` is the owning processor for parallel stages.
+
+    ``nu`` is the vector granularity carried down from the ``vec(ν)``
+    rewriting (:mod:`repro.vector`): ``nu > 1`` asserts that the loop's
+    iterations come in blocks of ``nu`` consecutive rows executing the
+    same kernel — the unit the C emitters widen into ν-way SIMD bodies.
+    Interpreted execution ignores it (the semantics are unchanged); it
+    is purely a code-shape attribute.
     """
 
     kernel: Expr
@@ -40,8 +47,14 @@ class BlockLoop:
     pre_scale: Optional[np.ndarray] = None
     post_scale: Optional[np.ndarray] = None
     proc: Optional[int] = None
+    nu: int = 1
 
     def __post_init__(self) -> None:
+        if self.nu < 1 or self.gather.shape[0] % self.nu:
+            raise ValueError(
+                f"nu={self.nu} must be >= 1 and divide the iteration count "
+                f"{self.gather.shape[0]}"
+            )
         k_in, k_out = self.kernel.cols, self.kernel.rows
         if self.gather.ndim != 2 or self.gather.shape[1] != k_in:
             raise ValueError(
@@ -269,9 +282,11 @@ class SigmaProgram:
         lines = [f"SigmaProgram(size={self.size}, stages={len(self.stages)})"]
         for i, s in enumerate(self.stages):
             kinds = {type(lp.kernel).__name__ for lp in s.loops}
+            nu = max((lp.nu for lp in s.loops), default=1)
             lines.append(
                 f"  stage {i}: {s.name or 'unnamed'}"
                 f" loops={len(s.loops)} parallel={s.parallel}"
                 f" barrier={s.needs_barrier} kernels={sorted(kinds)}"
+                + (f" nu={nu}" if nu > 1 else "")
             )
         return "\n".join(lines)

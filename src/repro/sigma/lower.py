@@ -21,6 +21,7 @@ import numpy as np
 from ..spl.expr import COMPLEX, Compose, Expr, SPLError, Tensor
 from ..spl.matrices import Diag, DiagFunc, I, Twiddle
 from ..spl.parallel import ParDirectSum, ParTensor, SMP
+from ..vector.constructs import InRegisterTranspose, VecDiag, VecTensor
 from ..rewrite.pattern import is_permutation_expr
 from ..trace import get_tracer
 from .index_map import diag_values, invert_table, source_table
@@ -33,9 +34,19 @@ class LoweringError(SPLError):
 
 
 def is_perm_stage(e: Expr) -> bool:
-    """Is this pipeline stage pure data movement?"""
+    """Is this pipeline stage pure data movement?
+
+    Vector constructs count: an :class:`InRegisterTranspose` is a (lane)
+    permutation and ``VecTensor(P, ν)`` of a permutation ``P`` moves whole
+    ν-blocks — both fold into pending gather tables like any scalar
+    permutation (their ``apply`` is exact, so :func:`source_table` works).
+    """
     if is_permutation_expr(e):
         return True
+    if isinstance(e, InRegisterTranspose):
+        return True
+    if isinstance(e, VecTensor):
+        return is_perm_stage(e.child)
     if isinstance(e, ParTensor):
         return is_perm_stage(e.child)
     return False
@@ -43,11 +54,13 @@ def is_perm_stage(e: Expr) -> bool:
 
 def is_diag_stage(e: Expr) -> bool:
     """Is this pipeline stage a pointwise scaling?"""
-    if isinstance(e, (Diag, DiagFunc, Twiddle)):
+    if isinstance(e, (Diag, DiagFunc, Twiddle, VecDiag)):
         return True
     if isinstance(e, ParDirectSum):
         return all(is_diag_stage(b) for b in e.blocks)
     if isinstance(e, ParTensor):
+        return is_diag_stage(e.child)
+    if isinstance(e, VecTensor):
         return is_diag_stage(e.child)
     if isinstance(e, Tensor):
         return all(isinstance(f, I) or is_diag_stage(f) for f in e.factors)
@@ -60,10 +73,20 @@ class _LoopSpec:
     scatter: np.ndarray
     kernel: Expr
     proc: Optional[int]
+    nu: int = 1
 
 
 def _body_loops(e: Expr, offset: int) -> list[_LoopSpec]:
     """Loops of a simple (non-parallel) stage body at a global offset."""
+    if isinstance(e, VecTensor):
+        # A ⊗v I_ν ≡ A ⊗ I_ν with the lane axis innermost: the untagged
+        # tensor lowers as usual (trailing I_ν lands in the loop's fastest
+        # row axis, so ν consecutive iterations read/write ν consecutive
+        # addresses) and the loop records ν for the C emitters.
+        return [
+            _LoopSpec(s.gather, s.scatter, s.kernel, s.proc, nu=e.nu)
+            for s in _body_loops(e.untag(), offset)
+        ]
     if isinstance(e, Tensor):
         factors = list(e.factors)
         m = r = 1
@@ -100,7 +123,8 @@ def _stage_loops(e: Expr) -> tuple[list[_LoopSpec], bool]:
         for i in range(e.p):
             for spec in _body_loops(e.child, offset=i * bs):
                 loops.append(
-                    _LoopSpec(spec.gather, spec.scatter, spec.kernel, proc=i)
+                    _LoopSpec(spec.gather, spec.scatter, spec.kernel,
+                              proc=i, nu=spec.nu)
                 )
         return loops, True
     if isinstance(e, ParDirectSum):
@@ -109,7 +133,8 @@ def _stage_loops(e: Expr) -> tuple[list[_LoopSpec], bool]:
         for i, b in enumerate(e.blocks):
             for spec in _body_loops(b, offset=i * bs):
                 loops.append(
-                    _LoopSpec(spec.gather, spec.scatter, spec.kernel, proc=i)
+                    _LoopSpec(spec.gather, spec.scatter, spec.kernel,
+                              proc=i, nu=spec.nu)
                 )
         return loops, True
     return _body_loops(e, offset=0), False
@@ -274,6 +299,7 @@ def _lower_impl(
                     scatter=spec.scatter,
                     pre_scale=pre,
                     proc=spec.proc,
+                    nu=spec.nu,
                 )
             )
         pend_src = pend_scale = None

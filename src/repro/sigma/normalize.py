@@ -18,6 +18,7 @@ from __future__ import annotations
 from ..spl.expr import Compose, Expr, Tensor
 from ..spl.matrices import I
 from ..spl.parallel import ParTensor
+from ..vector.constructs import VecTensor
 from ..rewrite.pattern import is_permutation_expr
 from ..rewrite.simplify import simplify
 
@@ -47,6 +48,10 @@ def _normalize(e: Expr) -> Expr:
     if isinstance(e, ParTensor) and isinstance(e.child, Compose):
         # parallel fission
         return Compose(*(ParTensor(e.p, f) for f in e.child.factors))
+
+    if isinstance(e, VecTensor) and isinstance(e.child, Compose):
+        # vector fission: (A B) ⊗v I_ν = (A ⊗v I_ν)(B ⊗v I_ν)
+        return Compose(*(VecTensor(f, e.nu) for f in e.child.factors))
 
     if isinstance(e, Tensor) and not is_permutation_expr(e):
         m, cores, r = _split_tensor_factors(e)

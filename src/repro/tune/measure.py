@@ -37,6 +37,9 @@ RUNTIMES = ("sequential", "pthreads", "process")
 #: the process runtime plans from a PlanSpec, which fixes the default)
 LEAF_BOUNDS = (16, 32)
 
+#: vector granularities explored when the backend compiles ν-wide code
+NU_CHOICES = (1, 2, 4)
+
 
 @dataclass(frozen=True)
 class Candidate:
@@ -44,10 +47,14 @@ class Candidate:
 
     strategy: str
     min_leaf: int = 32
+    #: vec(ν) granularity; only the compiled backend's emitted code
+    #: changes with it, so the space carries ν > 1 only for ``compiled``
+    nu: int = 1
 
     @property
     def label(self) -> str:
-        return f"{self.strategy}/leaf{self.min_leaf}"
+        tag = f"/v{self.nu}" if self.nu > 1 else ""
+        return f"{self.strategy}/leaf{self.min_leaf}{tag}"
 
 
 @dataclass
@@ -59,6 +66,7 @@ class Measurement:
     seconds: float
     batch: int = 1
     n: int = 0
+    nu: int = 1
 
     @property
     def per_vector_ms(self) -> float:
@@ -76,6 +84,7 @@ class Measurement:
         return {
             "strategy": self.strategy,
             "min_leaf": self.min_leaf,
+            "nu": self.nu,
             "seconds": self.seconds,
             "per_vector_ms": self.per_vector_ms,
             "pseudo_mflops": self.pseudo_mflops,
@@ -123,20 +132,29 @@ class MeasuredSearchResult:
         }
 
 
-def candidate_space(runtime: str = "sequential") -> list[Candidate]:
+def candidate_space(
+    runtime: str = "sequential", backend: str = "numpy"
+) -> list[Candidate]:
     """Every candidate a measured search may time, in a canonical order.
 
     Strategies are sorted by name so the space is stable across Python
     versions; the seeded shuffle in :func:`measured_search` decides
-    which prefix a budget actually pays for.
+    which prefix a budget actually pays for.  The ``compiled`` backend
+    adds the vec(ν) axis (:data:`NU_CHOICES`): scalar and ν-way plans
+    compete on measured time; interpreted backends execute vectorized
+    plans identically, so their space stays scalar.
     """
     strategies = sorted(RADIX_STRATEGIES)
+    nus = NU_CHOICES if backend == "compiled" else (1,)
     if runtime == "process":
         # process workers regenerate plans from a PlanSpec, which carries
-        # no leaf bound — only the strategy axis is reachable
-        return [Candidate(s) for s in strategies]
+        # no leaf bound — only the strategy (and ν) axes are reachable
+        return [Candidate(s, nu=nu) for s in strategies for nu in nus]
     return [
-        Candidate(s, leaf) for s in strategies for leaf in LEAF_BOUNDS
+        Candidate(s, leaf, nu)
+        for s in strategies
+        for leaf in LEAF_BOUNDS
+        for nu in nus
     ]
 
 
@@ -149,13 +167,15 @@ def _timed_fn(cand, n, t, mu, backend, runtime, pools, seq):
         from ..mp import PlanSpec
 
         spec = PlanSpec(
-            n=n, threads=t, mu=mu, strategy=cand.strategy, backend=backend
+            n=n, threads=t, mu=mu, strategy=cand.strategy, backend=backend,
+            nu=cand.nu,
         )
         pool = pools.process(t)
         return lambda X: pool.execute_spec(spec, X)[0]
 
     program = generate_fft(
-        n, threads=t, mu=mu, strategy=cand.strategy, min_leaf=cand.min_leaf
+        n, threads=t, mu=mu, strategy=cand.strategy, min_leaf=cand.min_leaf,
+        nu=cand.nu,
     )
     stages = resolve_backend(backend).build_stages(program.program)
     rt = pools.pthreads(t) if runtime == "pthreads" and t > 1 else seq
@@ -194,7 +214,7 @@ def measured_search(
     seed = default_seed() if seed is None else seed
     t = feasible_threads(n, threads, mu) if threads > 1 else 1
 
-    space = candidate_space(runtime)
+    space = candidate_space(runtime, backend)
     rng = derive_rng(seed, "tune-candidates", n, t, mu, backend, runtime)
     order = [space[i] for i in rng.permutation(len(space))][:budget]
 
@@ -223,6 +243,7 @@ def measured_search(
                         seconds=seconds,
                         batch=batch,
                         n=n,
+                        nu=cand.nu,
                     )
                 )
     finally:

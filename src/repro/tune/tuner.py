@@ -217,9 +217,11 @@ class Tuner:
             repeats=self.config.search_repeats, wisdom=self.wisdom,
         )
         best = result.best
+        # the winning candidate may be scalar or ν-way (the compiled
+        # backend's search space carries both); the rebuilt plan follows it
         program = generate_fft(
             key.n, threads=key.threads, mu=key.mu,
-            strategy=best.strategy, min_leaf=best.min_leaf,
+            strategy=best.strategy, min_leaf=best.min_leaf, nu=best.nu,
         )
         from ..codegen.registry import resolve_backend
 

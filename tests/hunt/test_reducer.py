@@ -31,6 +31,9 @@ from repro.hunt import (
 #: synthetic oracle never executes anything)
 SYNTH_CASES = sample_cases(48, seed=1, runtimes=("sequential",))
 
+#: index of the formula-node component of ``state_size`` (``nu`` leads)
+NODE_AXIS = 1
+
 #: predicate families for the synthetic oracle: each decides
 #: interestingness from one dimension of the state, so minimization
 #: pressure lands on every *other* dimension
@@ -38,7 +41,7 @@ PREDICATES = {
     "n>=32": lambda st_: st_.case.n >= 32,
     "mu>=2": lambda st_: st_.case.mu >= 2,
     "batch>=2": lambda st_: st_.case.batch >= 2,
-    "nodes>=4": lambda st_: state_size(st_)[0] >= 4,
+    "nodes>=4": lambda st_: state_size(st_)[NODE_AXIS] >= 4,
     "always": lambda st_: True,
 }
 
@@ -128,17 +131,20 @@ def pools():
 
 
 @pytest.mark.parametrize(
-    "point,kind",
+    "point,kind,nu",
     [
-        ("hunt.exec_corrupt", "numeric"),
-        ("hunt.plan_sabotage", "dynamic-check"),
+        ("hunt.exec_corrupt", "numeric", 1),
+        ("hunt.plan_sabotage", "dynamic-check", 1),
+        # the vectorized-term lane: reduction must strip vec(ν) on its
+        # way down (the final reproducer is always scalar)
+        ("hunt.exec_corrupt", "numeric", 4),
     ],
 )
-def test_reduction_properties_real_sabotage(pools, point, kind):
+def test_reduction_properties_real_sabotage(pools, point, kind, nu):
     """End-to-end: seeded sabotage reduces to a 1-minimal reproducer."""
     case = HuntCase(
         n=64, req_threads=4, mu=2, strategy="radix2", batch=2,
-        runtime="pthreads",
+        runtime="pthreads", nu=nu,
     )
 
     def oracle(state: ReductionState) -> Verdict:
@@ -156,7 +162,9 @@ def test_reduction_properties_real_sabotage(pools, point, kind):
 
         # strictly smaller than the originating formula
         assert result.final_size < result.original_size
-        assert result.final_size[0] < result.original_size[0]
+        assert result.final_size[NODE_AXIS] < result.original_size[NODE_AXIS]
+        # a ν-way failure that also fails scalar always strips its vec tags
+        assert result.final.case.nu == 1
 
         # (1) every accepted step still fails with the original kind
         for step in result.steps:

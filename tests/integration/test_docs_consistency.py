@@ -196,6 +196,26 @@ class TestParserIsDocumented:
         assert inverted.chaos == "hunt.exec_corrupt:1.0"
         assert inverted.reduce is False
 
+    def test_simd_acceptance_invocations_parse(self, parser):
+        """The documented vec(ν) lanes must stay parseable."""
+        gen = parser.parse_args("generate 64 --nu 4".split())
+        assert gen.nu == 4
+        bench = parser.parse_args(
+            "bench --backend compiled --nu 4 --kmin 8 --kmax 12".split()
+        )
+        assert bench.backend == "compiled" and bench.nu == 4
+        assert bench.kmin == 8 and bench.kmax == 12
+        check = parser.parse_args(
+            "check --nu 2 --backend compiled --kmin 4 --kmax 9".split()
+        )
+        assert check.nu == 2 and check.backend == "compiled"
+        serve = parser.parse_args("serve --nu 4".split())
+        assert serve.nu == 4
+        scalar_sweep = parser.parse_args("hunt --nus 1 --budget 8".split())
+        assert scalar_sweep.nus == "1"
+        vec_sweep = parser.parse_args("hunt --budget 8".split())
+        assert vec_sweep.nus == "1,2,4"  # the default pool is documented
+
 
 #: an injection point inside a documented chaos spec: ``name.name:rate``
 CHAOS_POINT_RE = re.compile(r"\b([a-z][a-z0-9_]*\.[a-z][a-z0-9_]*):[0-9]")

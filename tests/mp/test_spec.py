@@ -43,9 +43,11 @@ class TestPlanSpec:
         assert PlanSpec.for_request(64, threads=1).threads == 1
 
     def test_from_plan_key(self):
-        key = PlanKey(n=1024, threads=2, mu=4, strategy="balanced")
+        key = PlanKey(n=1024, threads=2, mu=4, strategy="balanced", nu=2)
         spec = PlanSpec.from_plan_key(key)
-        assert (spec.n, spec.threads, spec.mu, spec.strategy) == tuple(key)
+        assert (
+            spec.n, spec.threads, spec.mu, spec.strategy, spec.nu
+        ) == tuple(key)
 
 
 class TestCompileCache:
